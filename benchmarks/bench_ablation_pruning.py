@@ -1,0 +1,40 @@
+"""Ablation — stochastic pruning cap vs mapping quality and time.
+
+The paper prunes partial mappings "depending on a threshold function"
+to keep compilation tractable; this ablation sweeps the survivor cap
+and reports the quality/time trade-off the design point sits on.
+"""
+
+import time
+
+from repro.arch.configs import get_config
+from repro.kernels import get_kernel
+from repro.mapping.flow import FlowOptions, map_kernel
+
+CAPS = (2, 4, 8, 12, 20)
+
+
+def sweep(kernel_name="convolution", config="HET1"):
+    rows = []
+    for cap in CAPS:
+        kernel = get_kernel(kernel_name)
+        started = time.perf_counter()
+        result = map_kernel(kernel.cdfg, get_config(config),
+                            FlowOptions.aware(prune_cap=cap))
+        seconds = time.perf_counter() - started
+        total_latency = sum(b.length for b in result.blocks.values())
+        rows.append((cap, result.total_movs, total_latency,
+                     max(result.tile_words()), seconds))
+    return rows
+
+
+def test_pruning_cap_ablation(benchmark, record_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation — stochastic pruning cap (convolution @ HET1)",
+             "cap  movs  sum(L)  max words  seconds"]
+    for cap, movs, latency, words, seconds in rows:
+        lines.append(f"{cap:3d}  {movs:4d}  {latency:6d}  {words:9d}"
+                     f"  {seconds:7.2f}")
+    record_result("ablation_pruning", "\n".join(lines))
+    # Every cap must still produce a valid mapping.
+    assert len(rows) == len(CAPS)

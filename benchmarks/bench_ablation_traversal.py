@@ -1,0 +1,30 @@
+"""Ablation — traversal order across the whole kernel suite.
+
+Fig 5 shows one kernel; this ablation quantifies the weighted
+traversal's MOV/PNOP effect on every kernel, which is the mechanism
+behind the Table II energy gains.
+"""
+
+from repro.eval.experiments import compile_point
+from repro.kernels import PAPER_KERNEL_ORDER
+
+
+def sweep():
+    rows = []
+    for kernel in PAPER_KERNEL_ORDER:
+        forward, _ = compile_point(kernel, "HOM64", "basic")
+        weighted, _ = compile_point(kernel, "HOM64", "weighted")
+        rows.append((kernel,
+                     forward.total_movs, weighted.total_movs,
+                     forward.total_pnops, weighted.total_pnops))
+    return rows
+
+
+def test_traversal_ablation(benchmark, record_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation — weighted vs forward traversal (HOM64)",
+             "kernel          movs fwd/wgt   pnops fwd/wgt"]
+    for kernel, fm, wm, fp, wp in rows:
+        lines.append(f"{kernel:14s}  {fm:4d}/{wm:4d}      {fp:4d}/{wp:4d}")
+    record_result("ablation_traversal", "\n".join(lines))
+    assert len(rows) == len(PAPER_KERNEL_ORDER)

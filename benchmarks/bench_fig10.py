@@ -1,0 +1,24 @@
+"""Fig 10 — execution time against the or1k CPU.
+
+Paper: the context-aware mapping performs almost like the basic
+mapping while using less context memory; average ~10x speedup over
+the CPU, max 22x (HET1) / 19x (HET2), min 5x.
+"""
+
+from repro.eval.experiments import fig10_data
+from repro.eval.reporting import render_fig10
+
+
+def test_fig10_vs_cpu(benchmark, record_result):
+    chart = benchmark.pedantic(fig10_data, rounds=1, iterations=1)
+    record_result("fig10", render_fig10(chart))
+    for kernel, rows in chart.items():
+        basic = rows["basic_hom64"]
+        assert basic["speedup"] > 1.0, f"{kernel}: CGRA must beat CPU"
+        for label in ("aware_het1", "aware_het2"):
+            entry = rows[label]
+            if entry["cycles"] is None:
+                continue
+            # Aware mapping performs "almost similarly" to basic.
+            assert entry["cycles"] <= basic["cycles"] * 1.6, (
+                f"{kernel}/{label} too slow vs basic")

@@ -1,0 +1,21 @@
+"""Fig 6 — latency with basic + ACMAP, per CM configuration.
+
+Paper: the approximate pruning alone finds no solution for matrix
+multiplication, the non-separable filter and the FFT on the
+constrained configurations (zero bars); convolution and the separable
+filter map on HOM32/HET1 but not HET2.
+"""
+
+from repro.eval.experiments import LATENCY_CONFIGS, latency_figure_data
+from repro.eval.reporting import render_latency_figure
+
+
+def test_fig6_basic_plus_acmap(benchmark, record_result):
+    chart = benchmark.pedantic(latency_figure_data, args=("acmap",),
+                               rounds=1, iterations=1)
+    record_result(
+        "fig6", render_latency_figure("Fig 6 — basic + ACMAP", chart,
+                                      LATENCY_CONFIGS))
+    # Shape: every kernel still maps on the permissive HOM64.
+    for kernel, bars in chart.items():
+        assert bars["HOM64"] > 0, f"{kernel} lost HOM64 under ACMAP"

@@ -1,0 +1,26 @@
+"""Fig 8 — latency with the full flow (+ CAB).
+
+Paper: constraint-aware binding improves the HET2 configuration in
+particular; with the full flow every kernel maps on HET1/HET2 and the
+latency penalty versus the unconstrained baseline remains small.
+"""
+
+from repro.eval.experiments import LATENCY_CONFIGS, latency_figure_data
+from repro.eval.reporting import render_latency_figure
+
+
+def test_fig8_full_flow(benchmark, record_result):
+    chart = benchmark.pedantic(latency_figure_data, args=("full",),
+                               rounds=1, iterations=1)
+    record_result(
+        "fig8", render_latency_figure(
+            "Fig 8 — basic + ACMAP + ECMAP + CAB", chart,
+            LATENCY_CONFIGS))
+    # Headline shape: the full flow maps every kernel on both
+    # heterogeneous configurations (that is what enables Table II).
+    for kernel, bars in chart.items():
+        assert bars["HET1"] > 0, f"{kernel} must map on HET1"
+        assert bars["HET2"] > 0, f"{kernel} must map on HET2"
+        # And the latency stays within a small factor of the baseline.
+        assert bars["HET1"] < 3.0
+        assert bars["HET2"] < 3.0

@@ -1,0 +1,16 @@
+"""Fig 9 — compilation time of each added flow step.
+
+Paper: the full context-memory aware flow averages ~1.8x the basic
+flow's compile time (17s -> 30s on their machine); the penalty grows
+step by step as ACMAP, ECMAP and CAB are added.
+"""
+
+from repro.eval.experiments import fig9_data
+from repro.eval.reporting import render_fig9
+
+
+def test_fig9_compile_time(benchmark, record_result):
+    data = benchmark.pedantic(fig9_data, rounds=1, iterations=1)
+    record_result("fig9", render_fig9(data))
+    # Shape: the aware steps cost more compile time than the basic flow.
+    assert data["normalized"]["full"] >= 1.0

@@ -1,0 +1,26 @@
+"""Table II — energy (uJ) for every kernel on CPU / HOM64 / HET1 / HET2.
+
+Paper: the context-aware mapping on the heterogeneous configurations
+gains on average 2.3x over the basic mapping on HOM64 (max 3.1x, min
+1.4x) and 14x over the CPU (max 23x, min 5x).
+"""
+
+from repro.eval.experiments import table2_data
+from repro.eval.reporting import render_table2
+
+
+def test_table2_energy(benchmark, record_result):
+    table = benchmark.pedantic(table2_data, rounds=1, iterations=1)
+    record_result("table2", render_table2(table))
+    for kernel, row in table.items():
+        basic = row["basic_hom64"]
+        assert basic["uj"] is not None, f"{kernel} must map on HOM64"
+        for label in ("aware_het1", "aware_het2"):
+            entry = row[label]
+            if entry["uj"] is None:
+                continue
+            # The aware mapping must never cost MORE energy than basic.
+            assert entry["uj"] <= basic["uj"] * 1.05, (
+                f"{kernel}/{label}: aware mapping wastes energy")
+            # And the CGRA must beat the CPU.
+            assert entry["gain_vs_cpu"] > 1.0

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one figure or table of the paper,
+prints it, and writes it to ``benchmarks/results/`` so the artefacts
+survive the pytest capture.  Mapping runs are expensive and
+deterministic, so benchmarks use single-round pedantic timing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a rendered figure/table to benchmarks/results/<name>.txt."""
+
+    def _record(name, text):
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return _record

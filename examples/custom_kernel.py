@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Map a new kernel the paper never evaluated: sum of absolute
+differences (SAD), the motion-estimation workhorse.
+
+Demonstrates the full user journey on fresh code: build a CDFG with
+the DSL (unrolled window, tree reduction), compare the basic and the
+context-aware flows on per-tile context usage, and verify the aware
+mapping end to end on the simulator.
+"""
+
+import numpy as np
+
+from repro import map_kernel, get_config
+from repro.codegen.assembler import assemble
+from repro.codegen.listing import usage_chart
+from repro.ir.builder import KernelBuilder
+from repro.kernels.util import tree_sum
+from repro.mapping.flow import FlowOptions
+from repro.sim.cgra import CGRASimulator
+
+BLOCK = 4       # 4x4 SAD window
+FRAME = 8       # 8x8 search frame
+POSITIONS = FRAME - BLOCK + 1
+
+
+def build_sad_kernel():
+    k = KernelBuilder("sad")
+    ref = k.array_input("ref", BLOCK * BLOCK)
+    frame = k.array_input("frame", FRAME * FRAME)
+    out = k.array_output("out", POSITIONS * POSITIONS)
+    with k.loop("dy", 0, POSITIONS) as dy:
+        with k.loop("dx", 0, POSITIONS) as dx:
+            dyv = k.get_symbol("dy")
+            anchor = dyv * FRAME + dx
+            terms = []
+            for by in range(BLOCK):
+                for bx in range(BLOCK):
+                    pixel = k.load(frame.at(anchor + (by * FRAME + bx)))
+                    target = k.load(ref.at(by * BLOCK + bx))
+                    terms.append(abs(pixel - target))
+            k.store(out.at(dyv * POSITIONS + dx), tree_sum(terms))
+    return k.finish()
+
+
+def reference_sad(ref, frame):
+    out = []
+    for dy in range(POSITIONS):
+        for dx in range(POSITIONS):
+            total = 0
+            for by in range(BLOCK):
+                for bx in range(BLOCK):
+                    total += abs(frame[(dy + by) * FRAME + dx + bx]
+                                 - ref[by * BLOCK + bx])
+            out.append(total)
+    return out
+
+
+def main():
+    cdfg = build_sad_kernel()
+    print(f"kernel: {cdfg}")
+
+    basic = map_kernel(cdfg, get_config("HOM64"), FlowOptions.basic())
+    aware = map_kernel(cdfg, get_config("HET2"), FlowOptions.aware())
+    print("\nbasic flow on HOM64:")
+    print(usage_chart(assemble(basic, cdfg)))
+    print("\ncontext-aware flow on HET2 (half the context memory):")
+    program = assemble(aware, cdfg)
+    print(usage_chart(program))
+
+    rng = np.random.default_rng(3)
+    ref = [int(v) for v in rng.integers(0, 256, BLOCK * BLOCK)]
+    frame = [int(v) for v in rng.integers(0, 256, FRAME * FRAME)]
+    memory = [0] * cdfg.memory_size
+    ref_base = cdfg.regions["ref"]["base"]
+    frame_base = cdfg.regions["frame"]["base"]
+    memory[ref_base:ref_base + len(ref)] = ref
+    memory[frame_base:frame_base + len(frame)] = frame
+
+    run = CGRASimulator(program, memory).run()
+    got = run.region(cdfg, "out")
+    expected = reference_sad(ref, frame)
+    assert got == expected, "SAD mismatch"
+    best = min(range(len(got)), key=got.__getitem__)
+    print(f"\nSAD verified over {len(got)} positions in "
+          f"{run.cycles} cycles; best match at position "
+          f"({best // POSITIONS}, {best % POSITIONS})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Energy deep-dive for one kernel: where do the joules go?
+
+Reproduces a single row of Table II with full component breakdowns —
+context memory, compute, operands, leakage — for the CPU, the basic
+mapping on HOM64, and the context-aware mapping on HET1/HET2.  The
+breakdown makes the paper's argument visible: the 64-word context
+memories dominate, and the aware mapping shrinks exactly that term.
+"""
+
+import sys
+
+from repro.eval.experiments import cpu_point, execute_point
+
+
+def report(kernel_name):
+    print(f"=== {kernel_name} ===")
+    cpu_cycles, cpu_energy = cpu_point(kernel_name)
+    print(f"\nCPU (or1k @ -O3): {cpu_cycles} cycles, "
+          f"{cpu_energy.total_uj:.4f} uJ")
+    for part, pj in sorted(cpu_energy.parts.items()):
+        print(f"  {part:15s} {pj / 1e6:8.4f} uJ "
+              f"({cpu_energy.fraction(part):5.1%})")
+    for label, config, variant in (
+            ("basic @ HOM64", "HOM64", "basic"),
+            ("aware @ HET1", "HET1", "full"),
+            ("aware @ HET2", "HET2", "full")):
+        point = execute_point(kernel_name, config, variant)
+        if not point.mapped:
+            print(f"\n{label}: no mapping ({point.error})")
+            continue
+        energy = point.energy
+        gain = cpu_energy.total_uj / energy.total_uj
+        print(f"\n{label}: {point.cycles} cycles, "
+              f"{energy.total_uj:.4f} uJ ({gain:.1f}x vs CPU)")
+        for part, pj in sorted(energy.parts.items()):
+            print(f"  {part:15s} {pj / 1e6:8.4f} uJ "
+                  f"({energy.fraction(part):5.1%})")
+
+
+def main():
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "fir"
+    report(kernel)
+
+
+if __name__ == "__main__":
+    main()

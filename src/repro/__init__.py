@@ -1,0 +1,62 @@
+"""repro — reproduction of Das, Martin & Coussy, DATE 2019.
+
+*Context-memory Aware Mapping for Energy Efficient Acceleration with
+CGRAs.*
+
+The package provides, from scratch:
+
+- a CDFG intermediate representation and kernel-building DSL
+  (:mod:`repro.ir`);
+- the target CGRA architecture model — 4x4 torus of PEs with per-tile
+  context memories, Table I configurations (:mod:`repro.arch`);
+- the basic mapping flow of Das et al. TCAD'18 and the paper's
+  context-memory-aware extensions — weighted traversal, ACMAP, ECMAP,
+  CAB (:mod:`repro.mapping`);
+- an assembler and binary encoder for 20-bit context words
+  (:mod:`repro.codegen`);
+- cycle-level CGRA and or1k-like CPU simulators (:mod:`repro.sim`);
+- 28nm FD-SOI energy and area models (:mod:`repro.power`);
+- the seven evaluation kernels (:mod:`repro.kernels`);
+- experiment drivers regenerating every figure and table
+  (:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro import map_kernel, CGRA_CONFIGS
+    from repro.kernels import get_kernel
+
+    kernel = get_kernel("fir")
+    result = map_kernel(kernel.cdfg, CGRA_CONFIGS["HET1"],
+                        context_aware=True)
+    print(result.summary())
+"""
+
+from repro.arch.configs import CGRA_CONFIGS, get_config
+from repro.errors import (
+    MappingError,
+    ReproError,
+    UnmappableError,
+)
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light and avoid import cycles
+    # between the architecture and mapping layers.
+    if name in ("FlowOptions", "map_kernel"):
+        from repro.mapping import flow
+
+        return getattr(flow, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CGRA_CONFIGS",
+    "get_config",
+    "FlowOptions",
+    "map_kernel",
+    "MappingError",
+    "ReproError",
+    "UnmappableError",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Architecture model of the target CGRA.
+
+The paper's CGRA (Sec II, Fig 1): a 4x4 grid of tiles interconnected
+by a 2D-mesh torus.  Each tile holds an ALU, a regular register file
+(RRF), a constant register file (CRF), its own context memory (CM),
+decoder and controller; eight tiles additionally hold load-store units
+reaching a shared data memory through a logarithmic interconnect.
+
+- :mod:`repro.arch.pe` — a single processing element description;
+- :mod:`repro.arch.interconnect` — torus neighbourhoods and distances;
+- :mod:`repro.arch.cgra` — the assembled array;
+- :mod:`repro.arch.configs` — Table I (HOM64, HOM32, HET1, HET2).
+"""
+
+from repro.arch.pe import PE
+from repro.arch.interconnect import TorusInterconnect
+from repro.arch.cgra import CGRA
+from repro.arch.configs import CGRA_CONFIGS, get_config, make_cgra
+
+__all__ = [
+    "PE",
+    "TorusInterconnect",
+    "CGRA",
+    "CGRA_CONFIGS",
+    "get_config",
+    "make_cgra",
+]

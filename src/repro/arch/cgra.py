@@ -1,0 +1,81 @@
+"""The assembled CGRA array.
+
+A :class:`CGRA` bundles the grid of PEs, the torus interconnect and the
+global parameters (data-memory size, name of the configuration).  It is
+a pure description — execution state lives in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArchitectureError
+from repro.arch.interconnect import TorusInterconnect
+from repro.arch.pe import PE
+
+
+class CGRA:
+    """Immutable description of one CGRA configuration."""
+
+    def __init__(self, name, rows, cols, cm_depths, lsu_tiles,
+                 data_memory_words=8192):
+        if len(cm_depths) != rows * cols:
+            raise ArchitectureError(
+                f"{name}: expected {rows * cols} CM depths, "
+                f"got {len(cm_depths)}")
+        self.name = name
+        self.interconnect = TorusInterconnect(rows, cols)
+        lsu_set = set(lsu_tiles)
+        unknown = lsu_set - set(range(rows * cols))
+        if unknown:
+            raise ArchitectureError(
+                f"{name}: LSU tiles out of range: {sorted(unknown)}")
+        self.tiles = []
+        for index in range(rows * cols):
+            row, col = self.interconnect.coords(index)
+            self.tiles.append(
+                PE(index, row, col, cm_depths[index], index in lsu_set))
+        self.data_memory_words = data_memory_words
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self):
+        return self.interconnect.rows
+
+    @property
+    def cols(self):
+        return self.interconnect.cols
+
+    @property
+    def n_tiles(self):
+        return len(self.tiles)
+
+    @property
+    def lsu_tiles(self):
+        """Indices of tiles that can execute LOAD/STORE."""
+        return tuple(pe.index for pe in self.tiles if pe.has_lsu)
+
+    @property
+    def total_cm_words(self):
+        """Total context-memory capacity (the Table I 'Total' column)."""
+        return sum(pe.cm_depth for pe in self.tiles)
+
+    def tile(self, index):
+        return self.tiles[index]
+
+    def cm_depth(self, index):
+        return self.tiles[index].cm_depth
+
+    def neighbors(self, index):
+        return self.interconnect.neighbors(index)
+
+    def distance(self, a, b):
+        return self.interconnect.distance(a, b)
+
+    def candidate_tiles(self, needs_lsu):
+        """Tiles legal for an operation class, LSU-first for memory ops."""
+        if needs_lsu:
+            return list(self.lsu_tiles)
+        return list(range(self.n_tiles))
+
+    def __repr__(self):
+        return (f"CGRA({self.name}: {self.rows}x{self.cols}, "
+                f"CM total {self.total_cm_words})")

@@ -1,0 +1,94 @@
+"""Table I of the paper: the four context-memory configurations.
+
+All four target the same 4x4 torus with eight load-store tiles
+(paper tiles 1-8, i.e. indices 0-7 — the top two rows).
+
+==========  =================  ==============  ==============  =====
+Config      tiles with CM 64   tiles with CM32  tiles with CM16  Total
+==========  =================  ==============  ==============  =====
+HOM64       1-16                                               1024
+HOM32                          1-16                             512
+HET1        1-4                5-8, 13-16      9-12             576
+HET2        1-4                5-8             9-16             512
+==========  =================  ==============  ==============  =====
+
+(The table uses the paper's 1-based tile numbering.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArchitectureError
+from repro.arch.cgra import CGRA
+
+ROWS = 4
+COLS = 4
+#: Load-store tiles: paper tiles 1-8 (indices 0-7).
+LSU_TILES = tuple(range(8))
+
+
+def _depths(spec):
+    """Expand {depth: [1-based tile numbers]} into a 16-entry list."""
+    depths = [None] * (ROWS * COLS)
+    for depth, tile_numbers in spec.items():
+        for number in tile_numbers:
+            index = number - 1
+            if depths[index] is not None:
+                raise ArchitectureError(
+                    f"tile {number} assigned two CM depths")
+            depths[index] = depth
+    if any(d is None for d in depths):
+        missing = [i + 1 for i, d in enumerate(depths) if d is None]
+        raise ArchitectureError(f"tiles without CM depth: {missing}")
+    return depths
+
+
+def _hom(name, depth):
+    return CGRA(name, ROWS, COLS, [depth] * (ROWS * COLS), LSU_TILES)
+
+
+def _het(name, spec):
+    return CGRA(name, ROWS, COLS, _depths(spec), LSU_TILES)
+
+
+HOM64 = _hom("HOM64", 64)
+HOM32 = _hom("HOM32", 32)
+HET1 = _het("HET1", {
+    64: range(1, 5),
+    32: list(range(5, 9)) + list(range(13, 17)),
+    16: range(9, 13),
+})
+HET2 = _het("HET2", {
+    64: range(1, 5),
+    32: range(5, 9),
+    16: range(9, 17),
+})
+
+#: The Table I configurations, keyed by name.
+CGRA_CONFIGS = {
+    "HOM64": HOM64,
+    "HOM32": HOM32,
+    "HET1": HET1,
+    "HET2": HET2,
+}
+
+#: Paper Table I 'Total' column, used as a regression check.
+EXPECTED_TOTALS = {"HOM64": 1024, "HOM32": 512, "HET1": 576, "HET2": 512}
+
+
+def get_config(name):
+    """Look up a Table I configuration by (case-insensitive) name."""
+    try:
+        return CGRA_CONFIGS[name.upper()]
+    except KeyError:
+        raise ArchitectureError(
+            f"unknown configuration {name!r}; "
+            f"choose from {sorted(CGRA_CONFIGS)}") from None
+
+
+def make_cgra(name="custom", rows=ROWS, cols=COLS, cm_depths=None,
+              lsu_tiles=LSU_TILES, data_memory_words=8192):
+    """Build a custom CGRA (e.g. for design-space exploration)."""
+    if cm_depths is None:
+        cm_depths = [64] * (rows * cols)
+    return CGRA(name, rows, cols, list(cm_depths), lsu_tiles,
+                data_memory_words)

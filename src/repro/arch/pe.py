@@ -1,0 +1,53 @@
+"""Processing element (tile) description.
+
+Fig 1(b) of the paper: ALU, LSU (on some tiles), regular register file
+(RRF), constant register file (CRF), context memory (CM), decoder,
+controller, jump register and a clock-gating PMU.  For the mapper only
+four properties matter: the CM depth (the budget being optimised), the
+LSU flag (LOAD/STORE legality), and the register-file capacities.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArchitectureError
+
+#: Instruction word width in bits (Sec IV-C: "20x64-bit CM" reads as
+#: 64 words of 20 bits; the assembler packs instructions to this width).
+CONTEXT_WORD_BITS = 20
+
+#: Regular register file: 32 words (paper: 32x8-bit entries).
+DEFAULT_RRF_WORDS = 32
+
+#: Constant register file: 32 words (paper: 32x16-bit entries).
+DEFAULT_CRF_WORDS = 32
+
+
+class PE:
+    """One tile of the CGRA."""
+
+    __slots__ = ("index", "row", "col", "cm_depth", "has_lsu",
+                 "rrf_words", "crf_words")
+
+    def __init__(self, index, row, col, cm_depth, has_lsu,
+                 rrf_words=DEFAULT_RRF_WORDS, crf_words=DEFAULT_CRF_WORDS):
+        if cm_depth <= 0:
+            raise ArchitectureError(f"tile {index}: cm_depth must be > 0")
+        if rrf_words <= 0 or crf_words <= 0:
+            raise ArchitectureError(f"tile {index}: register files must be > 0")
+        self.index = index
+        self.row = row
+        self.col = col
+        self.cm_depth = cm_depth
+        self.has_lsu = has_lsu
+        self.rrf_words = rrf_words
+        self.crf_words = crf_words
+
+    @property
+    def name(self):
+        """Paper-style 1-based tile name (T1..T16)."""
+        return f"T{self.index + 1}"
+
+    def __repr__(self):
+        lsu = "+LSU" if self.has_lsu else ""
+        return (f"PE({self.name}@({self.row},{self.col}), "
+                f"CM{self.cm_depth}{lsu})")

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the user journeys of the examples:
+
+- ``map KERNEL``    — map a paper kernel and print the mapping summary
+  plus the per-tile context-usage chart (the Fig 2 view);
+- ``run KERNEL``    — map, assemble, simulate, verify against the
+  reference, and print cycles vs the CPU baseline;
+- ``energy KERNEL`` — one Table II row with component breakdowns;
+- ``area``          — the Fig 11 area comparison;
+- ``kernels``       — list the available kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.arch.configs import CGRA_CONFIGS, get_config
+from repro.codegen.assembler import assemble
+from repro.codegen.listing import usage_chart
+from repro.errors import ReproError, UnmappableError
+from repro.kernels import PAPER_KERNEL_ORDER, get_kernel
+from repro.mapping.flow import VARIANTS, map_kernel
+from repro.sim.cgra import CGRASimulator
+from repro.sim.cpu import CPUModel
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context-memory aware CGRA mapping (DATE 2019 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("kernel", choices=PAPER_KERNEL_ORDER)
+        p.add_argument("--config", default="HET1",
+                       choices=sorted(CGRA_CONFIGS))
+        p.add_argument("--flow", default="full",
+                       choices=sorted(VARIANTS))
+        p.add_argument("--seed", type=int, default=7)
+
+    add_common(sub.add_parser("map", help="map a kernel, show usage"))
+    add_common(sub.add_parser("run", help="map + simulate + verify"))
+    add_common(sub.add_parser("energy", help="energy breakdown row"))
+    sub.add_parser("area", help="Fig 11 area comparison")
+    sub.add_parser("kernels", help="list available kernels")
+    return parser
+
+
+def _map(args):
+    kernel = get_kernel(args.kernel)
+    result = map_kernel(kernel.cdfg, get_config(args.config),
+                        VARIANTS[args.flow]())
+    print(result.summary())
+    program = assemble(result, kernel.cdfg, enforce_fit=False)
+    print(usage_chart(program))
+    return 0
+
+
+def _run(args):
+    kernel = get_kernel(args.kernel)
+    result = map_kernel(kernel.cdfg, get_config(args.config),
+                        VARIANTS[args.flow]())
+    program = assemble(result, kernel.cdfg,
+                       enforce_fit=result.options.ecmap)
+    inputs = kernel.make_inputs(np.random.default_rng(args.seed))
+    memory = kernel.make_memory(inputs)
+    run = CGRASimulator(program, memory).run()
+    expected = kernel.reference(inputs)
+    for region in kernel.output_regions:
+        if run.region(kernel.cdfg, region) != expected[region]:
+            print(f"FAIL: region {region} mismatch", file=sys.stderr)
+            return 1
+    cpu = CPUModel(kernel.cdfg).run(memory)
+    print(f"{args.kernel} on {args.config} ({args.flow} flow): "
+          f"verified OK")
+    print(f"  CGRA: {run.cycles} cycles   CPU: {cpu.cycles} cycles   "
+          f"speedup {cpu.cycles / run.cycles:.1f}x")
+    return 0
+
+
+def _energy(args):
+    from repro.eval.experiments import cpu_point, execute_point
+    cpu_cycles, cpu_energy = cpu_point(args.kernel)
+    print(f"{args.kernel}: CPU {cpu_energy.total_uj:.4f} uJ "
+          f"({cpu_cycles} cycles)")
+    point = execute_point(args.kernel, args.config, args.flow)
+    if not point.mapped:
+        print(f"  {args.config}/{args.flow}: no mapping ({point.error})")
+        return 1
+    gain = cpu_energy.total_uj / point.energy_uj
+    print(f"  {args.config}/{args.flow}: {point.energy_uj:.4f} uJ "
+          f"({point.cycles} cycles, {gain:.1f}x vs CPU)")
+    for part, pj in sorted(point.energy.parts.items()):
+        print(f"    {part:15s} {pj / 1e6:8.4f} uJ "
+              f"({point.energy.fraction(part):5.1%})")
+    return 0
+
+
+def _area(_args):
+    from repro.eval.experiments import fig11_data
+    from repro.eval.reporting import render_fig11
+    print(render_fig11(fig11_data()))
+    return 0
+
+
+def _kernels(_args):
+    for name in PAPER_KERNEL_ORDER:
+        kernel = get_kernel(name)
+        print(f"{name:14s} {kernel.cdfg.n_ops:4d} static ops, "
+              f"{len(kernel.cdfg.blocks):2d} blocks — "
+              f"{kernel.description}")
+    return 0
+
+
+def main(argv=None):
+    args = _parser().parse_args(argv)
+    handlers = {"map": _map, "run": _run, "energy": _energy,
+                "area": _area, "kernels": _kernels}
+    try:
+        return handlers[args.command](args)
+    except UnmappableError as error:
+        print(f"no mapping: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Assembler and binary encoder for the CGRA's context memories.
+
+- :mod:`repro.codegen.isa` — the instruction objects a tile executes
+  (operation, MOV, PNOP) and operand source descriptors;
+- :mod:`repro.codegen.assembler` — turns a
+  :class:`~repro.mapping.result.MappingResult` into per-tile,
+  per-block instruction streams with folded PNOPs, enforcing the
+  context-memory budget (the paper's ``n(Mo) + n(pnop) <= n(I)``);
+- :mod:`repro.codegen.binary` — 32-bit interchange encoding with an
+  exact round-trip (the architectural context word itself is 20 bits
+  of decoded configuration, see :data:`repro.arch.pe.CONTEXT_WORD_BITS`);
+- :mod:`repro.codegen.listing` — human-readable assembly listings.
+"""
+
+from repro.codegen.isa import Instruction, Source
+from repro.codegen.assembler import Program, BlockProgram, assemble
+
+__all__ = ["Instruction", "Source", "Program", "BlockProgram", "assemble"]

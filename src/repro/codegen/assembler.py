@@ -1,0 +1,191 @@
+"""Assembler: mapping result -> per-tile context streams.
+
+For every basic block and tile, the assembler walks the occupied issue
+slots in cycle order, resolves each operand to a concrete datapath
+source (own RF, own CRF, or a neighbour's output port) and folds idle
+runs into PNOP instructions, per the PE contract:
+
+- a leading or interior idle run costs one ``PNOP(n)``;
+- trailing idle is free — the tile sleeps until the global block-end
+  broadcast;
+- a tile with no instructions in a block stores nothing for it.
+
+The per-tile word count is checked against the context-memory depth —
+:class:`~repro.errors.ContextOverflowError` reproduces what physically
+happens when a context-unaware mapping is loaded onto a small-CM
+configuration (why the paper runs basic mappings only on HOM64).
+
+Operand resolution doubles as a mapping verifier: if a value is
+neither in the tile's RF in time nor on a neighbour's port at exactly
+the right cycle, the mapping was unsound and assembly fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError, ContextOverflowError
+from repro.ir.cdfg import Branch, Exit, Jump
+from repro.ir.opcodes import Opcode
+from repro.codegen.isa import Instruction, Source
+
+
+class BlockProgram:
+    """Per-tile instruction streams for one basic block."""
+
+    def __init__(self, name, length, tile_streams, terminator,
+                 symbol_reads, symbol_commits, branch_uid=None):
+        self.name = name
+        self.length = length
+        #: tile index -> list[Instruction]
+        self.tile_streams = tile_streams
+        self.terminator = terminator
+        #: list of (symbol, home tile, entry-value uid)
+        self.symbol_reads = symbol_reads
+        #: list of (symbol, home tile, exit-value uid)
+        self.symbol_commits = symbol_commits
+        #: data-node uid of the branch condition (Branch blocks only)
+        self.branch_uid = branch_uid
+
+    def words(self, tile):
+        """Context words this block occupies on a tile."""
+        return len(self.tile_streams[tile])
+
+    def __repr__(self):
+        total = sum(len(stream) for stream in self.tile_streams)
+        return f"BlockProgram({self.name}: L={self.length}, {total} words)"
+
+
+class Program:
+    """A fully assembled kernel: one context image per tile."""
+
+    def __init__(self, kernel_name, cgra, blocks, entry, const_images,
+                 symbol_inits):
+        self.kernel_name = kernel_name
+        self.cgra = cgra
+        self.blocks = blocks
+        self.entry = entry
+        #: tile -> sorted tuple of CRF-resident constants
+        self.const_images = const_images
+        #: symbol -> (home tile, initial value)
+        self.symbol_inits = symbol_inits
+
+    def tile_words(self, tile):
+        return sum(block.words(tile) for block in self.blocks.values())
+
+    def check_fits(self):
+        """Raise ContextOverflowError if any tile overflows its CM."""
+        for tile in range(self.cgra.n_tiles):
+            used = self.tile_words(tile)
+            depth = self.cgra.cm_depth(tile)
+            if used > depth:
+                raise ContextOverflowError(
+                    f"{self.kernel_name} on {self.cgra.name}: tile "
+                    f"{self.cgra.tile(tile).name} needs {used} context "
+                    f"words but has {depth}")
+        return True
+
+    def total_words(self):
+        return sum(self.tile_words(t) for t in range(self.cgra.n_tiles))
+
+    def __repr__(self):
+        return (f"Program({self.kernel_name}@{self.cgra.name}: "
+                f"{self.total_words()} words)")
+
+
+def _resolve(pm, dfg_nodes, value_uid, tile, cycle):
+    """Operand source for ``value_uid`` read at ``(tile, cycle)``."""
+    node = dfg_nodes.get(value_uid)
+    if node is not None and node.is_const:
+        return Source.crf(node.value)
+    rf = pm.rf_cycle(value_uid, tile)
+    if rf is not None and rf <= cycle:
+        return Source.rf(value_uid)
+    neighbors = pm.cgra.neighbors(tile)
+    for event_tile, event_cycle in pm.port_events.get(value_uid, ()):
+        if event_cycle == cycle and event_tile in neighbors:
+            return Source.port(event_tile, value_uid)
+    raise CodegenError(
+        f"value {value_uid} unreadable at tile {tile} cycle {cycle}: "
+        f"mapping is unsound")
+
+
+def _assemble_block(block_mapping, cgra):
+    """Build the per-tile instruction streams of one block."""
+    pm = block_mapping.pm
+    dfg = block_mapping.dfg
+    nodes = {node.uid: node for node in dfg.data}
+    ops = {op.uid: op for op in dfg.ops}
+    streams = {}
+    for tile in range(cgra.n_tiles):
+        slots = sorted(pm.tile_cycles[tile].items())
+        stream = []
+        cursor = 0
+        for cycle, descriptor in slots:
+            if cycle > cursor:
+                stream.append(Instruction.pnop(cycle - cursor, cursor))
+            kind, uid = descriptor
+            if kind == "op":
+                op = ops[uid]
+                sources = [_resolve(pm, nodes, operand.uid, tile, cycle)
+                           for operand in op.operands]
+                dest = op.result.uid if op.result is not None else None
+                stream.append(Instruction.op(op.opcode, sources, dest,
+                                             cycle))
+            else:
+                source = _resolve(pm, nodes, uid, tile, cycle)
+                stream.append(Instruction.mov(source, uid, cycle))
+            cursor = cycle + 1
+        streams[tile] = stream
+    return streams
+
+
+def assemble(result, cdfg, enforce_fit=True):
+    """Assemble a :class:`~repro.mapping.result.MappingResult`.
+
+    ``cdfg`` supplies terminators and symbol declarations (the mapping
+    result holds the per-block transformed DFGs).
+    """
+    cgra = result.cgra
+    homes = {}
+    for block_mapping in result.blocks.values():
+        homes.update(block_mapping.new_homes)
+    blocks = {}
+    for name, block_mapping in result.blocks.items():
+        streams = _assemble_block(block_mapping, cgra)
+        dfg = block_mapping.dfg
+        terminator = cdfg.block(name).terminator
+        branch_uid = None
+        if isinstance(terminator, Branch):
+            branch_uid = terminator.condition.uid
+        symbol_reads = []
+        for symbol, node in dfg.symbol_inputs.items():
+            home = homes.get(symbol)
+            if home is None:
+                raise CodegenError(
+                    f"symbol {symbol!r} read in {name} but never homed")
+            symbol_reads.append((symbol, home, node.uid))
+        symbol_commits = []
+        for symbol, node in dfg.symbol_outputs.items():
+            home = homes.get(symbol)
+            if home is None:
+                raise CodegenError(
+                    f"symbol {symbol!r} written in {name} but never homed")
+            symbol_commits.append((symbol, home, node.uid))
+        blocks[name] = BlockProgram(
+            name, block_mapping.length, streams, terminator,
+            symbol_reads, symbol_commits, branch_uid)
+    const_images = {}
+    for tile in range(cgra.n_tiles):
+        values = set()
+        for block_mapping in result.blocks.values():
+            values |= block_mapping.pm.const_tiles[tile]
+        const_images[tile] = tuple(sorted(values))
+    symbol_inits = {}
+    for symbol, init in cdfg.symbols.items():
+        home = homes.get(symbol)
+        if home is not None:
+            symbol_inits[symbol] = (home, init)
+    program = Program(cdfg.name, cgra, blocks, cdfg.entry, const_images,
+                      symbol_inits)
+    if enforce_fit:
+        program.check_fits()
+    return program

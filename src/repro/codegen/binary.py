@@ -1,0 +1,172 @@
+"""Binary encoding of context streams.
+
+The architectural context word of the paper's PE is 20 bits of decoded
+configuration (:data:`repro.arch.pe.CONTEXT_WORD_BITS`); that width is
+what the area/energy models charge for.  For tooling — dumping
+contexts to files, loaders, diffing — this module defines a 40-bit
+interchange encoding with an exact round-trip, after allocating
+*physical* registers:
+
+- RF slots: symbol variables get persistent slots per home tile,
+  block-local values get per-block slots (first-use order);
+- CRF slots: constants sorted per tile;
+- port sources encode the neighbour direction (2 bits on a torus).
+
+Word layout (little-endian bit offsets)::
+
+    kind<2> | opcode<5> | dst<6> | src0<9> | src1<9> | src2<9>
+    src: stype<2> (0 rf, 1 crf, 2 port, 3 none) | idx<7>
+    pnop: kind<2> == 2, count in bits 2..21
+
+Exceeding a physical resource raises
+:class:`~repro.errors.EncodingError` — the same class of failure a
+real assembler would report.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.ir.opcodes import Opcode
+
+WORD_BITS = 40
+
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {opcode: index for index, opcode in enumerate(_OPCODES)}
+
+_KIND_OP = 0
+_KIND_MOV = 1
+_KIND_PNOP = 2
+
+_STYPE_RF = 0
+_STYPE_CRF = 1
+_STYPE_PORT = 2
+_STYPE_NONE = 3
+
+_DST_NONE = 63
+
+
+class RegisterAllocator:
+    """Physical register allocation for one tile."""
+
+    def __init__(self, rrf_words, crf_values):
+        self.rrf_words = rrf_words
+        self.symbol_slots = {}
+        self.local_slots = {}
+        self.crf_index = {value: index
+                          for index, value in enumerate(sorted(crf_values))}
+        if len(self.crf_index) > 127:
+            raise EncodingError("CRF image exceeds encodable range")
+
+    def begin_block(self):
+        self.local_slots = {}
+
+    def slot_for(self, uid):
+        """RF slot of a block-local value (allocated on first use)."""
+        slot = self.local_slots.get(uid)
+        if slot is None:
+            slot = len(self.symbol_slots) + len(self.local_slots)
+            if slot >= self.rrf_words:
+                raise EncodingError(
+                    f"register file overflow: {slot + 1} live values, "
+                    f"{self.rrf_words} registers")
+            self.local_slots[uid] = slot
+        return slot
+
+    def crf_slot(self, value):
+        try:
+            return self.crf_index[value]
+        except KeyError:
+            raise EncodingError(
+                f"constant {value} missing from CRF image") from None
+
+
+def _direction(cgra, tile, neighbor):
+    neighbors = cgra.neighbors(tile)
+    try:
+        return neighbors.index(neighbor)
+    except ValueError:
+        raise EncodingError(
+            f"tile {neighbor} is not a neighbour of {tile}") from None
+
+
+def _encode_source(source, allocator, cgra, tile):
+    if source is None:
+        return (_STYPE_NONE << 7)
+    if source.kind == "rf":
+        return (_STYPE_RF << 7) | allocator.slot_for(source.uid)
+    if source.kind == "crf":
+        return (_STYPE_CRF << 7) | allocator.crf_slot(source.value)
+    return (_STYPE_PORT << 7) | _direction(cgra, tile, source.tile)
+
+
+def encode_instruction(instr, allocator, cgra, tile):
+    """Encode one instruction into a WORD_BITS-bit integer."""
+    if instr.kind == "pnop":
+        if instr.count >= (1 << 20):
+            raise EncodingError(f"pnop count {instr.count} too large")
+        return _KIND_PNOP | (instr.count << 2)
+    kind = _KIND_MOV if instr.kind == "mov" else _KIND_OP
+    word = kind
+    word |= _OPCODE_INDEX[instr.opcode] << 2
+    if instr.dest_uid is None:
+        dst = _DST_NONE
+    else:
+        dst = allocator.slot_for(instr.dest_uid)
+    word |= dst << 7
+    sources = list(instr.sources) + [None] * (3 - len(instr.sources))
+    for index, source in enumerate(sources[:3]):
+        word |= _encode_source(source, allocator, cgra, tile) << (13 + 9 * index)
+    return word
+
+
+def decode_word(word):
+    """Decode a word into a structural description (no uids)."""
+    kind = word & 0b11
+    if kind == _KIND_PNOP:
+        return {"kind": "pnop", "count": word >> 2}
+    opcode = _OPCODES[(word >> 2) & 0b11111]
+    dst = (word >> 7) & 0b111111
+    sources = []
+    for index in range(3):
+        field = (word >> (13 + 9 * index)) & 0x1FF
+        stype = field >> 7
+        idx = field & 0x7F
+        if stype == _STYPE_NONE:
+            continue
+        name = {_STYPE_RF: "rf", _STYPE_CRF: "crf", _STYPE_PORT: "port"}[stype]
+        sources.append({"stype": name, "index": idx})
+    return {
+        "kind": "mov" if kind == _KIND_MOV else "op",
+        "opcode": opcode,
+        "dst": None if dst == _DST_NONE else dst,
+        "sources": sources,
+    }
+
+
+def encode_program(program):
+    """Encode a whole program: tile -> list of (block, [words]).
+
+    Symbol variables are allocated persistent slots in their home
+    tiles first; block-local allocation restarts per block.
+    """
+    cgra = program.cgra
+    allocators = {}
+    for tile in range(cgra.n_tiles):
+        allocators[tile] = RegisterAllocator(
+            cgra.tile(tile).rrf_words, program.const_images[tile])
+    for symbol, (home, _) in sorted(program.symbol_inits.items()):
+        allocator = allocators[home]
+        slot = len(allocator.symbol_slots)
+        if slot >= allocator.rrf_words:
+            raise EncodingError(
+                f"tile {home}: too many symbol variables homed")
+        allocator.symbol_slots[symbol] = slot
+    images = {tile: [] for tile in range(cgra.n_tiles)}
+    for name, block in program.blocks.items():
+        for tile in range(cgra.n_tiles):
+            allocator = allocators[tile]
+            allocator.begin_block()
+            words = [encode_instruction(instr, allocator, cgra, tile)
+                     for instr in block.tile_streams[tile]]
+            images[tile].append((name, words))
+    return images

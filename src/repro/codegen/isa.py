@@ -1,0 +1,109 @@
+"""Tile-level instruction set.
+
+Each context-memory word decodes into one of three instruction kinds
+(Sec II of the paper): an *operation* (including control, i.e. BR),
+a *move*, or a *programmable nop* folding a run of idle cycles.
+
+Operand sources mirror the PE datapath (Fig 1b):
+
+- ``rf`` — the tile's regular register file (a value landed earlier);
+- ``crf`` — the constant register file, preloaded at configuration;
+- ``port`` — a torus neighbour's output register (its previous-cycle
+  result).
+
+Values are named by their DFG data-node uid; physical register
+allocation happens in :mod:`repro.codegen.binary`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.ir.opcodes import Opcode
+
+
+class Source:
+    """Operand source descriptor."""
+
+    __slots__ = ("kind", "tile", "uid", "value")
+
+    def __init__(self, kind, tile=None, uid=None, value=None):
+        if kind not in ("rf", "crf", "port"):
+            raise CodegenError(f"bad source kind {kind!r}")
+        self.kind = kind
+        self.tile = tile
+        self.uid = uid
+        self.value = value
+
+    @classmethod
+    def rf(cls, uid):
+        return cls("rf", uid=uid)
+
+    @classmethod
+    def crf(cls, value):
+        return cls("crf", value=value)
+
+    @classmethod
+    def port(cls, tile, uid):
+        return cls("port", tile=tile, uid=uid)
+
+    def __eq__(self, other):
+        return (isinstance(other, Source)
+                and (self.kind, self.tile, self.uid, self.value)
+                == (other.kind, other.tile, other.uid, other.value))
+
+    def __hash__(self):
+        return hash((self.kind, self.tile, self.uid, self.value))
+
+    def __repr__(self):
+        if self.kind == "rf":
+            return f"rf[{self.uid}]"
+        if self.kind == "crf":
+            return f"crf[{self.value}]"
+        return f"port[T{self.tile + 1}:{self.uid}]"
+
+
+class Instruction:
+    """One context-memory word's worth of behaviour."""
+
+    __slots__ = ("kind", "opcode", "sources", "dest_uid", "count", "cycle")
+
+    def __init__(self, kind, opcode=None, sources=(), dest_uid=None,
+                 count=0, cycle=0):
+        if kind not in ("op", "mov", "pnop"):
+            raise CodegenError(f"bad instruction kind {kind!r}")
+        self.kind = kind
+        self.opcode = opcode
+        self.sources = list(sources)
+        self.dest_uid = dest_uid
+        self.count = count
+        self.cycle = cycle
+
+    @classmethod
+    def op(cls, opcode, sources, dest_uid, cycle):
+        if not isinstance(opcode, Opcode):
+            raise CodegenError(f"bad opcode {opcode!r}")
+        return cls("op", opcode=opcode, sources=sources, dest_uid=dest_uid,
+                   cycle=cycle)
+
+    @classmethod
+    def mov(cls, source, dest_uid, cycle):
+        return cls("mov", opcode=Opcode.MOV, sources=[source],
+                   dest_uid=dest_uid, cycle=cycle)
+
+    @classmethod
+    def pnop(cls, count, cycle):
+        if count < 1:
+            raise CodegenError("pnop must cover at least one cycle")
+        return cls("pnop", count=count, cycle=cycle)
+
+    @property
+    def issue_cycles(self):
+        """Cycles this instruction occupies in the lockstep schedule."""
+        return self.count if self.kind == "pnop" else 1
+
+    def __repr__(self):
+        if self.kind == "pnop":
+            return f"@{self.cycle} pnop x{self.count}"
+        srcs = ", ".join(repr(s) for s in self.sources)
+        dest = f" -> {self.dest_uid}" if self.dest_uid is not None else ""
+        return f"@{self.cycle} {self.opcode.value} {srcs}{dest}"

@@ -1,0 +1,51 @@
+"""Human-readable assembly listings.
+
+``format_program`` renders the per-tile context streams the way the
+paper's Fig 2/3 visualise them — one column per tile, one segment per
+basic block — which makes context-memory hot spots visible at a
+glance.
+"""
+
+from __future__ import annotations
+
+
+def format_block(block, cgra, only_busy_tiles=True):
+    """Listing of one block's per-tile streams."""
+    lines = [f"block {block.name} (L={block.length})"]
+    for tile in range(cgra.n_tiles):
+        stream = block.tile_streams[tile]
+        if not stream and only_busy_tiles:
+            continue
+        name = cgra.tile(tile).name
+        lines.append(f"  {name} ({len(stream)} words)")
+        for instr in stream:
+            lines.append(f"    {instr!r}")
+    return "\n".join(lines)
+
+
+def format_program(program, only_busy_tiles=True):
+    """Full listing of an assembled program."""
+    lines = [
+        f"kernel {program.kernel_name} on {program.cgra.name}",
+        f"entry: {program.entry}",
+    ]
+    for block in program.blocks.values():
+        lines.append(format_block(block, program.cgra, only_busy_tiles))
+    lines.append("context words per tile: "
+                 + " ".join(f"{program.tile_words(t)}"
+                            for t in range(program.cgra.n_tiles)))
+    return "\n".join(lines)
+
+
+def usage_chart(program, width=32):
+    """ASCII bar chart of per-tile context usage vs capacity (Fig 2)."""
+    lines = [f"context usage on {program.cgra.name}:"]
+    for tile in range(program.cgra.n_tiles):
+        used = program.tile_words(tile)
+        depth = program.cgra.cm_depth(tile)
+        filled = min(width, round(width * used / depth)) if depth else 0
+        bar = "#" * filled + "." * (width - filled)
+        name = program.cgra.tile(tile).name
+        lsu = "L" if program.cgra.tile(tile).has_lsu else " "
+        lines.append(f"  {name:>3} {lsu} [{bar}] {used:3d}/{depth}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Experiment drivers regenerating every figure and table of the paper.
+
+- :mod:`repro.eval.experiments` — one function per figure/table,
+  returning plain data structures (the benchmarks print them);
+- :mod:`repro.eval.reporting` — ASCII rendering in the paper's shapes;
+- :mod:`repro.eval.normalize` — the normalisations the figures use.
+"""
+
+from repro.eval.experiments import (
+    ExperimentPoint,
+    compile_point,
+    execute_point,
+    cpu_point,
+    fig5_data,
+    latency_figure_data,
+    fig9_data,
+    fig10_data,
+    fig11_data,
+    table2_data,
+)
+
+__all__ = [
+    "ExperimentPoint",
+    "compile_point",
+    "execute_point",
+    "cpu_point",
+    "fig5_data",
+    "latency_figure_data",
+    "fig9_data",
+    "fig10_data",
+    "fig11_data",
+    "table2_data",
+]

@@ -1,0 +1,28 @@
+"""Normalisations used by the paper's charts.
+
+Every latency chart (Figs 6-8) normalises to the *baseline mapping*:
+the basic flow run on HOM64.  Fig 10 normalises to the or1k CPU.
+A missing mapping renders as 0 — the paper's "no mapping solution"
+bars.
+"""
+
+from __future__ import annotations
+
+
+def normalized(value, baseline):
+    """value / baseline, with 0 encoding "no solution"."""
+    if value is None or baseline in (None, 0):
+        return 0.0
+    return value / baseline
+
+
+def speedup(baseline, value):
+    """baseline / value (e.g. CPU cycles / CGRA cycles)."""
+    if value in (None, 0) or baseline is None:
+        return 0.0
+    return baseline / value
+
+
+def gain(baseline, value):
+    """Energy gain: baseline / value (bigger is better)."""
+    return speedup(baseline, value)

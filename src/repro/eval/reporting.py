@@ -1,0 +1,129 @@
+"""ASCII rendering of the experiment data, in the paper's shapes."""
+
+from __future__ import annotations
+
+from repro.kernels.suite import display_name
+
+
+def _format_row(cells, widths):
+    return "  ".join(str(cell).ljust(width)
+                     for cell, width in zip(cells, widths))
+
+
+def render_table(headers, rows):
+    """Simple aligned ASCII table."""
+    table = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(str(row[i])) for row in table)
+              for i in range(len(headers))]
+    lines = [_format_row(headers, widths),
+             _format_row(["-" * w for w in widths], widths)]
+    lines.extend(_format_row(row, widths) for row in table[1:])
+    return "\n".join(lines)
+
+
+def render_fig5(data):
+    rows = []
+    for row in data["rows"]:
+        rows.append([
+            row["block"],
+            row["forward_movs"], row["weighted_movs"],
+            row["forward_pnops"], row["weighted_pnops"],
+        ])
+    totals = data["totals"]
+    rows.append([
+        "TOTAL",
+        totals["forward_movs"], totals["weighted_movs"],
+        totals["forward_pnops"], totals["weighted_pnops"],
+    ])
+    table = render_table(
+        ["block", "movs(fwd)", "movs(wgt)", "pnops(fwd)", "pnops(wgt)"],
+        rows)
+    summary = (f"mov reduction: {totals['mov_reduction']:.1%}   "
+               f"pnop reduction: {totals['pnop_reduction']:.1%}   "
+               f"(paper, FFT: ~42% movs, ~24% pnops)")
+    return f"Fig 5 — traversal comparison on {data['kernel']}\n" \
+           f"{table}\n{summary}"
+
+
+def render_latency_figure(title, chart, configs):
+    rows = []
+    for kernel, bars in chart.items():
+        cells = [display_name(kernel)]
+        for config in configs:
+            value = bars[config]
+            cells.append("no map" if value == 0 else f"{value:.2f}")
+        rows.append(cells)
+    table = render_table(["kernel"] + list(configs), rows)
+    return (f"{title} (latency normalised to basic@HOM64; "
+            f"'no map' = paper's zero bars)\n{table}")
+
+
+def render_fig9(data):
+    rows = [[variant, f"{data['seconds'][variant]:.2f}s",
+             f"{data['normalized'][variant]:.2f}x"]
+            for variant in ("basic", "acmap", "ecmap", "full")]
+    table = render_table(["flow variant", "avg compile", "vs basic"], rows)
+    return (f"Fig 9 — compilation time (paper: full flow ~1.8x basic)\n"
+            f"{table}")
+
+
+def render_fig10(chart):
+    rows = []
+    for kernel, data in chart.items():
+        cells = [display_name(kernel), data["cpu_cycles"]]
+        for label in ("basic_hom64", "aware_het1", "aware_het2"):
+            entry = data[label]
+            if entry["cycles"] is None:
+                cells.append("no map")
+            else:
+                cells.append(f"{entry['normalized']:.3f} "
+                             f"({entry['speedup']:.1f}x)")
+        rows.append(cells)
+    table = render_table(
+        ["kernel", "cpu cycles", "basic@HOM64", "aware@HET1",
+         "aware@HET2"], rows)
+    return (f"Fig 10 — execution time normalised to or1k "
+            f"(paper: avg ~10x speedup, max 22x, min 5x)\n{table}")
+
+
+def render_fig11(data):
+    rows = []
+    for name, entry in data.items():
+        breakdown = "  ".join(f"{k}={v:.3f}" for k, v in
+                              entry["breakdown"].items())
+        rows.append([name, f"{entry['total']:.3f}",
+                     f"{entry['ratio']:.2f}x", breakdown])
+    table = render_table(["config", "mm^2", "vs CPU", "breakdown (mm^2)"],
+                         rows)
+    return (f"Fig 11 — area (paper: HOM64 ~2x CPU, HET ~1.5x)\n{table}")
+
+
+def render_table2(table):
+    rows = []
+    gains_basic = []
+    gains_cpu = []
+    for kernel, row in table.items():
+        cells = [display_name(kernel), f"{row['cpu_uj']:.3f}"]
+        for label in ("basic_hom64", "aware_het1", "aware_het2"):
+            entry = row[label]
+            if entry["uj"] is None:
+                cells.append("no map")
+            else:
+                cells.append(f"{entry['uj']:.3f} "
+                             f"({entry['gain_vs_cpu']:.0f}x)")
+        rows.append(cells)
+        for label in ("aware_het1", "aware_het2"):
+            if row[label]["uj"] is not None:
+                gains_basic.append(row[label]["gain_vs_basic"])
+                gains_cpu.append(row[label]["gain_vs_cpu"])
+    table_text = render_table(
+        ["kernel", "CPU uJ", "basic@HOM64 uJ", "aware@HET1 uJ",
+         "aware@HET2 uJ"], rows)
+    avg_basic = sum(gains_basic) / len(gains_basic) if gains_basic else 0
+    avg_cpu = sum(gains_cpu) / len(gains_cpu) if gains_cpu else 0
+    summary = (
+        f"aware vs basic: avg {avg_basic:.2f}x gain "
+        f"(paper: 2.3x avg, 3.1x max, 1.4x min)\n"
+        f"aware vs CPU:   avg {avg_cpu:.1f}x gain "
+        f"(paper: 14x avg, 23x max, 5x min)")
+    return f"Table II — energy consumption in uJ\n{table_text}\n{summary}"

@@ -1,0 +1,45 @@
+"""Application intermediate representation (CDFG / DFG).
+
+The paper models applications as a Control Data Flow Graph (CDFG): a
+directed graph of basic blocks, each basic block holding a data-flow
+graph (DFG) of *operation nodes* and *data nodes*.  Values that live
+across basic blocks are *symbol variables*; they are the only channel
+between blocks and are pinned to register files by the mapper (the
+paper's "location constraints").
+
+Public surface:
+
+- :mod:`repro.ir.opcodes` — the operation set and its semantics.
+- :mod:`repro.ir.dfg` — per-block data-flow graphs.
+- :mod:`repro.ir.cdfg` — basic blocks, terminators, whole-kernel graphs.
+- :mod:`repro.ir.builder` — a fluent frontend for writing kernels.
+- :mod:`repro.ir.analysis` — ASAP/ALAP, mobility, fan-outs, block weights.
+- :mod:`repro.ir.interp` — the golden-model interpreter.
+- :mod:`repro.ir.validate` — structural validation.
+"""
+
+from repro.ir.opcodes import Opcode
+from repro.ir.dfg import DataNode, OperationNode, DFG
+from repro.ir.cdfg import BasicBlock, CDFG, Branch, Jump, Exit
+from repro.ir.builder import KernelBuilder, Val, ArrayRef
+from repro.ir.interp import Interpreter, InterpResult
+from repro.ir.validate import validate_cdfg, validate_dfg
+
+__all__ = [
+    "Opcode",
+    "DataNode",
+    "OperationNode",
+    "DFG",
+    "BasicBlock",
+    "CDFG",
+    "Branch",
+    "Jump",
+    "Exit",
+    "KernelBuilder",
+    "Val",
+    "ArrayRef",
+    "Interpreter",
+    "InterpResult",
+    "validate_cdfg",
+    "validate_dfg",
+]

@@ -1,0 +1,115 @@
+"""Static DFG/CDFG analyses used by the mapping flow.
+
+Provides the quantities the paper's heuristics consume:
+
+- ASAP/ALAP levels and *mobility* (``alap - asap``) — the primary list
+  scheduling priority;
+- operation *fan-out* — the tie-breaker;
+- per-block *weight* ``W_bb = n(s) + sum(f_s)`` over symbol variables
+  ``s`` present in the block, with ``f_s`` the symbol's fan-out
+  (Sec III-D.1) — drives the weighted CDFG traversal.
+
+"Present" is interpreted as *read or written* by the block; the fan-out
+of a symbol is the number of operand slots its entry value feeds inside
+the block (a written-only symbol contributes fan-out 0 but still counts
+in ``n(s)``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+
+
+def asap_levels(dfg):
+    """Earliest level of each operation (unit latency, level 0 first).
+
+    Creation order is topological, so a single pass suffices.
+    """
+    levels = {}
+    for op in dfg.ops:
+        level = 0
+        for producer in dfg.predecessors(op):
+            level = max(level, levels[producer.uid] + 1)
+        levels[op.uid] = level
+    return levels
+
+
+def alap_levels(dfg, depth=None):
+    """Latest level of each op within a schedule of ``depth`` levels."""
+    asap = asap_levels(dfg)
+    if depth is None:
+        depth = critical_path_length(dfg)
+    if depth < critical_path_length(dfg):
+        raise IRError(
+            f"depth {depth} below critical path {critical_path_length(dfg)}")
+    levels = {}
+    for op in reversed(dfg.ops):
+        successors = dfg.successors(op)
+        if successors:
+            level = min(levels[s.uid] - 1 for s in successors)
+        else:
+            level = depth - 1
+        levels[op.uid] = level
+    # A second pass is unnecessary: reversed creation order visits
+    # consumers before producers.
+    return levels
+
+
+def critical_path_length(dfg):
+    """Number of levels on the longest dependency chain (>= 1)."""
+    if not dfg.ops:
+        return 1
+    return max(asap_levels(dfg).values()) + 1
+
+
+def mobility(dfg, depth=None):
+    """Mobility (scheduling slack) of each op: ``alap - asap``."""
+    asap = asap_levels(dfg)
+    alap = alap_levels(dfg, depth)
+    return {uid: alap[uid] - asap[uid] for uid in asap}
+
+
+def fanouts(dfg):
+    """Fan-out (number of consuming operand slots) of each op."""
+    return {
+        op.uid: (dfg.consumer_count(op.result) if op.result is not None else 0)
+        for op in dfg.ops
+    }
+
+
+def backward_priority(dfg, depth=None):
+    """Scheduling priority per op: smaller sorts first.
+
+    The basic flow lists schedulable operations "by priority order,
+    which is defined by their mobility and number of fan-outs"
+    (Sec III-B): low mobility (urgent) first, then high fan-out.
+    uid is the final deterministic tie-breaker.
+    """
+    mob = mobility(dfg, depth)
+    fan = fanouts(dfg)
+    return {uid: (mob[uid], -fan[uid], uid) for uid in mob}
+
+
+def symbol_fanout(block, symbol):
+    """Fan-out of a symbol variable's entry value within a block."""
+    node = block.dfg.symbol_inputs.get(symbol)
+    if node is None:
+        return 0
+    return block.dfg.consumer_count(node)
+
+
+def symbols_present(block):
+    """Symbol variables read or written by the block (sorted)."""
+    present = set(block.dfg.symbol_inputs) | set(block.dfg.symbol_outputs)
+    return sorted(present)
+
+
+def block_weight(block):
+    """Paper's weighted-traversal weight ``W_bb = n(s) + sum(f_s)``."""
+    symbols = symbols_present(block)
+    return len(symbols) + sum(symbol_fanout(block, s) for s in symbols)
+
+
+def cdfg_block_weights(cdfg):
+    """Weights of every block of a CDFG, keyed by block name."""
+    return {name: block_weight(block) for name, block in cdfg.blocks.items()}

@@ -1,0 +1,422 @@
+"""Fluent frontend for writing kernels as CDFGs.
+
+The paper's kernels are C functions compiled by the authors' LLVM-based
+frontend.  We substitute a small embedded DSL that produces the same
+shape of CDFG: counted loops become (header, body) block pairs wired by
+conditional branches, loop-carried values and kernel arguments become
+symbol variables, and arrays become data-memory regions addressed by
+base-plus-index expressions.
+
+Example::
+
+    k = KernelBuilder("dot")
+    a = k.array_input("a", 16)
+    b = k.array_input("b", 16)
+    out = k.array_output("out", 1)
+    acc = k.symbol_var("acc", 0)
+    with k.loop("i", 0, 16) as i:
+        k.set(acc, k.get(acc) + k.load(a.at(i)) * k.load(b.at(i)))
+    k.store(out.at(0), k.get(acc))
+    cdfg = k.finish()
+
+Two rules the DSL enforces (both faithful to the hardware model):
+
+1. a :class:`Val` is block-local — using one after control has moved to
+   another block raises :class:`~repro.errors.IRError`; cross-block
+   values must travel through symbol variables;
+2. ``get``/``set`` within one block forward the freshest value, while
+   the DFG-level symbol input always denotes the block-entry value
+   (clean per-block SSA).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.cdfg import CDFG, Branch, Exit, Jump
+from repro.ir.opcodes import Opcode
+
+
+class Val:
+    """A block-local value handle with operator overloading.
+
+    ``region`` tags address expressions produced by
+    :meth:`ArrayRef.at` so loads/stores get precise memory-ordering
+    edges (untagged addresses are treated conservatively).
+    """
+
+    __slots__ = ("builder", "block", "node", "region")
+
+    def __init__(self, builder, block, node, region=None):
+        self.builder = builder
+        self.block = block
+        self.node = node
+        self.region = region
+
+    # -- binary helpers -------------------------------------------------
+    def _binary(self, opcode, other, reverse=False):
+        other = self.builder._as_val(other)
+        left, right = (other, self) if reverse else (self, other)
+        return self.builder._emit(opcode, [left, right])
+
+    def __add__(self, other):
+        return self._binary(Opcode.ADD, other)
+
+    def __radd__(self, other):
+        return self._binary(Opcode.ADD, other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binary(Opcode.SUB, other)
+
+    def __rsub__(self, other):
+        return self._binary(Opcode.SUB, other, reverse=True)
+
+    def __mul__(self, other):
+        return self._binary(Opcode.MUL, other)
+
+    def __rmul__(self, other):
+        return self._binary(Opcode.MUL, other, reverse=True)
+
+    def __and__(self, other):
+        return self._binary(Opcode.AND, other)
+
+    def __or__(self, other):
+        return self._binary(Opcode.OR, other)
+
+    def __xor__(self, other):
+        return self._binary(Opcode.XOR, other)
+
+    def __lshift__(self, other):
+        return self._binary(Opcode.SLL, other)
+
+    def __rshift__(self, other):
+        return self._binary(Opcode.SRA, other)
+
+    def __neg__(self):
+        return self.builder._emit(Opcode.NEG, [self])
+
+    def __invert__(self):
+        return self.builder._emit(Opcode.NOT, [self])
+
+    def __abs__(self):
+        return self.builder._emit(Opcode.ABS, [self])
+
+    # Comparisons intentionally return Vals (0/1), not bools.
+    def __lt__(self, other):
+        return self._binary(Opcode.LT, other)
+
+    def __le__(self, other):
+        return self._binary(Opcode.LE, other)
+
+    def __gt__(self, other):
+        return self._binary(Opcode.GT, other)
+
+    def __ge__(self, other):
+        return self._binary(Opcode.GE, other)
+
+    def eq(self, other):
+        return self._binary(Opcode.EQ, other)
+
+    def ne(self, other):
+        return self._binary(Opcode.NE, other)
+
+    def __repr__(self):
+        return f"Val({self.node.name}@{self.block})"
+
+
+class SymbolVar:
+    """Handle for a declared cross-block symbol variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"SymbolVar({self.name})"
+
+
+class ArrayRef:
+    """A named region of data memory with base-plus-index addressing."""
+
+    __slots__ = ("builder", "name", "base", "size")
+
+    def __init__(self, builder, name, base, size):
+        self.builder = builder
+        self.name = name
+        self.base = base
+        self.size = size
+
+    def at(self, index):
+        """Address expression ``base + index``, tagged with the region."""
+        if isinstance(index, int):
+            address = self.builder.const(self.base + index)
+        else:
+            address = index + self.builder.const(self.base)
+        address.region = self.name
+        return address
+
+    def __repr__(self):
+        return f"ArrayRef({self.name}[{self.size}] @ {self.base})"
+
+
+class _LoopContext:
+    """Context manager produced by :meth:`KernelBuilder.loop`."""
+
+    def __init__(self, builder, var, start, stop, step, ascending):
+        self.builder = builder
+        self.var = var
+        self.start = start
+        self.stop = stop
+        self.step = step
+        self.ascending = ascending
+        self._exit_name = None
+        self._header_name = None
+
+    def __enter__(self):
+        return self.builder._enter_loop(self)
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.builder._exit_loop(self)
+        return False
+
+
+class KernelBuilder:
+    """Builds a validated :class:`~repro.ir.cdfg.CDFG` incrementally."""
+
+    def __init__(self, name):
+        self.cdfg = CDFG(name)
+        self._current = self.cdfg.add_block("entry")
+        self._block_symbols = {}
+        self._next_addr = 0
+        self._loop_depth = 0
+        self._block_counter = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def symbol_var(self, name, init=0):
+        """Declare a cross-block symbol variable."""
+        self.cdfg.declare_symbol(name, init)
+        return SymbolVar(name)
+
+    def _alloc(self, name, size, role):
+        base = self._next_addr
+        self._next_addr += size
+        self.cdfg.declare_region(name, base, size, role)
+        return ArrayRef(self, name, base, size)
+
+    def array_input(self, name, size):
+        """Reserve an input region (host-initialised before launch)."""
+        return self._alloc(name, size, "input")
+
+    def array_output(self, name, size):
+        """Reserve an output region (read back after completion)."""
+        return self._alloc(name, size, "output")
+
+    def array_scratch(self, name, size):
+        """Reserve a scratch region (neither preloaded nor checked)."""
+        return self._alloc(name, size, "scratch")
+
+    # ------------------------------------------------------------------
+    # Value construction
+    # ------------------------------------------------------------------
+    def const(self, value):
+        """Constant Val (CRF-resident)."""
+        self._require_current()
+        node = self._current.dfg.new_const(value)
+        return Val(self, self._current.name, node)
+
+    def _as_val(self, value):
+        if isinstance(value, Val):
+            if value.block != self._current.name:
+                raise IRError(
+                    f"value {value.node.name} from block {value.block!r} used "
+                    f"in block {self._current.name!r}; cross-block values "
+                    f"must go through symbol variables")
+            return value
+        if isinstance(value, int):
+            return self.const(value)
+        raise IRError(f"cannot coerce {value!r} to a Val")
+
+    def _emit(self, opcode, operands, name=None):
+        self._require_current()
+        nodes = [self._as_val(v).node for v in operands]
+        result = self._current.dfg.add_op(opcode, nodes, name=name)
+        if result is None:
+            return None
+        return Val(self, self._current.name, result)
+
+    def get(self, symbol):
+        """Read a symbol variable (freshest value within this block)."""
+        self._require_current()
+        if not isinstance(symbol, SymbolVar):
+            raise IRError(f"{symbol!r} is not a SymbolVar")
+        cached = self._block_symbols.get(symbol.name)
+        if cached is not None:
+            return cached
+        node = self._current.dfg.new_symbol_input(symbol.name)
+        return Val(self, self._current.name, node)
+
+    def get_symbol(self, name):
+        """Read a declared symbol variable by name in the current block.
+
+        Needed when the handle is out of scope, e.g. re-reading an
+        outer loop variable inside an inner loop body.
+        """
+        if name not in self.cdfg.symbols:
+            raise IRError(f"symbol {name!r} not declared")
+        return self.get(SymbolVar(name))
+
+    def set(self, symbol, value):
+        """Assign a symbol variable (visible to later blocks)."""
+        if not isinstance(symbol, SymbolVar):
+            raise IRError(f"{symbol!r} is not a SymbolVar")
+        val = self._as_val(value)
+        self._current.dfg.set_symbol_output(symbol.name, val.node)
+        self._block_symbols[symbol.name] = val
+        return val
+
+    def load(self, address):
+        """LOAD from data memory (word addressed)."""
+        address = self._as_val(address)
+        return self._emit_mem(Opcode.LOAD, [address], address.region)
+
+    def store(self, address, value):
+        """STORE to data memory (word addressed)."""
+        address = self._as_val(address)
+        self._emit_mem(Opcode.STORE, [address, value], address.region)
+
+    def _emit_mem(self, opcode, operands, region):
+        self._require_current()
+        nodes = [self._as_val(v).node for v in operands]
+        result = self._current.dfg.add_op(opcode, nodes, region=region)
+        if result is None:
+            return None
+        return Val(self, self._current.name, result)
+
+    def select(self, cond, if_true, if_false):
+        """Branch-free conditional value."""
+        return self._emit(Opcode.SELECT, [cond, if_true, if_false])
+
+    def op(self, opcode, *operands):
+        """Escape hatch: emit an arbitrary opcode."""
+        return self._emit(opcode, list(operands))
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _new_block(self, hint):
+        self._block_counter += 1
+        name = f"{hint}{self._block_counter}"
+        return self.cdfg.add_block(name)
+
+    def _seal_current(self, terminator):
+        self._current.set_terminator(terminator)
+        self._block_symbols = {}
+
+    def _switch_to(self, block):
+        self._current = block
+        self._block_symbols = {}
+
+    def loop(self, var_name, start, stop, step=1, ascending=None):
+        """Counted loop ``for var in range(start, stop, step)``.
+
+        ``stop`` and ``step`` may be ints or SymbolVars; ``start`` must
+        be an int.  For a SymbolVar step, ``ascending`` (default True)
+        selects the loop-exit comparison direction.  The loop variable
+        is declared as a symbol variable and yielded as a Val readable
+        inside the body.
+        """
+        if isinstance(step, int):
+            if step == 0:
+                raise IRError("loop step must be nonzero")
+            if ascending is None:
+                ascending = step > 0
+        elif isinstance(step, SymbolVar):
+            if ascending is None:
+                ascending = True
+        else:
+            raise IRError(f"loop step must be int or SymbolVar, got {step!r}")
+        var = self.symbol_var(var_name, start)
+        return _LoopContext(self, var, start, stop, step, ascending)
+
+    def _enter_loop(self, ctx):
+        header = self._new_block(f"{ctx.var.name}_head")
+        body = self._new_block(f"{ctx.var.name}_body")
+        exit_block = self._new_block(f"{ctx.var.name}_exit")
+        # Re-initialise the loop variable in the preheader so the loop
+        # is re-entrant (inner loops of a loop nest run more than once).
+        self.set(ctx.var, self.const(ctx.start))
+        self._seal_current(Jump(header.name))
+        # Header: compare and branch.
+        self._switch_to(header)
+        current = self.get(ctx.var)
+        if isinstance(ctx.stop, SymbolVar):
+            bound = self.get(ctx.stop)
+        else:
+            bound = self.const(ctx.stop)
+        condition = current < bound if ctx.ascending else current > bound
+        self._seal_current(
+            Branch(condition.node, body.name, exit_block.name))
+        ctx._header_name = header.name
+        ctx._exit_name = exit_block.name
+        self._switch_to(body)
+        self._loop_depth += 1
+        return self.get(ctx.var)
+
+    def _exit_loop(self, ctx):
+        # Latch: increment the loop variable, jump back to the header.
+        if isinstance(ctx.step, SymbolVar):
+            step_val = self.get(ctx.step)
+        else:
+            step_val = self.const(ctx.step)
+        self.set(ctx.var, self.get(ctx.var) + step_val)
+        self._seal_current(Jump(ctx._header_name))
+        self._switch_to(self.cdfg.block(ctx._exit_name))
+        self._loop_depth -= 1
+
+    # ------------------------------------------------------------------
+    # Low-level block API (for non-counted loops, e.g. FFT stages)
+    # ------------------------------------------------------------------
+    def declare_block(self, hint):
+        """Declare an empty block for later use; returns its name."""
+        return self._new_block(hint).name
+
+    def goto(self, target):
+        """Seal the current block with an unconditional jump."""
+        self._require_current()
+        self._seal_current(Jump(target))
+        self._current = None
+
+    def branch(self, condition, if_true, if_false):
+        """Seal the current block with a conditional branch."""
+        self._require_current()
+        cond = self._as_val(condition)
+        self._seal_current(Branch(cond.node, if_true, if_false))
+        self._current = None
+
+    def emit_in(self, block_name):
+        """Continue emitting into a previously declared block."""
+        block = self.cdfg.block(block_name)
+        if block.is_terminated:
+            raise IRError(f"block {block_name!r} is already terminated")
+        self._switch_to(block)
+
+    def _require_current(self):
+        if self._current is None:
+            raise IRError(
+                "no current block; call emit_in() after goto()/branch()")
+
+    def finish(self):
+        """Terminate the exit path, validate, and return the CDFG."""
+        if self._finished:
+            raise IRError("finish() called twice")
+        if self._loop_depth != 0:
+            raise IRError("finish() inside an open loop")
+        self._require_current()
+        self._seal_current(Exit())
+        self._finished = True
+        self.cdfg.validate()
+        return self.cdfg

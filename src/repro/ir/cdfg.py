@@ -1,0 +1,207 @@
+"""Control Data Flow Graphs: basic blocks wired by control flow.
+
+A :class:`CDFG` is the unit the mapper consumes.  Each
+:class:`BasicBlock` owns a :class:`~repro.ir.dfg.DFG` plus a
+*terminator* describing where control goes next:
+
+- :class:`Jump` — unconditional successor;
+- :class:`Branch` — two-way conditional on a data node of the block;
+- :class:`Exit` — kernel end.
+
+Symbol variables (the paper's location-constrained cross-block values)
+are declared on the CDFG with an initial value; the host CPU is assumed
+to preload them into register files together with the constants.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError, ValidationError
+from repro.ir.dfg import DFG, DataNode
+from repro.ir.opcodes import Opcode
+
+
+class Jump:
+    """Unconditional terminator."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = target
+
+    def successors(self):
+        return [self.target]
+
+    def __repr__(self):
+        return f"Jump({self.target})"
+
+
+class Branch:
+    """Two-way conditional terminator on a block-local condition value."""
+
+    __slots__ = ("condition", "if_true", "if_false")
+
+    def __init__(self, condition, if_true, if_false):
+        if not isinstance(condition, DataNode):
+            raise IRError("branch condition must be a DataNode")
+        self.condition = condition
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def successors(self):
+        return [self.if_true, self.if_false]
+
+    def __repr__(self):
+        return f"Branch({self.condition.name} ? {self.if_true} : {self.if_false})"
+
+
+class Exit:
+    """Kernel-end terminator."""
+
+    __slots__ = ()
+
+    def successors(self):
+        return []
+
+    def __repr__(self):
+        return "Exit()"
+
+
+class BasicBlock:
+    """A named basic block: one DFG plus a terminator."""
+
+    def __init__(self, name):
+        self.name = name
+        self.dfg = DFG(block_name=name)
+        self.terminator = None
+
+    def set_terminator(self, terminator):
+        if self.terminator is not None:
+            raise IRError(f"block {self.name} already terminated")
+        if isinstance(terminator, Branch):
+            # The condition is consumed by an explicit BR operation so
+            # the mapper accounts for the control instruction slot.
+            self.dfg.add_op(Opcode.BR, [terminator.condition])
+        self.terminator = terminator
+
+    @property
+    def is_terminated(self):
+        return self.terminator is not None
+
+    def __repr__(self):
+        return f"BasicBlock({self.name}, {self.dfg.n_ops} ops, {self.terminator!r})"
+
+
+class CDFG:
+    """Whole-kernel control-data-flow graph."""
+
+    def __init__(self, name):
+        self.name = name
+        self.blocks = {}
+        self.entry = None
+        self.symbols = {}
+        self.memory_size = 0
+        self.regions = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_block(self, name):
+        if name in self.blocks:
+            raise IRError(f"duplicate block name {name!r}")
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        if self.entry is None:
+            self.entry = name
+        return block
+
+    def declare_symbol(self, name, init=0):
+        """Register a cross-block symbol variable with its initial value."""
+        if name in self.symbols:
+            raise IRError(f"symbol {name!r} already declared")
+        self.symbols[name] = int(init)
+
+    def declare_region(self, name, base, size, role):
+        """Record a named data-memory region (for I/O binding)."""
+        if name in self.regions:
+            raise IRError(f"region {name!r} already declared")
+        self.regions[name] = {"base": base, "size": size, "role": role}
+        self.memory_size = max(self.memory_size, base + size)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def block(self, name):
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise IRError(f"no block named {name!r}") from None
+
+    def successors(self, name):
+        return self.block(name).terminator.successors()
+
+    def predecessors(self, name):
+        return [b for b in self.blocks
+                if name in self.blocks[b].terminator.successors()]
+
+    def reverse_post_order(self):
+        """Forward CDFG traversal order used by the basic mapping flow."""
+        visited = set()
+        order = []
+
+        def visit(block_name):
+            if block_name in visited:
+                return
+            visited.add(block_name)
+            for successor in self.successors(block_name):
+                visit(successor)
+            order.append(block_name)
+
+        visit(self.entry)
+        order.reverse()
+        # Unreachable blocks (should not exist post-validation) go last.
+        for name in self.blocks:
+            if name not in visited:
+                order.append(name)
+        return order
+
+    @property
+    def n_ops(self):
+        return sum(block.dfg.n_ops for block in self.blocks.values())
+
+    def validate(self):
+        """Whole-graph structural validation."""
+        if self.entry is None:
+            raise ValidationError(f"CDFG {self.name!r} has no blocks")
+        for name, block in self.blocks.items():
+            if not block.is_terminated:
+                raise ValidationError(f"block {name!r} lacks a terminator")
+            for successor in block.terminator.successors():
+                if successor not in self.blocks:
+                    raise ValidationError(
+                        f"block {name!r} targets unknown block {successor!r}")
+            block.dfg.validate()
+            for symbol in block.dfg.symbol_inputs:
+                if symbol not in self.symbols:
+                    raise ValidationError(
+                        f"block {name!r} reads undeclared symbol {symbol!r}")
+            for symbol in block.dfg.symbol_outputs:
+                if symbol not in self.symbols:
+                    raise ValidationError(
+                        f"block {name!r} writes undeclared symbol {symbol!r}")
+        reachable = set()
+        stack = [self.entry]
+        while stack:
+            current = stack.pop()
+            if current in reachable:
+                continue
+            reachable.add(current)
+            stack.extend(self.successors(current))
+        unreachable = set(self.blocks) - reachable
+        if unreachable:
+            raise ValidationError(
+                f"unreachable blocks: {sorted(unreachable)}")
+        return True
+
+    def __repr__(self):
+        return (f"CDFG({self.name!r}: {len(self.blocks)} blocks, "
+                f"{self.n_ops} ops, {len(self.symbols)} symbols)")

@@ -1,0 +1,136 @@
+"""Golden-model interpreter for CDFGs.
+
+Executes a kernel exactly as written — sequentially, block by block —
+against a word-addressed data memory.  Three consumers rely on it:
+
+1. **Functional oracle** — mapped kernels simulated on the CGRA must
+   reproduce the interpreter's memory image bit-exactly;
+2. **CPU baseline** — :mod:`repro.sim.cpu` replays the interpreter's
+   dynamic statistics through the or1k-like cost model;
+3. **Kernel unit tests** — reference numpy implementations are checked
+   against the interpreter before any mapping happens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import IRError, SimulationError
+from repro.ir import opcodes
+from repro.ir.cdfg import Branch, Exit, Jump
+from repro.ir.opcodes import Opcode
+
+
+class InterpResult:
+    """Outcome of one interpreter run."""
+
+    def __init__(self, memory, symbols, op_counts, block_counts, steps):
+        self.memory = memory
+        self.symbols = symbols
+        self.op_counts = op_counts
+        self.block_counts = block_counts
+        self.steps = steps
+
+    @property
+    def dynamic_ops(self):
+        """Total dynamically executed operations (incl. BR, excl. none)."""
+        return sum(self.op_counts.values())
+
+    def region(self, cdfg, name):
+        """The current contents of a named memory region."""
+        info = cdfg.regions[name]
+        return self.memory[info["base"]: info["base"] + info["size"]]
+
+    def __repr__(self):
+        return (f"InterpResult({self.dynamic_ops} ops, "
+                f"{sum(self.block_counts.values())} blocks)")
+
+
+class Interpreter:
+    """Sequential executor for a validated CDFG."""
+
+    def __init__(self, cdfg, max_block_executions=1_000_000):
+        cdfg.validate()
+        self.cdfg = cdfg
+        self.max_block_executions = max_block_executions
+
+    def run(self, memory_image=None):
+        """Execute from the entry block until Exit.
+
+        ``memory_image`` is a list of ints covering at least the CDFG's
+        declared memory; it is copied, never mutated in place.
+        """
+        memory = self._init_memory(memory_image)
+        symbols = dict(self.cdfg.symbols)
+        op_counts = Counter()
+        block_counts = Counter()
+        executed = 0
+        current = self.cdfg.entry
+        while True:
+            block = self.cdfg.block(current)
+            block_counts[current] += 1
+            executed += 1
+            if executed > self.max_block_executions:
+                raise SimulationError(
+                    f"kernel {self.cdfg.name!r} exceeded "
+                    f"{self.max_block_executions} block executions")
+            values = self._run_block(block, memory, symbols, op_counts)
+            terminator = block.terminator
+            if isinstance(terminator, Exit):
+                break
+            if isinstance(terminator, Jump):
+                current = terminator.target
+            elif isinstance(terminator, Branch):
+                taken = values[terminator.condition.uid] != 0
+                current = terminator.if_true if taken else terminator.if_false
+            else:
+                raise IRError(f"unknown terminator {terminator!r}")
+        return InterpResult(memory, symbols, op_counts, block_counts,
+                            steps=executed)
+
+    # ------------------------------------------------------------------
+    def _init_memory(self, memory_image):
+        size = max(self.cdfg.memory_size, 1)
+        if memory_image is None:
+            return [0] * size
+        if len(memory_image) < self.cdfg.memory_size:
+            raise SimulationError(
+                f"memory image of {len(memory_image)} words, kernel "
+                f"needs {self.cdfg.memory_size}")
+        return [opcodes.wrap32(int(v)) for v in memory_image]
+
+    def _run_block(self, block, memory, symbols, op_counts):
+        """Evaluate one block; returns data-node uid -> value."""
+        values = {}
+        for node in block.dfg.data:
+            if node.is_const:
+                values[node.uid] = node.value
+            elif node.is_symbol:
+                values[node.uid] = symbols[node.symbol]
+        for op in block.dfg.ops:
+            op_counts[op.opcode] += 1
+            operand_values = [values[d.uid] for d in op.operands]
+            if op.opcode is Opcode.LOAD:
+                address = operand_values[0]
+                self._check_address(address, memory)
+                result = memory[address]
+            elif op.opcode is Opcode.STORE:
+                address, value = operand_values
+                self._check_address(address, memory)
+                memory[address] = value
+                result = None
+            elif op.opcode is Opcode.BR:
+                result = None
+            else:
+                result = opcodes.evaluate(op.opcode, operand_values)
+            if op.result is not None:
+                values[op.result.uid] = result
+        for symbol, node in block.dfg.symbol_outputs.items():
+            symbols[symbol] = values[node.uid]
+        return values
+
+    @staticmethod
+    def _check_address(address, memory):
+        if not 0 <= address < len(memory):
+            raise SimulationError(
+                f"memory access at {address} outside [0, {len(memory)})")

@@ -1,0 +1,227 @@
+"""Operation set of the target CGRA and its fixed-point semantics.
+
+The CGRA of the paper computes on 32-bit integer data (fixed point for
+the signal-processing kernels).  Each PE's ALU is a multi-operation
+functional unit; LOAD/STORE are only legal on load-store tiles.
+
+Every opcode carries:
+
+- ``arity`` — number of data operands;
+- ``has_result`` — STORE and BR produce no value;
+- ``is_memory`` — must be bound to an LSU tile;
+- ``is_commutative`` — the binder may swap operands;
+- ``cpu_cycles`` — cost on the scalar or1k-like CPU baseline (the
+  paper compares against an or1k compiled at -O3; we use classic
+  in-order costs: single-cycle ALU, 3-cycle multiply, 2-cycle load,
+  single-cycle store, 3-cycle taken branch).
+
+The :func:`evaluate` function is the single source of truth for
+operation semantics; the golden interpreter, the CPU model and the
+CGRA simulator all call it, so functional equivalence across backends
+is by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import IRError
+
+_MASK32 = 0xFFFFFFFF
+_SIGN32 = 0x80000000
+
+
+def _wrap32(value):
+    """Wrap an unbounded Python int to signed 32-bit two's complement."""
+    value &= _MASK32
+    if value & _SIGN32:
+        value -= 1 << 32
+    return value
+
+
+class Opcode(enum.Enum):
+    """Instruction set of the multi-operation functional unit."""
+
+    # Arithmetic / logic (2 operands).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    MIN = "min"
+    MAX = "max"
+    # Comparisons (2 operands, produce 0/1).
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    # Ternary select: select(cond, a, b) == a if cond else b.
+    SELECT = "select"
+    # Unary.
+    NEG = "neg"
+    NOT = "not"
+    ABS = "abs"
+    # Memory (LSU tiles only).  LOAD addr -> value; STORE addr, value.
+    LOAD = "load"
+    STORE = "store"
+    # Routing instruction inserted by the mapper (1 operand, identity).
+    MOV = "mov"
+    # Block terminator condition consumer: BR cond (no result).
+    BR = "br"
+
+    def __repr__(self):
+        return f"Opcode.{self.name}"
+
+
+_ARITY = {
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.AND: 2,
+    Opcode.OR: 2,
+    Opcode.XOR: 2,
+    Opcode.SLL: 2,
+    Opcode.SRL: 2,
+    Opcode.SRA: 2,
+    Opcode.MIN: 2,
+    Opcode.MAX: 2,
+    Opcode.EQ: 2,
+    Opcode.NE: 2,
+    Opcode.LT: 2,
+    Opcode.LE: 2,
+    Opcode.GT: 2,
+    Opcode.GE: 2,
+    Opcode.SELECT: 3,
+    Opcode.NEG: 1,
+    Opcode.NOT: 1,
+    Opcode.ABS: 1,
+    Opcode.LOAD: 1,
+    Opcode.STORE: 2,
+    Opcode.MOV: 1,
+    Opcode.BR: 1,
+}
+
+_NO_RESULT = frozenset({Opcode.STORE, Opcode.BR})
+_MEMORY = frozenset({Opcode.LOAD, Opcode.STORE})
+_COMMUTATIVE = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.MUL,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.EQ,
+        Opcode.NE,
+    }
+)
+
+# or1k-like in-order scalar costs (cycles per dynamically executed op).
+_CPU_CYCLES = {
+    Opcode.MUL: 3,
+    Opcode.LOAD: 2,
+    Opcode.STORE: 1,
+    Opcode.BR: 3,
+}
+_DEFAULT_CPU_CYCLES = 1
+
+
+def arity(opcode):
+    """Number of data operands the opcode consumes."""
+    return _ARITY[opcode]
+
+
+def has_result(opcode):
+    """True if the opcode produces a value."""
+    return opcode not in _NO_RESULT
+
+
+def is_memory(opcode):
+    """True if the opcode requires a load-store tile."""
+    return opcode in _MEMORY
+
+
+def is_commutative(opcode):
+    """True if operand order is irrelevant."""
+    return opcode in _COMMUTATIVE
+
+
+def cpu_cycles(opcode):
+    """Latency of the opcode on the or1k-like CPU baseline."""
+    return _CPU_CYCLES.get(opcode, _DEFAULT_CPU_CYCLES)
+
+
+def evaluate(opcode, operands):
+    """Evaluate a non-memory opcode on 32-bit signed operands.
+
+    Memory operations and BR are handled by the executing machine (they
+    touch memory / control state); passing them here raises
+    :class:`~repro.errors.IRError`.
+    """
+    if opcode in _MEMORY or opcode is Opcode.BR:
+        raise IRError(f"{opcode} has machine-state semantics; evaluate in the machine")
+    n = _ARITY[opcode]
+    if len(operands) != n:
+        raise IRError(f"{opcode} expects {n} operands, got {len(operands)}")
+    if opcode is Opcode.SELECT:
+        cond, a, b = operands
+        return _wrap32(a if cond != 0 else b)
+    if n == 1:
+        (a,) = operands
+        if opcode is Opcode.NEG:
+            return _wrap32(-a)
+        if opcode is Opcode.NOT:
+            return _wrap32(~a)
+        if opcode is Opcode.ABS:
+            return _wrap32(abs(a))
+        if opcode is Opcode.MOV:
+            return _wrap32(a)
+        raise IRError(f"unhandled unary opcode {opcode}")
+    a, b = operands
+    if opcode is Opcode.ADD:
+        return _wrap32(a + b)
+    if opcode is Opcode.SUB:
+        return _wrap32(a - b)
+    if opcode is Opcode.MUL:
+        return _wrap32(a * b)
+    if opcode is Opcode.AND:
+        return _wrap32(a & b)
+    if opcode is Opcode.OR:
+        return _wrap32(a | b)
+    if opcode is Opcode.XOR:
+        return _wrap32(a ^ b)
+    if opcode is Opcode.SLL:
+        return _wrap32(a << (b & 31))
+    if opcode is Opcode.SRL:
+        return _wrap32((a & _MASK32) >> (b & 31))
+    if opcode is Opcode.SRA:
+        return _wrap32(a >> (b & 31))
+    if opcode is Opcode.MIN:
+        return _wrap32(min(a, b))
+    if opcode is Opcode.MAX:
+        return _wrap32(max(a, b))
+    if opcode is Opcode.EQ:
+        return int(a == b)
+    if opcode is Opcode.NE:
+        return int(a != b)
+    if opcode is Opcode.LT:
+        return int(a < b)
+    if opcode is Opcode.LE:
+        return int(a <= b)
+    if opcode is Opcode.GT:
+        return int(a > b)
+    if opcode is Opcode.GE:
+        return int(a >= b)
+    raise IRError(f"unhandled opcode {opcode}")
+
+
+def wrap32(value):
+    """Public alias of the 32-bit wrap used across the package."""
+    return _wrap32(value)

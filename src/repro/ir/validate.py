@@ -1,0 +1,36 @@
+"""Standalone validation entry points.
+
+The DFG/CDFG classes carry their own ``validate`` methods; these
+wrappers exist so client code and tests can validate without caring
+which level they hold, and add cross-cutting checks that need the
+whole kernel (e.g. symbol def-before-use along control paths).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+
+def validate_dfg(dfg):
+    """Validate a single block's data-flow graph."""
+    return dfg.validate()
+
+
+def validate_cdfg(cdfg):
+    """Validate a whole kernel graph, including symbol initialisation.
+
+    Symbols are declared with initial values (host-preloaded), so any
+    read is defined; this check ensures every symbol is actually used
+    somewhere — a dead symbol would waste a register-file location
+    constraint in the mapper.
+    """
+    cdfg.validate()
+    used = set()
+    for block in cdfg.blocks.values():
+        used |= set(block.dfg.symbol_inputs)
+        used |= set(block.dfg.symbol_outputs)
+    dead = set(cdfg.symbols) - used
+    if dead:
+        raise ValidationError(
+            f"CDFG {cdfg.name!r} declares unused symbols: {sorted(dead)}")
+    return True

@@ -1,0 +1,27 @@
+"""The seven compute-intensive signal-processing kernels of the paper.
+
+Table II / Figs 5-10 evaluate: FIR, matrix multiplication (MatM),
+convolution, separable filter, non-separable filter, FFT and DC filter.
+Each module exposes ``build(**params)`` returning a
+:class:`~repro.kernels.suite.Kernel` — the CDFG plus input generation
+and a bit-exact fixed-point reference implementation.
+
+``get_kernel(name)`` returns the paper-scale instance; ``build``
+accepts size parameters so tests can use tiny instances.
+"""
+
+from repro.kernels.suite import (
+    Kernel,
+    KERNEL_NAMES,
+    PAPER_KERNEL_ORDER,
+    get_kernel,
+    iter_kernels,
+)
+
+__all__ = [
+    "Kernel",
+    "KERNEL_NAMES",
+    "PAPER_KERNEL_ORDER",
+    "get_kernel",
+    "iter_kernels",
+]

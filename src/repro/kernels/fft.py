@@ -1,0 +1,176 @@
+"""Radix-2 DIT FFT kernel (fixed point, Q2.14 twiddles).
+
+The iterative in-place FFT with *dynamic* loop bounds — the butterfly
+span doubles per stage — exercising the builder's low-level block API
+(a ``while half < N`` stage loop) and symbol-stepped counted loops.
+
+Two -O3-style optimisations match the paper's compiled kernels:
+
+- stage 0 (``half == 1``, twiddle ``w = 1``) is peeled into its own
+  multiplier-free loop;
+- the butterfly loop of the remaining stages is unrolled by two
+  (always legal because ``half >= 2`` after peeling).
+
+The host provides the bit-reversal permutation and twiddle tables as
+input regions, as a real deployment would (they depend only on N).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.opcodes import wrap32
+from repro.kernels.suite import Kernel
+
+#: Paper-scale default: 32-point FFT.
+N_POINTS = 32
+#: Twiddle fixed-point format: Q2.14.
+TWIDDLE_SHIFT = 14
+
+
+def _bit_reverse(value, bits):
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def twiddle_tables(n):
+    """Q2.14 twiddle factors ``w_k = e^(-2*pi*i*k/n)`` for k < n/2."""
+    scale = 1 << TWIDDLE_SHIFT
+    wr = [round(math.cos(2 * math.pi * k / n) * scale) for k in range(n // 2)]
+    wi = [round(-math.sin(2 * math.pi * k / n) * scale) for k in range(n // 2)]
+    return wr, wi
+
+
+def build(n_points=N_POINTS):
+    """Build the n-point radix-2 DIT FFT kernel."""
+    if n_points & (n_points - 1) or n_points < 8:
+        raise ValueError("n_points must be a power of two >= 8")
+    log2n = n_points.bit_length() - 1
+
+    k = KernelBuilder("fft")
+    re_in = k.array_input("re", n_points)
+    im_in = k.array_input("im", n_points)
+    brev = k.array_input("brev", n_points)
+    wr = k.array_input("wr", n_points // 2)
+    wi = k.array_input("wi", n_points // 2)
+    xr = k.array_output("xr", n_points)
+    xi = k.array_output("xi", n_points)
+
+    # Bit-reversal reorder into the working arrays.
+    with k.loop("ri", 0, n_points) as ri:
+        src = k.load(brev.at(ri))
+        k.store(xr.at(ri), k.load(re_in.at(src)))
+        k.store(xi.at(ri), k.load(im_in.at(src)))
+
+    # Peeled stage 0: half == 1, w == 1 — butterflies without multiplies.
+    with k.loop("p0", 0, n_points, step=2) as p0:
+        addr_r0 = xr.at(p0)
+        addr_i0 = xi.at(p0)
+        p1 = p0 + 1
+        addr_r1 = xr.at(p1)
+        addr_i1 = xi.at(p1)
+        ar = k.load(addr_r0)
+        ai = k.load(addr_i0)
+        br_ = k.load(addr_r1)
+        bi = k.load(addr_i1)
+        k.store(addr_r0, ar + br_)
+        k.store(addr_i0, ai + bi)
+        k.store(addr_r1, ar - br_)
+        k.store(addr_i1, ai - bi)
+
+    # Remaining stages: half = 2, 4, ..., n/2; butterflies unrolled x2.
+    half = k.symbol_var("half", 2)
+    tstep = k.symbol_var("tstep", n_points >> 2)
+    size = k.symbol_var("size", 4)
+    kidx = k.symbol_var("kidx", 0)
+    stage_head = k.declare_block("stage_head")
+    stage_body = k.declare_block("stage_body")
+    stage_exit = k.declare_block("stage_exit")
+    k.set(half, 2)
+    k.set(tstep, n_points >> 2)
+    k.set(size, 4)
+    k.goto(stage_head)
+    k.emit_in(stage_head)
+    k.branch(k.get(half) < n_points, stage_body, stage_exit)
+    k.emit_in(stage_body)
+    with k.loop("gi", 0, n_points, step=size) as gi:
+        k.set(kidx, 0)
+        with k.loop("jj", 0, half, step=2) as jj:
+            giv = k.get_symbol("gi")
+            halfv = k.get(half)
+            tstepv = k.get(tstep)
+            kv = k.get(kidx)
+            base_j = giv + jj
+            for lane in range(2):
+                j = base_j + lane if lane else base_j
+                kidx_lane = kv + tstepv if lane else kv
+                jh = j + halfv
+                addr_rj = xr.at(j)
+                addr_ij = xi.at(j)
+                addr_rh = xr.at(jh)
+                addr_ih = xi.at(jh)
+                wrv = k.load(wr.at(kidx_lane))
+                wiv = k.load(wi.at(kidx_lane))
+                ar = k.load(addr_rj)
+                ai = k.load(addr_ij)
+                br_ = k.load(addr_rh)
+                bi = k.load(addr_ih)
+                tr = (wrv * br_ - wiv * bi) >> TWIDDLE_SHIFT
+                ti = (wrv * bi + wiv * br_) >> TWIDDLE_SHIFT
+                k.store(addr_rh, ar - tr)
+                k.store(addr_ih, ai - ti)
+                k.store(addr_rj, ar + tr)
+                k.store(addr_ij, ai + ti)
+            k.set(kidx, kv + (tstepv << 1))
+    k.set(half, k.get(half) << 1)
+    k.set(tstep, k.get(tstep) >> 1)
+    k.set(size, k.get(size) << 1)
+    k.goto(stage_head)
+    k.emit_in(stage_exit)
+    cdfg = k.finish()
+
+    wr_table, wi_table = twiddle_tables(n_points)
+    brev_table = [_bit_reverse(i, log2n) for i in range(n_points)]
+
+    def inputs_fn(rng):
+        return {
+            "re": [int(v) for v in rng.integers(-512, 512, n_points)],
+            "im": [int(v) for v in rng.integers(-512, 512, n_points)],
+            "brev": list(brev_table),
+            "wr": list(wr_table),
+            "wi": list(wi_table),
+        }
+
+    def reference_fn(inputs):
+        res = [inputs["re"][brev_table[i]] for i in range(n_points)]
+        ims = [inputs["im"][brev_table[i]] for i in range(n_points)]
+        wr_t, wi_t = inputs["wr"], inputs["wi"]
+        half_v = 1
+        tstep_v = n_points >> 1
+        while half_v < n_points:
+            for gi in range(0, n_points, half_v * 2):
+                kidx_v = 0
+                for jj in range(half_v):
+                    j = gi + jj
+                    jh = j + half_v
+                    tr = wrap32(
+                        wrap32(wr_t[kidx_v] * res[jh])
+                        - wrap32(wi_t[kidx_v] * ims[jh])) >> TWIDDLE_SHIFT
+                    ti = wrap32(
+                        wrap32(wr_t[kidx_v] * ims[jh])
+                        + wrap32(wi_t[kidx_v] * res[jh])) >> TWIDDLE_SHIFT
+                    res[jh] = wrap32(res[j] - tr)
+                    ims[jh] = wrap32(ims[j] - ti)
+                    res[j] = wrap32(res[j] + tr)
+                    ims[j] = wrap32(ims[j] + ti)
+                    kidx_v += tstep_v
+            half_v <<= 1
+            tstep_v >>= 1
+        return {"xr": res, "xi": ims}
+
+    return Kernel("fft", cdfg, inputs_fn, reference_fn,
+                  description=f"{n_points}-point radix-2 fixed-point FFT")

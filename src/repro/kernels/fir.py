@@ -1,0 +1,63 @@
+"""FIR filter kernel.
+
+``y[n] = sum_t x[n + t] * h[t]`` over a sliding window — the classic
+near-sensor filtering workload.  The tap loop is fully unrolled, as
+the paper's -O3/frontend pipeline would do, so each loop body is one
+wide MAC dataflow; the sample loop stays dynamic.  FIR is the smallest
+memory-bound kernel of the suite and (per the paper) maps onto every
+configuration.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.opcodes import wrap32
+from repro.kernels.suite import Kernel
+from repro.kernels.util import tree_sum
+
+#: Paper-scale defaults: 32 output samples, 8 taps.
+N_SAMPLES = 32
+N_TAPS = 8
+
+
+def build(n_samples=N_SAMPLES, n_taps=N_TAPS, unroll=True):
+    """Build the FIR kernel CDFG plus its reference implementation."""
+    k = KernelBuilder("fir")
+    x = k.array_input("x", n_samples + n_taps - 1)
+    h = k.array_input("h", n_taps)
+    y = k.array_output("y", n_samples)
+    if unroll:
+        with k.loop("n", 0, n_samples) as n:
+            terms = [k.load(x.at(n + t)) * k.load(h.at(t))
+                     for t in range(n_taps)]
+            k.store(y.at(n), tree_sum(terms))
+    else:
+        acc_sym = k.symbol_var("acc", 0)
+        with k.loop("n", 0, n_samples) as n:
+            k.set(acc_sym, 0)
+            with k.loop("t", 0, n_taps) as t:
+                xv = k.load(x.at(k.get_symbol("n") + t))
+                hv = k.load(h.at(t))
+                k.set(acc_sym, k.get(acc_sym) + xv * hv)
+            k.store(y.at(k.get_symbol("n")), k.get(acc_sym))
+    cdfg = k.finish()
+
+    def inputs_fn(rng):
+        return {
+            "x": [int(v) for v in rng.integers(-128, 128,
+                                               n_samples + n_taps - 1)],
+            "h": [int(v) for v in rng.integers(-16, 16, n_taps)],
+        }
+
+    def reference_fn(inputs):
+        xs, hs = inputs["x"], inputs["h"]
+        out = []
+        for n in range(n_samples):
+            acc_v = 0
+            for t in range(n_taps):
+                acc_v = wrap32(acc_v + wrap32(xs[n + t] * hs[t]))
+            out.append(acc_v)
+        return {"y": out}
+
+    return Kernel("fir", cdfg, inputs_fn, reference_fn,
+                  description=f"{n_taps}-tap FIR over {n_samples} samples")

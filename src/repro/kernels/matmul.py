@@ -1,0 +1,63 @@
+"""Matrix multiplication kernel (``C = A @ B``, row-major).
+
+The paper's MatM is the kernel whose context-unaware mapping is shown
+overflowing tiles in Fig 2 — heavy load-store traffic concentrating
+instructions on the LSU tiles.  The reduction loop is fully unrolled
+and the column loop unrolled by ``j_unroll`` (A-row loads shared
+across the unrolled columns), producing the wide memory-bound body
+that makes MatM one of the three kernels that cannot fit when every
+load-store tile has a 32-word context memory (HOM32, Figs 6-7).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.opcodes import wrap32
+from repro.kernels.suite import Kernel
+from repro.kernels.util import tree_sum
+
+#: Paper-scale defaults: 8x8 matrices, 2-way column unroll.
+SIZE = 8
+J_UNROLL = 2
+
+
+def build(size=SIZE, j_unroll=J_UNROLL):
+    """Build the ``size x size`` integer matrix-multiplication kernel."""
+    if size % j_unroll:
+        raise ValueError("j_unroll must divide size")
+    k = KernelBuilder("matmul")
+    a = k.array_input("a", size * size)
+    b = k.array_input("b", size * size)
+    c = k.array_output("c", size * size)
+    with k.loop("i", 0, size) as i:
+        with k.loop("j", 0, size, step=j_unroll) as j:
+            iv = k.get_symbol("i")
+            row = iv * size
+            # The A row is loaded once and reused by every unrolled column.
+            a_vals = [k.load(a.at(row + kk)) for kk in range(size)]
+            for u in range(j_unroll):
+                terms = [a_vals[kk] * k.load(b.at(j + (kk * size + u)))
+                         for kk in range(size)]
+                k.store(c.at(row + j + u), tree_sum(terms))
+    cdfg = k.finish()
+
+    def inputs_fn(rng):
+        return {
+            "a": [int(v) for v in rng.integers(-64, 64, size * size)],
+            "b": [int(v) for v in rng.integers(-64, 64, size * size)],
+        }
+
+    def reference_fn(inputs):
+        av, bv = inputs["a"], inputs["b"]
+        out = [0] * (size * size)
+        for i in range(size):
+            for j in range(size):
+                acc_v = 0
+                for kk in range(size):
+                    acc_v = wrap32(
+                        acc_v + wrap32(av[i * size + kk] * bv[kk * size + j]))
+                out[i * size + j] = acc_v
+        return {"c": out}
+
+    return Kernel("matmul", cdfg, inputs_fn, reference_fn,
+                  description=f"{size}x{size} integer matrix multiply")

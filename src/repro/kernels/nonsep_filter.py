@@ -1,0 +1,65 @@
+"""Non-separable 2D filter kernel (full 5x5 window, unrolled).
+
+The direct form of the filter :mod:`repro.kernels.sep_filter` splits:
+25 MACs per output pixel, fully unrolled into one wide memory-bound
+block.  The largest kernel in the suite — the paper reports it among
+the three kernels that cannot be mapped when all load-store tiles are
+over-constrained (HOM32, Figs 6-7).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.opcodes import wrap32
+from repro.kernels.suite import Kernel
+from repro.kernels.util import tree_sum
+
+#: Paper-scale defaults: 24x24 image, 5x5 window, >>4 normalisation.
+IMAGE = 24
+KSIZE = 5
+SHIFT = 4
+
+
+def build(image=IMAGE, ksize=KSIZE, shift=SHIFT):
+    """Build the direct (non-separable) 2D filter kernel."""
+    out_size = image - ksize + 1
+    k = KernelBuilder("nonsep_filter")
+    img = k.array_input("img", image * image)
+    coef = k.array_input("coef", ksize * ksize)
+    out = k.array_output("out", out_size * out_size)
+    with k.loop("r", 0, out_size) as r:
+        with k.loop("c", 0, out_size) as c:
+            rv = k.get_symbol("r")
+            anchor = rv * image + c
+            terms = []
+            for kr in range(ksize):
+                for kc in range(ksize):
+                    pixel = k.load(img.at(anchor + (kr * image + kc)))
+                    weight = k.load(coef.at(kr * ksize + kc))
+                    terms.append(pixel * weight)
+            k.store(out.at(rv * out_size + c), tree_sum(terms) >> shift)
+    cdfg = k.finish()
+
+    def inputs_fn(rng):
+        return {
+            "img": [int(v) for v in rng.integers(0, 256, image * image)],
+            "coef": [int(v) for v in rng.integers(-8, 8, ksize * ksize)],
+        }
+
+    def reference_fn(inputs):
+        img_v, coef_v = inputs["img"], inputs["coef"]
+        result = [0] * (out_size * out_size)
+        for r in range(out_size):
+            for c in range(out_size):
+                acc_v = 0
+                for kr in range(ksize):
+                    for kc in range(ksize):
+                        acc_v = wrap32(acc_v + wrap32(
+                            img_v[(r + kr) * image + c + kc]
+                            * coef_v[kr * ksize + kc]))
+                result[r * out_size + c] = acc_v >> shift
+        return {"out": result}
+
+    return Kernel("nonsep_filter", cdfg, inputs_fn, reference_fn,
+                  description=f"direct {ksize}x{ksize} filter on "
+                              f"{image}x{image}")

@@ -1,0 +1,136 @@
+"""Kernel wrapper and registry.
+
+A :class:`Kernel` couples a CDFG with everything an experiment needs:
+
+- ``make_inputs(rng)`` — random-but-reproducible input regions;
+- ``make_memory(inputs)`` — assemble the data-memory image;
+- ``reference(inputs)`` — bit-exact fixed-point golden outputs,
+  implemented independently from the CDFG (plain Python/numpy), so the
+  CDFG itself is validated, not just mapped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class Kernel:
+    """A named, runnable benchmark kernel."""
+
+    def __init__(self, name, cdfg, inputs_fn, reference_fn, description=""):
+        self.name = name
+        self.cdfg = cdfg
+        self._inputs_fn = inputs_fn
+        self._reference_fn = reference_fn
+        self.description = description
+
+    def make_inputs(self, rng=None):
+        """Generate input regions: dict region-name -> list[int]."""
+        if rng is None:
+            rng = np.random.default_rng(0)
+        inputs = self._inputs_fn(rng)
+        for region_name, values in inputs.items():
+            info = self.cdfg.regions.get(region_name)
+            if info is None:
+                raise ReproError(
+                    f"kernel {self.name!r} generated unknown region "
+                    f"{region_name!r}")
+            if len(values) != info["size"]:
+                raise ReproError(
+                    f"kernel {self.name!r} region {region_name!r}: "
+                    f"{len(values)} values for size {info['size']}")
+        return inputs
+
+    def make_memory(self, inputs):
+        """Assemble the initial data-memory image from input regions."""
+        memory = [0] * self.cdfg.memory_size
+        for region_name, values in inputs.items():
+            base = self.cdfg.regions[region_name]["base"]
+            memory[base: base + len(values)] = [int(v) for v in values]
+        return memory
+
+    def reference(self, inputs):
+        """Golden outputs: dict region-name -> list[int]."""
+        return self._reference_fn(inputs)
+
+    @property
+    def output_regions(self):
+        return [name for name, info in self.cdfg.regions.items()
+                if info["role"] == "output"]
+
+    def __repr__(self):
+        return f"Kernel({self.name}: {self.cdfg.n_ops} static ops)"
+
+
+#: Kernel order used in the paper's tables and charts.
+PAPER_KERNEL_ORDER = (
+    "fir",
+    "matmul",
+    "convolution",
+    "sep_filter",
+    "nonsep_filter",
+    "fft",
+    "dc_filter",
+)
+
+KERNEL_NAMES = PAPER_KERNEL_ORDER
+
+#: Pretty names used when printing paper-style tables.
+DISPLAY_NAMES = {
+    "fir": "FIR",
+    "matmul": "MatM",
+    "convolution": "Convolution",
+    "sep_filter": "SepFilter",
+    "nonsep_filter": "NonSepFilter",
+    "fft": "FFT",
+    "dc_filter": "DC Filter",
+}
+
+
+def _builders():
+    # Imported lazily to avoid a cycle (kernel modules import this
+    # module for the Kernel class).
+    from repro.kernels import (
+        convolution,
+        dc_filter,
+        fft,
+        fir,
+        matmul,
+        nonsep_filter,
+        sep_filter,
+    )
+
+    return {
+        "fir": fir.build,
+        "matmul": matmul.build,
+        "convolution": convolution.build,
+        "sep_filter": sep_filter.build,
+        "nonsep_filter": nonsep_filter.build,
+        "fft": fft.build,
+        "dc_filter": dc_filter.build,
+    }
+
+
+def get_kernel(name, **params):
+    """Build a kernel by name (paper-scale defaults)."""
+    builders = _builders()
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown kernel {name!r}; choose from "
+            f"{sorted(builders)}") from None
+    return builder(**params)
+
+
+def iter_kernels(**params):
+    """Yield all seven kernels in paper order."""
+    for name in PAPER_KERNEL_ORDER:
+        yield get_kernel(name, **params)
+
+
+def display_name(name):
+    """Paper-style display name for a kernel key."""
+    return DISPLAY_NAMES.get(name, name)

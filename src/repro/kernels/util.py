@@ -1,0 +1,23 @@
+"""Shared kernel-construction helpers."""
+
+from __future__ import annotations
+
+
+def tree_sum(values):
+    """Balanced-tree reduction of a list of Vals.
+
+    A compiler at -O3 reassociates integer additions, turning an
+    n-term accumulation chain (depth n) into a log2(n)-deep tree —
+    which is what gives the CGRA its instruction-level parallelism.
+    """
+    if not values:
+        raise ValueError("tree_sum needs at least one value")
+    level = list(values)
+    while len(level) > 1:
+        paired = []
+        for index in range(0, len(level) - 1, 2):
+            paired.append(level[index] + level[index + 1])
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]

@@ -1,0 +1,300 @@
+"""Exact incremental binding (Sec III-B) with CAB awareness.
+
+For each operation handed over by the backward list scheduler, the
+binder enumerates *every* tile (and a bounded window of cycles) where
+the operation can be legally placed in each live partial mapping:
+
+- memory operations only on load-store tiles;
+- the issue slot must be free;
+- constants must fit the tile's constant register file;
+- symbol-variable operands must be routable from their home register
+  file (the *location constraints* — first touch fixes the home);
+- the result must be routable to every already-placed consumer;
+- memory-ordering successors bound earlier must stay strictly later.
+
+Candidates on CAB-blacklisted tiles are skipped when the flow enables
+constraint-aware binding.  The exactness of the per-operation
+enumeration (nothing is skipped before the pruning stages) mirrors the
+paper's exact sub-graph-match binding.
+"""
+
+from __future__ import annotations
+
+from repro.ir import analysis, opcodes
+from repro.mapping import routing
+
+
+class BindContext:
+    """Per-block constant data shared by all binding calls."""
+
+    def __init__(self, dfg, cgra, options):
+        self.dfg = dfg
+        self.cgra = cgra
+        self.options = options
+        self.asap = analysis.asap_levels(dfg)
+        self.ops_by_uid = {op.uid: op for op in dfg.ops}
+        #: op uid -> ops consuming its result (routing targets)
+        self.data_consumers = {
+            op.uid: dfg.data_successors(op) for op in dfg.ops}
+        #: op uid -> ops that must execute strictly later (memory order)
+        self.order_successors = {op.uid: [] for op in dfg.ops}
+        for op in dfg.ops:
+            for earlier in op.order_after:
+                self.order_successors[earlier.uid].append(op)
+        #: data uid -> symbol name, for the location constraints
+        self.symbol_of = {node.uid: symbol for symbol, node
+                          in dfg.symbol_inputs.items()}
+
+
+def candidate_tiles(ctx, pm, op):
+    """Tiles legal for this op under LSU and CAB constraints."""
+    tiles = ctx.cgra.candidate_tiles(opcodes.is_memory(op.opcode))
+    if ctx.options.cab and pm.blacklist:
+        tiles = [t for t in tiles if t not in pm.blacklist]
+    return tiles
+
+
+def latest_cycle(ctx, pm, op, tile):
+    """Upper bound on the op's cycle for a given tile.
+
+    Data consumers need at least the torus hop distance in cycles;
+    ordering successors only need strict precedence.
+    """
+    latest = pm.length - 1
+    for consumer in ctx.data_consumers[op.uid]:
+        placement = pm.placements.get(consumer.uid)
+        if placement is None:
+            continue
+        c_tile, c_cycle = placement
+        distance = ctx.cgra.distance(tile, c_tile)
+        latest = min(latest, c_cycle - max(1, distance))
+    for successor in ctx.order_successors[op.uid]:
+        placement = pm.placements.get(successor.uid)
+        if placement is None:
+            continue
+        latest = min(latest, placement[1] - 1)
+    return latest
+
+
+def try_bind(ctx, pm, op, tile, cycle):
+    """Attempt to place ``op`` at ``(tile, cycle)``; None on failure."""
+    blacklist = pm.blacklist if ctx.options.cab else frozenset()
+    candidate = pm.clone()
+    candidate.place_op(op.uid, tile, cycle)
+    seen_operands = set()
+    for operand in op.operands:
+        if operand.uid in seen_operands:
+            continue
+        seen_operands.add(operand.uid)
+        if operand.is_const:
+            if not candidate.register_const(tile, operand.value):
+                return None
+        elif operand.is_symbol:
+            symbol = ctx.symbol_of[operand.uid]
+            home = candidate.home_of(symbol)
+            if home is None:
+                # First touch: the location constraint is fixed here.
+                candidate.fix_home(symbol, tile)
+                home = tile
+            candidate.add_rf_event(operand.uid, home, 0)
+            route = routing.route_to_operand(
+                candidate, operand.uid, tile, cycle,
+                max_movs=ctx.options.max_route_movs, blacklist=blacklist)
+            if route is None and blacklist:
+                # Reading a symbol requires touching its home tile even
+                # if CAB blacklisted it — the location constraint wins;
+                # ECMAP arbitrates whether the result still fits.
+                route = routing.route_to_operand(
+                    candidate, operand.uid, tile, cycle,
+                    max_movs=ctx.options.max_route_movs)
+            if route is None:
+                return None
+            routing.commit_route(candidate, operand.uid, route)
+        # Op-result operands: their producers bind later (backward
+        # order) and will route toward this placement.
+    if op.result is not None:
+        candidate.record_production(op.result.uid, tile, cycle)
+        for consumer in ctx.data_consumers[op.uid]:
+            placement = candidate.placements.get(consumer.uid)
+            if placement is None:
+                continue
+            route = routing.route_to_operand(
+                candidate, op.result.uid, placement[0], placement[1],
+                max_movs=ctx.options.max_route_movs, blacklist=blacklist)
+            if route is None:
+                return None
+            routing.commit_route(candidate, op.result.uid, route)
+    return candidate
+
+
+def _least_used_tile(pm, blacklist):
+    """Tile with the fewest context words (for fresh symbol homes)."""
+    cgra = pm.cgra
+    best_tile = None
+    best_key = None
+    for tile in range(cgra.n_tiles):
+        if tile in blacklist:
+            continue
+        key = (pm.tile_context_words(tile, exact=True), tile)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_tile = tile
+    return best_tile
+
+
+def _first_free_cycle(pm, tile):
+    """Earliest free issue slot on a tile (may extend the schedule)."""
+    for cycle in range(pm.length):
+        if pm.slot_free(tile, cycle):
+            return cycle
+    return pm.length
+
+
+def _route_home(ctx, candidate, uid, target, blacklist):
+    """Route a symbol value into its home RF.
+
+    The schedule end is congested (backward scheduling anchors sinks
+    there), so the landing deadline extends a few cycles past the
+    block's last operation — the schedule grows as needed.  CAB's
+    blacklist is advisory, the location constraint is not: if no route
+    avoids the blacklisted tiles, retry without the blacklist and let
+    ECMAP arbitrate whether the result still fits.
+    """
+    deadline = candidate.length + ctx.options.finalize_slack
+    route = routing.route_to_rf(
+        candidate, uid, target, deadline,
+        max_movs=ctx.options.max_route_movs, blacklist=blacklist)
+    if route is None and blacklist:
+        route = routing.route_to_rf(
+            candidate, uid, target, deadline,
+            max_movs=ctx.options.max_route_movs)
+    return route
+
+
+def finalize_symbols(ctx, pm):
+    """Discharge the block's symbol-output location constraints.
+
+    Every symbol written by the block must end up in its home tile's
+    register file by the end of the schedule; unhomed symbols get
+    homed here.  Returns the finalized clone, or None if a constraint
+    cannot be met (the partial mapping dies).
+    """
+    blacklist = pm.blacklist if ctx.options.cab else frozenset()
+    candidate = pm.clone()
+    for symbol, node in ctx.dfg.symbol_outputs.items():
+        if node.is_symbol:
+            if not _finalize_passthrough(ctx, candidate, symbol, node,
+                                         blacklist):
+                return None
+        elif node.is_const:
+            if not _finalize_const(ctx, candidate, symbol, node, blacklist):
+                return None
+        else:
+            if not _finalize_value(ctx, candidate, symbol, node, blacklist):
+                return None
+    if not _rf_pressure_ok(candidate):
+        return None
+    return candidate
+
+
+def _finalize_passthrough(ctx, candidate, symbol, node, blacklist):
+    """Symbol assigned the entry value of a (possibly other) symbol."""
+    source = ctx.symbol_of[node.uid]
+    src_home = candidate.home_of(source)
+    target = candidate.home_of(symbol)
+    if src_home is None and target is None:
+        tile = _least_used_tile(candidate, blacklist)
+        if tile is None:
+            return False
+        candidate.fix_home(source, tile)
+        if source != symbol:
+            candidate.fix_home(symbol, tile)
+        candidate.add_rf_event(node.uid, tile, 0)
+        return True
+    if src_home is None:
+        candidate.fix_home(source, target)
+        candidate.add_rf_event(node.uid, target, 0)
+        return True
+    candidate.add_rf_event(node.uid, src_home, 0)
+    if target is None:
+        candidate.fix_home(symbol, src_home)
+        return True
+    if target == src_home:
+        return True
+    route = _route_home(ctx, candidate, node.uid, target, blacklist)
+    if route is None:
+        return False
+    routing.commit_route(candidate, node.uid, route)
+    return True
+
+
+def _finalize_const(ctx, candidate, symbol, node, blacklist):
+    """Symbol assigned a constant: one MOV from the CRF at its home."""
+    target = candidate.home_of(symbol)
+    if target is None:
+        target = _least_used_tile(candidate, blacklist)
+        if target is None:
+            return False
+        candidate.fix_home(symbol, target)
+    if not candidate.register_const(target, node.value):
+        return False
+    cycle = _first_free_cycle(candidate, target)
+    candidate.add_mov(target, cycle, node.uid)
+    candidate.record_production(node.uid, target, cycle)
+    return True
+
+
+def _finalize_value(ctx, candidate, symbol, node, blacklist):
+    """Symbol assigned an op result: route it home (or home it here)."""
+    placement = candidate.placements.get(node.producer.uid)
+    if placement is None:
+        return False
+    target = candidate.home_of(symbol)
+    if target is None:
+        candidate.fix_home(symbol, placement[0])
+        return True
+    route = _route_home(ctx, candidate, node.uid, target, blacklist)
+    if route is None:
+        return False
+    routing.commit_route(candidate, node.uid, route)
+    return True
+
+
+def _rf_pressure_ok(candidate):
+    """Every tile's live values must fit its regular register file."""
+    per_tile = [0] * candidate.cgra.n_tiles
+    for events in candidate.rf_avail.values():
+        for tile, _ in events:
+            per_tile[tile] += 1
+    return all(per_tile[t] <= candidate.cgra.tile(t).rrf_words
+               for t in range(candidate.cgra.n_tiles))
+
+
+def bind_candidates(ctx, pm, op, full_window=False):
+    """All extensions of ``pm`` placing ``op`` (one best cycle per tile).
+
+    Cycles are scanned latest-first within ``options.cycle_window`` so
+    schedules stay tight; the earliest legal cycle is the op's ASAP
+    level (its dependence depth needs that many earlier cycles).
+    ``full_window`` widens the scan to the whole legal range — the
+    flow's fallback before declaring a binding failure.
+    """
+    results = []
+    earliest = ctx.asap[op.uid]
+    for tile in candidate_tiles(ctx, pm, op):
+        latest = latest_cycle(ctx, pm, op, tile)
+        if latest < earliest:
+            continue
+        if full_window:
+            window_floor = earliest
+        else:
+            window_floor = max(earliest,
+                               latest - ctx.options.cycle_window + 1)
+        for cycle in range(latest, window_floor - 1, -1):
+            if not pm.slot_free(tile, cycle):
+                continue
+            candidate = try_bind(ctx, pm, op, tile, cycle)
+            if candidate is not None:
+                results.append(candidate)
+                break
+    return results

@@ -1,0 +1,44 @@
+"""Constraint Aware Binding (CAB, Sec III-D.4).
+
+After each exact pruning step, every partial mapping characterises its
+tiles: a tile whose context memory cannot take any further instruction
+is *blacklisted* for that partial mapping, and the binder (and the
+router) stop proposing it.  This steers the exploration toward tiles
+that still have context budget instead of generating doomed partial
+mappings — the paper credits it with the HET2 latency recovery in
+Fig 8.
+"""
+
+from __future__ import annotations
+
+
+def full_tiles(pm):
+    """Tiles with no room for a further instruction.
+
+    Placing one more instruction can cost up to *two* context words
+    (the instruction itself plus a new PNOP if it opens a gap), so a
+    tile is full once fewer than two words of headroom remain.
+
+    Tiles that *home a symbol variable* are blacklisted earlier: every
+    future read of the symbol from another tile needs a re-emit MOV on
+    the home tile, so filling it to the brim would strand the location
+    constraint (the symbol would become unreachable for the rest of
+    the kernel).
+    """
+    cgra = pm.cgra
+    home_tiles = set(pm.committed.symbol_homes.values())
+    home_tiles.update(pm.new_homes.values())
+    blacklisted = set()
+    for tile in range(cgra.n_tiles):
+        headroom = (cgra.cm_depth(tile)
+                    - pm.tile_context_words(tile, exact=True))
+        reserve = 4 if tile in home_tiles else 2
+        if headroom < reserve:
+            blacklisted.add(tile)
+    return frozenset(blacklisted)
+
+
+def update_blacklist(pm):
+    """Recompute and store the blacklist on the partial mapping."""
+    pm.blacklist = full_tiles(pm)
+    return pm.blacklist

@@ -1,0 +1,174 @@
+"""Mapping results and statistics.
+
+:class:`BlockMapping` — one basic block's final mapping: the
+(possibly transformed) DFG, placements, MOVs, availability events and
+per-tile context usage.  :class:`MappingResult` aggregates a kernel's
+blocks plus everything the experiments report: moves, pnops, per-tile
+context words, static latency, compile time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+
+
+class BlockMapping:
+    """Final mapping of one basic block."""
+
+    def __init__(self, name, dfg, pm, n_transformed=0, attempts=1):
+        self.name = name
+        self.dfg = dfg
+        self.pm = pm
+        self.n_transformed = n_transformed
+        self.attempts = attempts
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self):
+        return self.pm.length
+
+    @property
+    def placements(self):
+        return self.pm.placements
+
+    @property
+    def movs(self):
+        return self.pm.movs
+
+    @property
+    def new_homes(self):
+        return self.pm.new_homes
+
+    def tile_breakdown(self, tile):
+        """Instruction word breakdown for one tile in this block."""
+        ops = 0
+        movs = 0
+        for descriptor in self.pm.tile_cycles[tile].values():
+            if descriptor[0] == "op":
+                ops += 1
+            else:
+                movs += 1
+        return {"ops": ops, "movs": movs, "pnops": self.pm.exact_pnops(tile)}
+
+    @property
+    def n_ops(self):
+        return sum(1 for _, descriptor in self._slots() if
+                   descriptor[0] == "op")
+
+    @property
+    def n_movs(self):
+        return self.pm.n_movs
+
+    @property
+    def n_pnops(self):
+        return sum(self.pm.exact_pnops(t)
+                   for t in range(self.pm.cgra.n_tiles))
+
+    def _slots(self):
+        for tile, cycles in self.pm.tile_cycles.items():
+            for cycle, descriptor in cycles.items():
+                yield (tile, cycle), descriptor
+
+    def block_usage(self):
+        """Per-tile context words consumed by this block."""
+        return self.pm.block_usage()
+
+    def __repr__(self):
+        return (f"BlockMapping({self.name}: L={self.length}, "
+                f"{self.n_ops} ops, {self.n_movs} movs, "
+                f"{self.n_pnops} pnops)")
+
+
+class MappingResult:
+    """Complete mapping of a kernel onto a CGRA configuration."""
+
+    def __init__(self, kernel_name, cgra, options, block_order, blocks,
+                 compile_seconds):
+        self.kernel_name = kernel_name
+        self.cgra = cgra
+        self.options = options
+        self.block_order = list(block_order)
+        self.blocks = dict(blocks)
+        self.compile_seconds = compile_seconds
+
+    # ------------------------------------------------------------------
+    # Context-memory accounting
+    # ------------------------------------------------------------------
+    def tile_words(self):
+        """Total context words per tile (the quantity Table I bounds)."""
+        totals = [0] * self.cgra.n_tiles
+        for block in self.blocks.values():
+            for tile, used in enumerate(block.block_usage()):
+                totals[tile] += used
+        return totals
+
+    @property
+    def fits(self):
+        """True if every tile's context fits its context memory."""
+        return all(used <= self.cgra.cm_depth(tile)
+                   for tile, used in enumerate(self.tile_words()))
+
+    def check_fits(self):
+        """Raise :class:`MappingError` naming the overflowing tiles."""
+        overflowing = [
+            (self.cgra.tile(tile).name, used, self.cgra.cm_depth(tile))
+            for tile, used in enumerate(self.tile_words())
+            if used > self.cgra.cm_depth(tile)
+        ]
+        if overflowing:
+            raise MappingError(
+                f"{self.kernel_name} on {self.cgra.name}: context "
+                f"overflow on {overflowing}")
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_ops(self):
+        return sum(block.n_ops for block in self.blocks.values())
+
+    @property
+    def total_movs(self):
+        return sum(block.n_movs for block in self.blocks.values())
+
+    @property
+    def total_pnops(self):
+        return sum(block.n_pnops for block in self.blocks.values())
+
+    @property
+    def total_transformed(self):
+        return sum(block.n_transformed for block in self.blocks.values())
+
+    @property
+    def total_words(self):
+        return sum(self.tile_words())
+
+    def per_block_stats(self):
+        """Rows for Fig 5: (block, n_movs, n_pnops) in traversal order."""
+        return [(name, self.blocks[name].n_movs, self.blocks[name].n_pnops)
+                for name in self.block_order]
+
+    def static_cycles(self, block_counts):
+        """Total execution cycles given dynamic block execution counts.
+
+        Lockstep execution runs each block for exactly its schedule
+        length, so latency is ``sum L(b) * executions(b)``.
+        """
+        return sum(self.blocks[name].length * count
+                   for name, count in block_counts.items())
+
+    def summary(self):
+        lines = [
+            f"kernel {self.kernel_name} on {self.cgra.name} "
+            f"({'context-aware' if self.options.is_context_aware else 'basic'})",
+            f"  blocks: {len(self.blocks)}  ops: {self.total_ops}  "
+            f"movs: {self.total_movs}  pnops: {self.total_pnops}  "
+            f"transformed: {self.total_transformed}",
+            f"  context words/tile: {self.tile_words()}",
+            f"  fits: {self.fits}  compile: {self.compile_seconds:.3f}s",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"MappingResult({self.kernel_name}@{self.cgra.name}, "
+                f"fits={self.fits})")

@@ -1,0 +1,162 @@
+"""Exact MOV-chain search on the time-extended graph.
+
+Given a partial mapping and a value's availability events, find the
+cheapest legal chain of MOV instructions making the value readable by
+a consumer placement (or landing it in a register file by a deadline —
+the symbol-variable location constraints).
+
+The search is a 0-1 BFS over TEDG states:
+
+- ``("rf", P, c)`` — the value sits in P's register file; instructions
+  on P at cycles >= c can read it;
+- ``("port", P, c)`` — the value is on P's output port during exactly
+  cycle ``c`` (P computed or MOVed it at ``c - 1``).
+
+Transitions (cost = MOV instructions inserted):
+
+- wait in the RF: ``rf(P,c) -> rf(P,c+1)`` — free;
+- re-emit: a MOV on P at ``c`` reading its own RF -> ``port(P,c+1)``
+  — cost 1;
+- hop: a MOV on a torus neighbour Q at ``c`` reading P's port ->
+  ``rf(Q,c+1)`` and ``port(Q,c+1)`` — cost 1.
+
+Every MOV needs a free issue slot on its tile, and tiles blacklisted
+by CAB accept no new instructions (routing is "constraint aware" too).
+This subsumes the paper's *re-routing* graph transformation: extra
+moves are exactly what re-routing inserts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+#: Default cap on MOVs per routed edge; routes beyond this are
+#: considered failed (the caller falls back to other transformations).
+MAX_ROUTE_MOVS = 8
+
+
+class Route:
+    """A successful route: the MOV instructions to insert."""
+
+    __slots__ = ("movs",)
+
+    def __init__(self, movs):
+        self.movs = movs
+
+    @property
+    def cost(self):
+        return len(self.movs)
+
+    def __repr__(self):
+        return f"Route({self.movs})"
+
+
+def _initial_states(pm, value_uid, horizon):
+    states = []
+    for tile, avail in pm.rf_avail.get(value_uid, ()):
+        if avail <= horizon:
+            states.append(("rf", tile, avail))
+    for tile, cycle in pm.port_events.get(value_uid, ()):
+        if cycle <= horizon:
+            states.append(("port", tile, cycle))
+    return states
+
+
+def _is_operand_goal(state, pm, tile, cycle):
+    kind, p, c = state
+    if kind == "rf":
+        return p == tile and c <= cycle
+    return c == cycle and tile in pm.cgra.neighbors(p)
+
+
+def _is_landing_goal(state, tile, deadline):
+    kind, p, c = state
+    return kind == "rf" and p == tile and c <= deadline
+
+
+def _search(pm, value_uid, horizon, goal_test, max_movs, blacklist):
+    """0-1 BFS from the value's events; returns Route or None."""
+    start_states = _initial_states(pm, value_uid, horizon)
+    best = {}
+    parents = {}
+    queue = deque()
+    for state in start_states:
+        best[state] = 0
+        parents[state] = (None, None)
+        queue.append(state)
+    while queue:
+        state = queue.popleft()
+        cost = best[state]
+        if goal_test(state):
+            movs = []
+            cursor = state
+            while cursor is not None:
+                previous, mov = parents[cursor]
+                if mov is not None:
+                    movs.append(mov)
+                cursor = previous
+            movs.reverse()
+            return Route(movs)
+        kind, p, c = state
+
+        def push(next_state, extra, mov):
+            next_cost = cost + extra
+            if next_cost > max_movs:
+                return
+            if best.get(next_state, next_cost + 1) <= next_cost:
+                return
+            best[next_state] = next_cost
+            parents[next_state] = (state, mov)
+            if extra == 0:
+                queue.appendleft(next_state)
+            else:
+                queue.append(next_state)
+
+        if kind == "rf":
+            if c + 1 <= horizon:
+                push(("rf", p, c + 1), 0, None)
+            # Re-emit: MOV on p at cycle c.
+            if (c + 1 <= horizon and p not in blacklist
+                    and pm.slot_free(p, c)):
+                push(("port", p, c + 1), 1, (p, c))
+        else:  # port event during cycle c
+            for q in pm.cgra.neighbors(p):
+                if q in blacklist or not pm.slot_free(q, c):
+                    continue
+                if c + 1 <= horizon:
+                    push(("rf", q, c + 1), 1, (q, c))
+                    push(("port", q, c + 1), 1, (q, c))
+    return None
+
+
+def route_to_operand(pm, value_uid, tile, cycle,
+                     max_movs=MAX_ROUTE_MOVS, blacklist=frozenset()):
+    """Make the value readable by an instruction at ``(tile, cycle)``.
+
+    Returns a :class:`Route` (possibly empty) or None.
+    """
+    if pm.readable_at(value_uid, tile, cycle):
+        return Route([])
+    goal = lambda state: _is_operand_goal(state, pm, tile, cycle)
+    return _search(pm, value_uid, cycle, goal, max_movs, blacklist)
+
+
+def route_to_rf(pm, value_uid, tile, deadline,
+                max_movs=MAX_ROUTE_MOVS, blacklist=frozenset()):
+    """Land the value in ``tile``'s RF no later than ``deadline``.
+
+    ``deadline`` is an availability cycle: ``rf(tile, c <= deadline)``.
+    Returns a :class:`Route` or None.
+    """
+    avail = pm.rf_cycle(value_uid, tile)
+    if avail is not None and avail <= deadline:
+        return Route([])
+    goal = lambda state: _is_landing_goal(state, tile, deadline)
+    return _search(pm, value_uid, deadline, goal, max_movs, blacklist)
+
+
+def commit_route(pm, value_uid, route):
+    """Insert the route's MOVs into the partial mapping."""
+    for tile, cycle in route.movs:
+        pm.add_mov(tile, cycle, value_uid)
+        pm.record_production(value_uid, tile, cycle)

@@ -1,0 +1,56 @@
+"""Backward traversal list scheduling.
+
+The basic flow (Sec III-B) schedules each basic block's DFG with a
+*backward* list scheduler: operations are handed to the binder
+consumers-first, so when an operation is bound, every operation that
+reads its result (and every memory operation ordered after it) already
+has a placement — routing is always toward known targets.
+
+Among simultaneously schedulable operations, priority follows the
+paper's heuristic: lowest mobility first (most urgent), then highest
+fan-out, then uid for determinism.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SchedulingError
+from repro.ir import analysis
+
+
+def backward_order(dfg):
+    """Operations in binding order (reverse-topological, prioritised).
+
+    Kahn's algorithm on the reversed dependence graph; ties broken by
+    the (mobility, -fanout, uid) priority of
+    :func:`repro.ir.analysis.backward_priority`.
+    """
+    priority = analysis.backward_priority(dfg)
+    remaining_successors = {}
+    predecessors_of = {}
+    for op in dfg.ops:
+        preds = dfg.predecessors(op)
+        predecessors_of[op.uid] = preds
+        remaining_successors.setdefault(op.uid, 0)
+        for pred in preds:
+            remaining_successors[pred.uid] = (
+                remaining_successors.get(pred.uid, 0) + 1)
+    by_uid = {op.uid: op for op in dfg.ops}
+    ready = [(priority[uid], uid) for uid, count in
+             remaining_successors.items() if count == 0]
+    heapq.heapify(ready)
+    order = []
+    while ready:
+        _, uid = heapq.heappop(ready)
+        op = by_uid[uid]
+        order.append(op)
+        for pred in predecessors_of[uid]:
+            remaining_successors[pred.uid] -= 1
+            if remaining_successors[pred.uid] == 0:
+                heapq.heappush(ready, (priority[pred.uid], pred.uid))
+    if len(order) != len(dfg.ops):
+        raise SchedulingError(
+            f"dependence cycle in block {dfg.block_name!r}: scheduled "
+            f"{len(order)} of {len(dfg.ops)} ops")
+    return order

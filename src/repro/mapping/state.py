@@ -1,0 +1,415 @@
+"""Partial-mapping state.
+
+A :class:`PartialMapping` is one point of the design space the binder
+explores for the current basic block: operation placements, MOV
+insertions, value availability events, per-tile context occupancy.
+The paper's flow keeps a *set* of these alive, prunes it (stochastic /
+ACMAP / ECMAP), and extends each by binding the next operation.
+
+Cross-block state — instructions already committed to each tile's
+context memory and the symbol-variable home tiles (location
+constraints) — lives in the immutable :class:`CommittedState`.
+
+Context-word accounting follows the PE contract (DESIGN.md Sec 5):
+per block, a tile stores its operations and MOVs plus one PNOP per
+idle gap *before or between* them; trailing idle cycles and blocks in
+which the tile never wakes up cost nothing (the tile sleeps until the
+global block-end broadcast).
+
+Performance note: the binder clones a partial mapping for every
+placement candidate, so per-value event containers are stored as
+immutable tuples/frozensets — ``clone()`` copies only the outer dicts
+(pointer copies), and updates replace the small inner values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+
+
+class CommittedState:
+    """Immutable cross-block mapping state."""
+
+    __slots__ = ("cgra", "tile_instrs", "symbol_homes")
+
+    def __init__(self, cgra, tile_instrs=None, symbol_homes=None):
+        self.cgra = cgra
+        self.tile_instrs = (tuple(tile_instrs) if tile_instrs is not None
+                            else (0,) * cgra.n_tiles)
+        self.symbol_homes = dict(symbol_homes or {})
+
+    def extend(self, block_usage, new_homes):
+        """New state with a block's per-tile usage and homes folded in."""
+        instrs = list(self.tile_instrs)
+        for tile, used in enumerate(block_usage):
+            instrs[tile] += used
+        homes = dict(self.symbol_homes)
+        for symbol, tile in new_homes.items():
+            if symbol in homes and homes[symbol] != tile:
+                raise MappingError(
+                    f"symbol {symbol!r} re-homed from {homes[symbol]} "
+                    f"to {tile}")
+            homes[symbol] = tile
+        return CommittedState(self.cgra, instrs, homes)
+
+    def home_of(self, symbol):
+        return self.symbol_homes.get(symbol)
+
+    def __repr__(self):
+        return (f"CommittedState(instrs={list(self.tile_instrs)}, "
+                f"homes={self.symbol_homes})")
+
+
+def pnop_blocks(occupied_cycles):
+    """Exact number of PNOP instructions for a set of busy cycles.
+
+    One PNOP per maximal idle run before or between instructions;
+    trailing idle is free (the tile waits for the block-end broadcast).
+    """
+    if not occupied_cycles:
+        return 0
+    busy = sorted(occupied_cycles)
+    pnops = 1 if busy[0] > 0 else 0
+    for previous, current in zip(busy, busy[1:]):
+        if current > previous + 1:
+            pnops += 1
+    return pnops
+
+
+def pnop_upper_bound(n_busy, max_cycle):
+    """Cheap pessimistic bound on PNOPs (the ACMAP estimate).
+
+    With ``n_busy`` instructions whose last one sits at ``max_cycle``,
+    there can be at most one gap per instruction and no more gaps than
+    idle cycles in the window ``[0, max_cycle]``.
+    """
+    if n_busy == 0:
+        return 0
+    idle = max_cycle + 1 - n_busy
+    return min(n_busy, idle)
+
+
+class PartialMapping:
+    """One explored mapping of (a prefix of) a basic block."""
+
+    __slots__ = (
+        "cgra",
+        "committed",
+        "length",
+        "placements",
+        "tile_cycles",
+        "rf_avail",
+        "port_events",
+        "const_tiles",
+        "new_homes",
+        "movs",
+        "n_movs",
+        "blacklist",
+        "_tile_max",
+        "_tile_pnops",
+    )
+
+    def __init__(self, cgra, committed, length):
+        self.cgra = cgra
+        self.committed = committed
+        self.length = length
+        #: op uid -> (tile, cycle)
+        self.placements = {}
+        #: tile -> {cycle: descriptor}; descriptor = ("op", uid) or
+        #: ("mov", value_uid)
+        self.tile_cycles = {t: {} for t in range(cgra.n_tiles)}
+        #: value uid -> tuple of (tile, earliest readable cycle)
+        self.rf_avail = {}
+        #: value uid -> tuple of (tile, cycle) output-port events
+        self.port_events = {}
+        #: tile -> frozenset of constant values resident in its CRF
+        self.const_tiles = {t: frozenset() for t in range(cgra.n_tiles)}
+        #: symbols homed while mapping this block
+        self.new_homes = {}
+        #: list of (tile, cycle, value_uid) MOV instructions
+        self.movs = []
+        self.n_movs = 0
+        #: tiles CAB excludes from further binding (aware flow only)
+        self.blacklist = frozenset()
+        #: incremental PNOP accounting (kept exact by ``occupy``)
+        self._tile_max = [None] * cgra.n_tiles
+        self._tile_pnops = [0] * cgra.n_tiles
+
+    # ------------------------------------------------------------------
+    # Copy-on-extend
+    # ------------------------------------------------------------------
+    def clone(self):
+        new = PartialMapping.__new__(PartialMapping)
+        new.cgra = self.cgra
+        new.committed = self.committed
+        new.length = self.length
+        new.placements = dict(self.placements)
+        new.tile_cycles = {t: dict(c) for t, c in self.tile_cycles.items()}
+        # Inner containers are immutable: shallow dict copies suffice.
+        new.rf_avail = dict(self.rf_avail)
+        new.port_events = dict(self.port_events)
+        new.const_tiles = dict(self.const_tiles)
+        new.new_homes = dict(self.new_homes)
+        new.movs = list(self.movs)
+        new.n_movs = self.n_movs
+        new.blacklist = self.blacklist
+        new._tile_max = list(self._tile_max)
+        new._tile_pnops = list(self._tile_pnops)
+        return new
+
+    # ------------------------------------------------------------------
+    # Slots
+    # ------------------------------------------------------------------
+    def slot_free(self, tile, cycle):
+        return cycle not in self.tile_cycles[tile]
+
+    def occupy(self, tile, cycle, descriptor):
+        cycles = self.tile_cycles[tile]
+        if cycle in cycles:
+            raise MappingError(
+                f"slot ({tile},{cycle}) already holds {cycles[cycle]}")
+        if cycle < 0:
+            raise MappingError(f"negative cycle {cycle}")
+        self._update_pnops(tile, cycle, cycles)
+        cycles[cycle] = descriptor
+        if cycle >= self.length:
+            self.length = cycle + 1
+
+    def _update_pnops(self, tile, cycle, cycles):
+        """O(1) incremental update of the exact PNOP count."""
+        maximum = self._tile_max[tile]
+        if maximum is None:
+            self._tile_max[tile] = cycle
+            self._tile_pnops[tile] = 1 if cycle > 0 else 0
+            return
+        if cycle > maximum:
+            if cycle > maximum + 1:
+                self._tile_pnops[tile] += 1
+            self._tile_max[tile] = cycle
+            return
+        # Insertion strictly inside [0, maximum): the idle run holding
+        # ``cycle`` shrinks, splits, or disappears.
+        left_idle = cycle > 0 and (cycle - 1) not in cycles
+        right_idle = (cycle + 1) not in cycles
+        if left_idle and right_idle:
+            self._tile_pnops[tile] += 1
+        elif not left_idle and not right_idle:
+            self._tile_pnops[tile] -= 1
+
+    def place_op(self, uid, tile, cycle):
+        self.occupy(tile, cycle, ("op", uid))
+        self.placements[uid] = (tile, cycle)
+
+    def add_mov(self, tile, cycle, value_uid):
+        self.occupy(tile, cycle, ("mov", value_uid))
+        self.movs.append((tile, cycle, value_uid))
+        self.n_movs += 1
+
+    # ------------------------------------------------------------------
+    # Value availability events
+    # ------------------------------------------------------------------
+    def add_rf_event(self, value_uid, tile, cycle):
+        """Value readable by ``tile``'s instructions from ``cycle`` on."""
+        events = self.rf_avail.get(value_uid, ())
+        for index, (event_tile, event_cycle) in enumerate(events):
+            if event_tile == tile:
+                if cycle < event_cycle:
+                    self.rf_avail[value_uid] = (
+                        events[:index] + ((tile, cycle),)
+                        + events[index + 1:])
+                return
+        self.rf_avail[value_uid] = events + ((tile, cycle),)
+
+    def add_port_event(self, value_uid, tile, cycle):
+        """Value on ``tile``'s output port during exactly ``cycle``."""
+        events = self.port_events.get(value_uid, ())
+        if (tile, cycle) not in events:
+            self.port_events[value_uid] = events + ((tile, cycle),)
+
+    def record_production(self, value_uid, tile, cycle):
+        """An op/MOV at (tile, cycle) produced the value."""
+        self.add_rf_event(value_uid, tile, cycle + 1)
+        self.add_port_event(value_uid, tile, cycle + 1)
+
+    def rf_cycle(self, value_uid, tile):
+        """Earliest RF-read cycle of the value on a tile (None if absent)."""
+        for event_tile, event_cycle in self.rf_avail.get(value_uid, ()):
+            if event_tile == tile:
+                return event_cycle
+        return None
+
+    def readable_at(self, value_uid, tile, cycle):
+        """Can an instruction on ``tile`` at ``cycle`` read the value?"""
+        rf = self.rf_cycle(value_uid, tile)
+        if rf is not None and rf <= cycle:
+            return True
+        events = self.port_events.get(value_uid)
+        if events:
+            neighbors = self.cgra.neighbors(tile)
+            for event_tile, event_cycle in events:
+                if event_cycle == cycle and event_tile in neighbors:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Constants (CRF)
+    # ------------------------------------------------------------------
+    def register_const(self, tile, value):
+        """Ensure a constant is CRF-resident; False if the CRF is full."""
+        crf = self.const_tiles[tile]
+        if value in crf:
+            return True
+        if len(crf) >= self.cgra.tile(tile).crf_words:
+            return False
+        self.const_tiles[tile] = crf | {value}
+        return True
+
+    # ------------------------------------------------------------------
+    # Context-memory accounting
+    # ------------------------------------------------------------------
+    def tile_busy_count(self, tile):
+        return len(self.tile_cycles[tile])
+
+    def exact_pnops(self, tile):
+        """Exact PNOP count (maintained incrementally by ``occupy``)."""
+        return self._tile_pnops[tile]
+
+    def approx_pnops(self, tile):
+        """ACMAP's pessimistic estimate: current gaps plus a reserve.
+
+        The reserve accounts for the gap the *next* placement may open
+        — cheap, over-counts for finished tiles, under-counts distant
+        futures, exactly the approximate behaviour Sec III-D.2
+        describes (keeps some unfitting mappings, drops some fitting
+        ones).
+        """
+        if not self.tile_cycles[tile]:
+            return 0
+        return self._tile_pnops[tile] + 1
+
+    def tile_context_words(self, tile, exact=True):
+        """CM words this block needs on ``tile`` so far (+ committed)."""
+        pnops = self.exact_pnops(tile) if exact else self.approx_pnops(tile)
+        return (self.committed.tile_instrs[tile]
+                + self.tile_busy_count(tile) + pnops)
+
+    def block_usage(self):
+        """Per-tile CM words used by this block alone (exact PNOPs)."""
+        return [self.tile_busy_count(t) + self.exact_pnops(t)
+                for t in range(self.cgra.n_tiles)]
+
+    # ------------------------------------------------------------------
+    # Symbols
+    # ------------------------------------------------------------------
+    def home_of(self, symbol):
+        home = self.new_homes.get(symbol)
+        if home is None:
+            home = self.committed.home_of(symbol)
+        return home
+
+    def fix_home(self, symbol, tile):
+        existing = self.home_of(symbol)
+        if existing is not None and existing != tile:
+            raise MappingError(
+                f"symbol {symbol!r} already homed on tile {existing}")
+        if existing is None:
+            self.new_homes[symbol] = tile
+
+    # ------------------------------------------------------------------
+    # Schedule stretching (re-route slack transformation)
+    # ------------------------------------------------------------------
+    def stretch(self, delta):
+        """Shift every scheduled event ``delta`` cycles later.
+
+        Block-entry availability (cycle-0 RF events: symbol variables
+        at their home tiles) does not move — those values are present
+        before the block starts.
+        """
+        if delta <= 0:
+            raise MappingError("stretch delta must be positive")
+        self.length += delta
+        self.placements = {uid: (tile, cycle + delta)
+                           for uid, (tile, cycle) in self.placements.items()}
+        self.tile_cycles = {
+            tile: {cycle + delta: desc for cycle, desc in cycles.items()}
+            for tile, cycles in self.tile_cycles.items()
+        }
+        self.rf_avail = {
+            uid: tuple((tile, cycle + delta if cycle > 0 else 0)
+                       for tile, cycle in events)
+            for uid, events in self.rf_avail.items()
+        }
+        self.port_events = {
+            uid: tuple((tile, cycle + delta) for tile, cycle in events)
+            for uid, events in self.port_events.items()
+        }
+        self.movs = [(tile, cycle + delta, uid)
+                     for tile, cycle, uid in self.movs]
+        # Shifting opens a leading idle run on tiles that started at
+        # cycle 0; recompute the (rarely stretched) counters outright.
+        for tile, cycles in self.tile_cycles.items():
+            self._tile_max[tile] = max(cycles) if cycles else None
+            self._tile_pnops[tile] = pnop_blocks(cycles.keys())
+
+    def compress(self):
+        """Trim leading and trailing idle cycles off the schedule.
+
+        Backward scheduling anchors sinks near the allocated length,
+        which can leave fully-idle cycles at the start (latency and
+        leading-PNOP waste) or after the last instruction.  A uniform
+        shift preserves every timing relation; block-entry events
+        (cycle 0) stay put and remain valid since they only get read
+        later.
+        """
+        occupied = [cycle for cycles in self.tile_cycles.values()
+                    for cycle in cycles]
+        if not occupied:
+            self.length = 1
+            return
+        shift = min(occupied)
+        if shift > 0:
+            self.placements = {
+                uid: (tile, cycle - shift)
+                for uid, (tile, cycle) in self.placements.items()}
+            self.tile_cycles = {
+                tile: {cycle - shift: desc
+                       for cycle, desc in cycles.items()}
+                for tile, cycles in self.tile_cycles.items()}
+            self.rf_avail = {
+                uid: tuple((tile, cycle - shift if cycle > 0 else 0)
+                           for tile, cycle in events)
+                for uid, events in self.rf_avail.items()}
+            self.port_events = {
+                uid: tuple((tile, cycle - shift) for tile, cycle in events)
+                for uid, events in self.port_events.items()}
+            self.movs = [(tile, cycle - shift, uid)
+                         for tile, cycle, uid in self.movs]
+        self.length = max(occupied) - shift + 1
+        for tile, cycles in self.tile_cycles.items():
+            self._tile_max[tile] = max(cycles) if cycles else None
+            self._tile_pnops[tile] = pnop_blocks(cycles.keys())
+
+    # ------------------------------------------------------------------
+    # Cost (pruning / final selection)
+    # ------------------------------------------------------------------
+    def cost(self):
+        """Lexicographic cost: coarse capacity pressure, MOVs, total.
+
+        Tile pressure is normalised by context-memory depth and
+        bucketed, so on heterogeneous configurations the exploration
+        prefers keeping small-CM tiles lean before it optimises MOV
+        count; within a pressure bucket, fewer MOVs win.
+        """
+        worst = 0.0
+        total = 0
+        for tile in range(self.cgra.n_tiles):
+            words = self.tile_context_words(tile, exact=True)
+            total += words
+            pressure = words / self.cgra.cm_depth(tile)
+            if pressure > worst:
+                worst = pressure
+        return (int(worst * 8), self.n_movs, worst, total)
+
+    def __repr__(self):
+        return (f"PartialMapping({len(self.placements)} ops, "
+                f"{self.n_movs} movs, L={self.length})")

@@ -1,0 +1,154 @@
+"""Graph transformations (Sec III-B: re-computing and re-routing).
+
+Re-routing — inserting extra MOVs — lives inside the routing search.
+This module provides the other two remedies the flow applies when an
+operation cannot be bound in any live partial mapping:
+
+- **schedule stretch**: restart the block with a longer schedule,
+  giving the router more slack (the backward scheduler then has more
+  cycles between producers and consumers);
+- **re-compute**: duplicate a pure operation so distant consumers are
+  fed by independent copies instead of long MOV chains.  The duplicate
+  counts toward the paper's ``n(To)`` (transformed operations).
+
+Both operate on a *working copy* of the block's DFG; the original
+kernel IR is never mutated.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.ir import opcodes
+from repro.ir.dfg import DFG, DataNode, OperationNode
+
+
+def copy_dfg(dfg):
+    """Deep-copy a DFG preserving uids (placements stay comparable)."""
+    clone = DFG(dfg.block_name)
+    clone._uid = dfg._uid
+    data_map = {}
+    op_map = {}
+    for node in dfg.data:
+        copied = DataNode(node.uid, node.kind, producer=None,
+                          value=node.value, symbol=node.symbol,
+                          name=node.name)
+        data_map[node.uid] = copied
+        clone.data.append(copied)
+    for op in dfg.ops:
+        copied = OperationNode(
+            op.uid, op.opcode,
+            [data_map[d.uid] for d in op.operands],
+            name=op.name, region=op.region)
+        if op.result is not None:
+            result = data_map[op.result.uid]
+            result.producer = copied
+            copied.result = result
+        op_map[op.uid] = copied
+        clone.ops.append(copied)
+    for op in dfg.ops:
+        op_map[op.uid].order_after = [op_map[o.uid] for o in op.order_after]
+    clone.symbol_inputs = {s: data_map[n.uid]
+                           for s, n in dfg.symbol_inputs.items()}
+    clone.symbol_outputs = {s: data_map[n.uid]
+                            for s, n in dfg.symbol_outputs.items()}
+    clone._const_cache = {node.value: node for node in clone.data
+                          if node.is_const}
+    return clone
+
+
+def is_recomputable(dfg, op):
+    """Can this op be duplicated safely?
+
+    Pure single-output ALU ops always can.  A LOAD can too, when its
+    region is never stored to in this block (re-reading read-only data
+    is idempotent); conservative aliasing applies to untagged regions.
+    """
+    if op.result is None or op.opcode is opcodes.Opcode.BR:
+        return False
+    if not opcodes.is_memory(op.opcode):
+        return True
+    if op.opcode is not opcodes.Opcode.LOAD or op.region is None:
+        return False
+    for other in dfg.ops:
+        if other.opcode is opcodes.Opcode.STORE and (
+                other.region is None or other.region == op.region):
+            return False
+    return True
+
+
+def recompute_split(dfg, op_uid):
+    """Duplicate ``op`` and split its consumers between the two copies.
+
+    Returns a new DFG (the input is copied, not mutated).  Consumers
+    are partitioned alternately; the symbol-output binding, if the
+    result carries one, stays with the original.  Raises
+    :class:`MappingError` if the op is not splittable.
+    """
+    clone = copy_dfg(dfg)
+    op = clone.op_by_uid(op_uid)
+    if not is_recomputable(clone, op):
+        raise MappingError(f"operation {op.name} cannot be re-computed")
+    consumers = clone.consumers(op.result)
+    if len(consumers) < 2:
+        raise MappingError(
+            f"operation {op.name} has {len(consumers)} consumers; "
+            f"re-computing needs at least 2")
+    clone._uid += 1
+    duplicate = OperationNode(clone._uid, op.opcode, list(op.operands),
+                              name=f"{op.name}_rc", region=op.region)
+    clone._uid += 1
+    dup_result = DataNode(clone._uid, "op", producer=duplicate,
+                          name=f"{op.result.name}_rc")
+    duplicate.result = dup_result
+    duplicate.order_after = list(op.order_after)
+    clone.data.append(dup_result)
+    # Insert right after the original so creation order stays topological.
+    clone.ops.insert(clone.ops.index(op) + 1, duplicate)
+    # Alternate consumers between the two copies.
+    for index, consumer in enumerate(consumers):
+        if index % 2 == 1:
+            consumer.operands = [
+                dup_result if operand is op.result else operand
+                for operand in consumer.operands]
+    clone.validate()
+    return clone
+
+
+def presplit_high_fanout(dfg, load_fanout=2, alu_fanout=6):
+    """Re-compute values whose fan-out would force MOV storms.
+
+    Applied proactively before mapping — the re-computing
+    transformation of Sec III-B, triggered by structure instead of a
+    binding failure:
+
+    - LOADs bind only on the eight load-store tiles, so a load feeding
+      more than ``load_fanout`` slots is duplicated (legal for
+      read-only regions);
+    - pure ALU values feeding more than ``alu_fanout`` slots (e.g. a
+      row base shared by a whole unrolled loop body) are duplicated
+      likewise.
+
+    Returns the (possibly unchanged) DFG.
+    """
+    current = dfg
+    changed = True
+    while changed:
+        changed = False
+        for op in current.ops:
+            if op.result is None:
+                continue
+            limit = (load_fanout if op.opcode is opcodes.Opcode.LOAD
+                     else alu_fanout)
+            if len(current.consumers(op.result)) <= limit:
+                continue
+            if not is_recomputable(current, op):
+                continue
+            current = recompute_split(current, op.uid)
+            changed = True
+            break
+    return current
+
+
+def transformed_op_count(working_dfg, original_dfg):
+    """The paper's ``n(To)``: operations added by transformations."""
+    return len(working_dfg.ops) - len(original_dfg.ops)

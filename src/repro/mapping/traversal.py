@@ -1,0 +1,42 @@
+"""CDFG traversal orders (Sec III-B forward vs Sec III-D.1 weighted).
+
+The order in which basic blocks are mapped decides where symbol
+variables get homed, and therefore how much MOV/PNOP traffic the
+location constraints later force.  The paper's weighted traversal maps
+the blocks with the most symbol-variable activity first:
+
+    ``W_bb = n(s) + sum_s fanout(s)``
+
+in descending order (Fig 5: ~42% fewer moves, ~24% fewer pnops on FFT
+versus the forward traversal).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.ir import analysis
+
+TRAVERSALS = ("forward", "weighted")
+
+
+def forward_order(cdfg):
+    """Forward CDFG traversal (reverse post-order from the entry)."""
+    return cdfg.reverse_post_order()
+
+
+def weighted_order(cdfg):
+    """Blocks by descending weight; forward position breaks ties."""
+    forward = forward_order(cdfg)
+    position = {name: index for index, name in enumerate(forward)}
+    weights = analysis.cdfg_block_weights(cdfg)
+    return sorted(cdfg.blocks, key=lambda b: (-weights[b], position[b]))
+
+
+def block_order(cdfg, traversal):
+    """Dispatch on the traversal name ("forward" or "weighted")."""
+    if traversal == "forward":
+        return forward_order(cdfg)
+    if traversal == "weighted":
+        return weighted_order(cdfg)
+    raise MappingError(
+        f"unknown traversal {traversal!r}; choose from {TRAVERSALS}")

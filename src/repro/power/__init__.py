@@ -1,0 +1,33 @@
+"""28nm FD-SOI energy and area models.
+
+Substitute for the paper's Synopsys Design Compiler (area) and
+PrimePower (energy) runs at 0.6V / 25C / typical corner:
+
+- :mod:`repro.power.tech` — all technology constants in one place,
+  with the calibration anchors documented;
+- :mod:`repro.power.energy` — activity-based energy: per-event
+  dynamic energies plus area-proportional leakage;
+- :mod:`repro.power.area` — component-level area for every Table I
+  configuration and the or1k baseline (Fig 11);
+- :mod:`repro.power.report` — kernel-level energy accounting used by
+  the Table II benchmark.
+"""
+
+from repro.power.energy import EnergyModel, EnergyBreakdown
+from repro.power.area import AreaModel, cgra_area, cpu_area
+from repro.power.report import (
+    KernelEnergyRecord,
+    record_cgra_run,
+    record_cpu_run,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AreaModel",
+    "cgra_area",
+    "cpu_area",
+    "KernelEnergyRecord",
+    "record_cgra_run",
+    "record_cpu_run",
+]

@@ -1,0 +1,72 @@
+"""Area model (the Design Compiler substitute) — Fig 11.
+
+Component-level area for any CGRA configuration and the or1k baseline.
+Anchors from the paper:
+
+- a 64-word context memory is ~40% of its PE (Sec I) — encoded in
+  ``AREA_PE_BASE_UM2 == 96 * AREA_CM_WORD_UM2``;
+- the CPU side of the comparison carries 32 kB data memory, 4 kB
+  context memory and 1 kB instruction cache (Sec IV-C);
+- both systems share the same 32 kB data memory provision.
+
+The headline Fig 11 shape: HOM64 about twice the CPU area, the HET
+configurations markedly smaller thanks to the shrunken context
+memories.
+"""
+
+from __future__ import annotations
+
+from repro.power import tech
+
+
+class AreaModel:
+    """Area breakdowns in mm^2."""
+
+    UM2_PER_MM2 = 1e6
+
+    def cgra_breakdown(self, cgra):
+        """Component areas of a CGRA configuration (mm^2)."""
+        pe_logic = cgra.n_tiles * tech.AREA_PE_BASE_UM2
+        cm = cgra.total_cm_words * tech.AREA_CM_WORD_UM2
+        network = (cgra.n_tiles * tech.AREA_TILE_NETWORK_UM2
+                   + tech.AREA_CGRA_SHARED_UM2)
+        dmem = tech.DATA_MEMORY_BYTES * tech.AREA_SRAM_UM2_PER_BYTE
+        return {
+            "pe_logic": pe_logic / self.UM2_PER_MM2,
+            "context_memory": cm / self.UM2_PER_MM2,
+            "interconnect": network / self.UM2_PER_MM2,
+            "data_memory": dmem / self.UM2_PER_MM2,
+        }
+
+    def cpu_breakdown(self):
+        """Component areas of the or1k baseline (mm^2)."""
+        core = tech.AREA_CPU_CORE_UM2
+        imem = tech.CPU_IMEM_BYTES * tech.AREA_SRAM_UM2_PER_BYTE
+        cmem = tech.CPU_CM_BYTES * tech.AREA_SRAM_UM2_PER_BYTE
+        dmem = tech.DATA_MEMORY_BYTES * tech.AREA_SRAM_UM2_PER_BYTE
+        return {
+            "core": core / self.UM2_PER_MM2,
+            "icache": imem / self.UM2_PER_MM2,
+            "context_memory": cmem / self.UM2_PER_MM2,
+            "data_memory": dmem / self.UM2_PER_MM2,
+        }
+
+    def cgra_total(self, cgra):
+        return sum(self.cgra_breakdown(cgra).values())
+
+    def cpu_total(self):
+        return sum(self.cpu_breakdown().values())
+
+    def ratio_to_cpu(self, cgra):
+        """The Fig 11 headline: CGRA area / CPU area."""
+        return self.cgra_total(cgra) / self.cpu_total()
+
+
+def cgra_area(cgra):
+    """Total area of a CGRA configuration (mm^2)."""
+    return AreaModel().cgra_total(cgra)
+
+
+def cpu_area():
+    """Total area of the or1k baseline (mm^2)."""
+    return AreaModel().cpu_total()

@@ -1,0 +1,118 @@
+"""Activity-based energy model (the PrimePower substitute).
+
+``EnergyModel.cgra_energy`` prices a CGRA run from its
+:class:`~repro.sim.activity.ActivityCounters`; ``cpu_energy`` prices a
+CPU run from its dynamic instruction mix.  Both return an
+:class:`EnergyBreakdown` so experiments can report where the joules
+went (the paper's Table II is totals; the breakdown backs the
+analysis sentences around it).
+"""
+
+from __future__ import annotations
+
+from repro.ir.opcodes import Opcode
+from repro.power import tech
+
+
+class EnergyBreakdown:
+    """Energy by component, in picojoule."""
+
+    def __init__(self, parts):
+        self.parts = dict(parts)
+
+    @property
+    def total_pj(self):
+        return sum(self.parts.values())
+
+    @property
+    def total_uj(self):
+        return self.total_pj * 1e-6
+
+    def fraction(self, name):
+        total = self.total_pj
+        return self.parts.get(name, 0.0) / total if total else 0.0
+
+    def __repr__(self):
+        items = ", ".join(f"{k}={v:.0f}pJ" for k, v in self.parts.items())
+        return f"EnergyBreakdown({items})"
+
+
+class EnergyModel:
+    """Prices executions at the tech constants of :mod:`repro.power.tech`."""
+
+    def __init__(self, cgra=None):
+        self.cgra = cgra
+
+    # ------------------------------------------------------------------
+    def cgra_energy(self, activity, cgra=None):
+        """Energy of a CGRA run from its activity counters."""
+        cgra = cgra or self.cgra
+        if cgra is None:
+            raise ValueError("no CGRA configuration given")
+        cm = 0.0
+        compute = 0.0
+        operands = 0.0
+        gated = 0.0
+        for index, tile in enumerate(activity.tiles):
+            depth = cgra.cm_depth(index)
+            cm += tile.cm_reads * tech.cm_read_pj(depth)
+            cm += (tile.active_cycles + tile.pnop_fetches) * tech.DECODE_PJ
+            compute += tile.alu_ops * tech.ALU_PJ
+            compute += tile.mul_ops * tech.MUL_PJ
+            compute += tile.mov_ops * tech.MOV_PJ
+            compute += tile.br_ops * tech.BR_PJ
+            compute += (tile.loads + tile.stores) * tech.LSU_ISSUE_PJ
+            operands += tile.rf_reads * tech.RF_READ_PJ
+            operands += tile.rf_writes * tech.RF_WRITE_PJ
+            operands += tile.crf_reads * tech.CRF_READ_PJ
+            operands += tile.port_reads * tech.PORT_READ_PJ
+            gated += tile.gated_cycles * tech.GATED_CYCLE_PJ
+            gated += tile.idle_cycles * tech.IDLE_CYCLE_PJ
+        memory = (activity.dmem_reads * tech.DMEM_READ_PJ
+                  + activity.dmem_writes * tech.DMEM_WRITE_PJ)
+        control = activity.block_transitions * tech.BLOCK_TRANSITION_PJ
+        leakage = activity.cycles * (
+            sum(tech.tile_leak_pj(cgra.cm_depth(t))
+                for t in range(cgra.n_tiles))
+            + tech.SHARED_LEAK_PJ)
+        return EnergyBreakdown({
+            "context_memory": cm,
+            "compute": compute,
+            "operands": operands,
+            "gated": gated,
+            "data_memory": memory,
+            "control": control,
+            "leakage": leakage,
+        })
+
+    # ------------------------------------------------------------------
+    def cpu_energy(self, cpu_result):
+        """Energy of a CPU run from its dynamic instruction mix."""
+        fetch = 0.0
+        compute = 0.0
+        memory = 0.0
+        counts = cpu_result.op_counts
+        for opcode, count in counts.items():
+            fetch += count * (tech.CPU_FETCH_PJ + tech.CPU_DECODE_PJ
+                              + tech.CPU_RF_PJ)
+            if opcode is Opcode.LOAD:
+                memory += count * tech.CPU_LOAD_PJ
+            elif opcode is Opcode.STORE:
+                memory += count * tech.CPU_STORE_PJ
+            elif opcode is Opcode.BR:
+                compute += count * tech.CPU_BRANCH_PJ
+            elif opcode is Opcode.MUL:
+                compute += count * tech.CPU_MUL_PJ
+            else:
+                compute += count * tech.CPU_ALU_PJ
+        # Control overhead instructions (jumps between blocks).
+        blocks = sum(cpu_result.block_counts.values())
+        fetch += blocks * (tech.CPU_FETCH_PJ + tech.CPU_DECODE_PJ)
+        compute += blocks * tech.CPU_BRANCH_PJ
+        leakage = cpu_result.cycles * tech.CPU_LEAK_PJ
+        return EnergyBreakdown({
+            "fetch": fetch,
+            "compute": compute,
+            "data_memory": memory,
+            "leakage": leakage,
+        })

@@ -1,0 +1,51 @@
+"""Kernel-level energy accounting helpers.
+
+Bundles the pieces the Table II benchmark and the ``energy`` CLI
+command share: run a kernel on a backend, price it, and produce a
+comparable record.
+"""
+
+from __future__ import annotations
+
+from repro.power.energy import EnergyModel
+
+
+class KernelEnergyRecord:
+    """One backend's energy/latency record for a kernel."""
+
+    __slots__ = ("label", "cycles", "breakdown")
+
+    def __init__(self, label, cycles, breakdown):
+        self.label = label
+        self.cycles = cycles
+        self.breakdown = breakdown
+
+    @property
+    def total_uj(self):
+        return self.breakdown.total_uj
+
+    def gain_over(self, other):
+        """How many times less energy than ``other`` (bigger=better)."""
+        if self.total_uj == 0:
+            return 0.0
+        return other.total_uj / self.total_uj
+
+    def dominant_component(self):
+        """The component consuming the largest share."""
+        return max(self.breakdown.parts, key=self.breakdown.parts.get)
+
+    def __repr__(self):
+        return (f"KernelEnergyRecord({self.label}: "
+                f"{self.total_uj:.4f} uJ / {self.cycles} cycles)")
+
+
+def record_cgra_run(label, run, cgra):
+    """Price a CGRA run into a record."""
+    breakdown = EnergyModel().cgra_energy(run.activity, cgra)
+    return KernelEnergyRecord(label, run.cycles, breakdown)
+
+
+def record_cpu_run(label, run):
+    """Price a CPU run into a record."""
+    breakdown = EnergyModel().cpu_energy(run)
+    return KernelEnergyRecord(label, run.cycles, breakdown)

@@ -1,0 +1,120 @@
+"""Technology constants (28nm UTBB FD-SOI, 0.6V, 25C, typical).
+
+The paper synthesises the CGRA and the or1k with Design Compiler and
+measures power with PrimePower; we replace both with an analytic model.
+Every constant lives here so the calibration is auditable.  Absolute
+values are plausible near-threshold figures; what the experiments
+actually rely on are the *relations* the paper anchors:
+
+- a 64-word context memory is ~40% of a PE's area (Sec I);
+- context-memory read energy and leakage grow with depth (bitline
+  length), so CM-16/CM-32 tiles are cheaper per fetch and per idle
+  cycle than CM-64 tiles;
+- the or1k pays instruction-cache fetch + decode + pipeline control
+  per instruction — the overhead the CGRA amortises into its context
+  memories (configured once, fetched locally);
+- clock-gated PNOP/idle cycles cost almost nothing (the PMU counter).
+
+Energies in picojoule, areas in square micrometre, clock 100 MHz.
+"""
+
+#: Nominal operating point.
+SUPPLY_V = 0.6
+CLOCK_MHZ = 100.0
+
+# ----------------------------------------------------------------------
+# CGRA tile: dynamic energy per event (pJ)
+# ----------------------------------------------------------------------
+#: context fetch = sense the 20-bit word; grows with depth
+CM_READ_BASE_PJ = 0.40
+CM_READ_PER_WORD_PJ = 0.050
+#: instruction decode + issue control
+DECODE_PJ = 0.35
+#: functional unit events
+ALU_PJ = 0.90
+MUL_PJ = 2.40
+MOV_PJ = 0.45
+BR_PJ = 0.45
+#: register files / operand network
+RF_READ_PJ = 0.25
+RF_WRITE_PJ = 0.30
+CRF_READ_PJ = 0.25
+PORT_READ_PJ = 0.20
+#: LSU issue overhead (address handshake into the log interconnect)
+LSU_ISSUE_PJ = 0.50
+#: clock-gated cycles: the PMU counter ticks, everything else is off
+GATED_CYCLE_PJ = 0.04
+IDLE_CYCLE_PJ = 0.02
+
+# ----------------------------------------------------------------------
+# Shared CGRA resources
+# ----------------------------------------------------------------------
+#: TCDM access through the logarithmic interconnect (per word)
+DMEM_READ_PJ = 2.20
+DMEM_WRITE_PJ = 2.00
+#: global controller work per block transition (broadcast, jumps)
+BLOCK_TRANSITION_PJ = 1.20
+
+# ----------------------------------------------------------------------
+# Leakage (pJ per cycle @ 100 MHz, i.e. nW / 100)
+# ----------------------------------------------------------------------
+#: PE without its CM (ALU, register files, decoder, controller)
+TILE_LEAK_BASE_PJ = 0.08
+#: per CM word — the dominant term the HET configurations attack
+TILE_LEAK_PER_CM_WORD_PJ = 0.030
+#: data memory + interconnect + global controller
+SHARED_LEAK_PJ = 0.80
+
+# ----------------------------------------------------------------------
+# or1k CPU: dynamic energy per event (pJ)
+# ----------------------------------------------------------------------
+#: instruction fetch from the 1 kB I$ (hit) + PC/branch logic
+CPU_FETCH_PJ = 18.0
+#: decode, pipeline registers, bypass/control
+CPU_DECODE_PJ = 10.0
+#: 3-port register file access per instruction
+CPU_RF_PJ = 4.0
+CPU_ALU_PJ = 1.00
+CPU_MUL_PJ = 2.60
+#: 32 kB data memory access
+CPU_LOAD_PJ = 12.0
+CPU_STORE_PJ = 10.0
+#: taken-branch redirect/flush
+CPU_BRANCH_PJ = 6.0
+#: core + caches + data memory leakage per cycle
+CPU_LEAK_PJ = 8.0
+
+# ----------------------------------------------------------------------
+# Area (um^2)
+# ----------------------------------------------------------------------
+#: Context memories are flop-based register files (20-bit words with
+#: per-word decode), far denser in energy than in area — hence the
+#: large per-word footprint.  Calibrated with two anchors: a 64-word
+#: CM is 40% of the PE (Sec I), and the HOM64 CGRA is ~2x the CPU
+#: (Fig 11).  PE_BASE == 96 * CM word area encodes the first anchor.
+AREA_CM_WORD_UM2 = 110.0
+AREA_PE_BASE_UM2 = 96 * AREA_CM_WORD_UM2  # = 10560 um^2
+#: torus links + output registers per tile
+AREA_TILE_NETWORK_UM2 = 260.0
+#: shared: logarithmic interconnect, CGRA controller, global CM
+AREA_CGRA_SHARED_UM2 = 21000.0
+#: SRAM density for the bulk memories
+AREA_SRAM_UM2_PER_BYTE = 4.4
+#: data memory shared by both systems (32 kB)
+DATA_MEMORY_BYTES = 32 * 1024
+
+#: or1k core logic (pipeline, mul, caches control)
+AREA_CPU_CORE_UM2 = 59000.0
+#: CPU-side memories from the paper's comparison setup
+CPU_IMEM_BYTES = 1024          # 1 kB instruction cache
+CPU_CM_BYTES = 4 * 1024        # 4 kB "context memory" equivalent
+
+
+def cm_read_pj(depth):
+    """Energy of one context fetch from a CM of ``depth`` words."""
+    return CM_READ_BASE_PJ + CM_READ_PER_WORD_PJ * depth
+
+
+def tile_leak_pj(depth):
+    """Per-cycle leakage of one tile with a ``depth``-word CM."""
+    return TILE_LEAK_BASE_PJ + TILE_LEAK_PER_CM_WORD_PJ * depth

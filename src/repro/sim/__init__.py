@@ -1,0 +1,24 @@
+"""Cycle-level execution backends.
+
+- :mod:`repro.sim.memory` — the shared data memory behind the
+  logarithmic interconnect;
+- :mod:`repro.sim.activity` — activity counters feeding the energy
+  model (CM reads, issued ops, gated cycles, memory traffic);
+- :mod:`repro.sim.cgra` — lockstep execution of an assembled
+  :class:`~repro.codegen.assembler.Program` (substitute for the
+  paper's RTL + QuestaSim runs);
+- :mod:`repro.sim.cpu` — the or1k-like scalar baseline (substitute
+  for the paper's or1k at -O3).
+"""
+
+from repro.sim.activity import ActivityCounters
+from repro.sim.cgra import CGRASimulator, CGRARunResult
+from repro.sim.cpu import CPUModel, CPURunResult
+
+__all__ = [
+    "ActivityCounters",
+    "CGRASimulator",
+    "CGRARunResult",
+    "CPUModel",
+    "CPURunResult",
+]

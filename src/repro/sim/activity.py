@@ -1,0 +1,77 @@
+"""Activity counters: what the energy model multiplies by.
+
+Mirrors what Synopsys PrimePower would see in the paper's flow: how
+often each component toggles.  Counters are per tile where the
+component is per tile (context-memory fetches, ALU issues, register
+accesses, clock-gated cycles) and global for the shared resources
+(data memory, block transitions handled by the CGRA controller).
+"""
+
+from __future__ import annotations
+
+
+class TileActivity:
+    """Per-tile activity."""
+
+    __slots__ = ("alu_ops", "mul_ops", "mov_ops", "loads", "stores",
+                 "br_ops", "pnop_fetches", "gated_cycles", "idle_cycles",
+                 "rf_reads", "rf_writes", "crf_reads", "port_reads",
+                 "cm_reads", "active_cycles")
+
+    def __init__(self):
+        self.alu_ops = 0
+        self.mul_ops = 0
+        self.mov_ops = 0
+        self.loads = 0
+        self.stores = 0
+        self.br_ops = 0
+        #: one context fetch per PNOP instruction entered
+        self.pnop_fetches = 0
+        #: cycles spent counted down inside a PNOP (clock gated)
+        self.gated_cycles = 0
+        #: cycles with no instruction at all (trailing idle, idle blocks)
+        self.idle_cycles = 0
+        self.rf_reads = 0
+        self.rf_writes = 0
+        self.crf_reads = 0
+        self.port_reads = 0
+        #: context-memory reads (one per issued instruction/pnop fetch)
+        self.cm_reads = 0
+        #: cycles with an instruction issued
+        self.active_cycles = 0
+
+    @property
+    def issued(self):
+        return (self.alu_ops + self.mul_ops + self.mov_ops + self.loads
+                + self.stores + self.br_ops)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class ActivityCounters:
+    """Whole-array activity for one kernel execution."""
+
+    def __init__(self, n_tiles):
+        self.tiles = [TileActivity() for _ in range(n_tiles)]
+        self.cycles = 0
+        self.block_transitions = 0
+        self.dmem_reads = 0
+        self.dmem_writes = 0
+
+    def total(self, field):
+        return sum(getattr(tile, field) for tile in self.tiles)
+
+    def as_dict(self):
+        return {
+            "cycles": self.cycles,
+            "block_transitions": self.block_transitions,
+            "dmem_reads": self.dmem_reads,
+            "dmem_writes": self.dmem_writes,
+            "tiles": [tile.as_dict() for tile in self.tiles],
+        }
+
+    def __repr__(self):
+        return (f"ActivityCounters(cycles={self.cycles}, "
+                f"issued={self.total('issued')}, "
+                f"gated={self.total('gated_cycles')})")

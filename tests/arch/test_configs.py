@@ -1,0 +1,77 @@
+"""Table I regression tests: the four CM configurations."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.arch.configs import (
+    CGRA_CONFIGS,
+    EXPECTED_TOTALS,
+    get_config,
+    make_cgra,
+)
+
+
+class TestTableI:
+    @pytest.mark.parametrize("name", sorted(CGRA_CONFIGS))
+    def test_totals_match_paper(self, name):
+        assert CGRA_CONFIGS[name].total_cm_words == EXPECTED_TOTALS[name]
+
+    def test_hom64_uniform(self):
+        assert all(pe.cm_depth == 64 for pe in CGRA_CONFIGS["HOM64"].tiles)
+
+    def test_hom32_uniform(self):
+        assert all(pe.cm_depth == 32 for pe in CGRA_CONFIGS["HOM32"].tiles)
+
+    def test_het1_layout(self):
+        het1 = CGRA_CONFIGS["HET1"]
+        depths = [pe.cm_depth for pe in het1.tiles]
+        assert depths[0:4] == [64] * 4      # tiles 1-4
+        assert depths[4:8] == [32] * 4      # tiles 5-8
+        assert depths[8:12] == [16] * 4     # tiles 9-12
+        assert depths[12:16] == [32] * 4    # tiles 13-16
+
+    def test_het2_layout(self):
+        het2 = CGRA_CONFIGS["HET2"]
+        depths = [pe.cm_depth for pe in het2.tiles]
+        assert depths[0:4] == [64] * 4
+        assert depths[4:8] == [32] * 4
+        assert depths[8:16] == [16] * 8
+
+    @pytest.mark.parametrize("name", sorted(CGRA_CONFIGS))
+    def test_eight_lsu_tiles(self, name):
+        assert CGRA_CONFIGS[name].lsu_tiles == tuple(range(8))
+
+    def test_lookup_case_insensitive(self):
+        assert get_config("het1") is CGRA_CONFIGS["HET1"]
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ArchitectureError):
+            get_config("HOM128")
+
+
+class TestCGRAStructure:
+    def test_tile_names_are_one_based(self):
+        cgra = CGRA_CONFIGS["HOM64"]
+        assert cgra.tile(0).name == "T1"
+        assert cgra.tile(15).name == "T16"
+
+    def test_candidate_tiles_for_memory_ops(self):
+        cgra = CGRA_CONFIGS["HET2"]
+        assert cgra.candidate_tiles(needs_lsu=True) == list(range(8))
+        assert cgra.candidate_tiles(needs_lsu=False) == list(range(16))
+
+    def test_custom_cgra(self):
+        cgra = make_cgra("tiny", rows=2, cols=2, cm_depths=[8, 8, 8, 8],
+                         lsu_tiles=(0,))
+        assert cgra.n_tiles == 4
+        assert cgra.total_cm_words == 32
+        assert cgra.lsu_tiles == (0,)
+
+    def test_mismatched_depths_rejected(self):
+        with pytest.raises(ArchitectureError):
+            make_cgra("bad", rows=2, cols=2, cm_depths=[8, 8, 8])
+
+    def test_lsu_out_of_range_rejected(self):
+        with pytest.raises(ArchitectureError):
+            make_cgra("bad", rows=2, cols=2, cm_depths=[8] * 4,
+                      lsu_tiles=(7,))

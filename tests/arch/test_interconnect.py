@@ -1,0 +1,87 @@
+"""Unit tests for the 2D-mesh torus interconnect."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.arch.interconnect import TorusInterconnect
+
+
+@pytest.fixture
+def torus():
+    return TorusInterconnect(4, 4)
+
+
+class TestTopology:
+    def test_indexing_roundtrip(self, torus):
+        for index in range(16):
+            row, col = torus.coords(index)
+            assert torus.index(row, col) == index
+
+    def test_every_tile_has_four_neighbors(self, torus):
+        for index in range(16):
+            assert len(torus.neighbors(index)) == 4
+
+    def test_neighbor_symmetry(self, torus):
+        for a in range(16):
+            for b in torus.neighbors(a):
+                assert a in torus.neighbors(b)
+
+    def test_corner_wraps(self, torus):
+        # Tile 0 = (0,0); torus neighbours: (3,0)=12, (1,0)=4, (0,3)=3, (0,1)=1.
+        assert set(torus.neighbors(0)) == {12, 4, 3, 1}
+
+    def test_no_self_neighbor(self, torus):
+        for index in range(16):
+            assert index not in torus.neighbors(index)
+
+    def test_out_of_range_coords(self, torus):
+        with pytest.raises(ArchitectureError):
+            torus.coords(16)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ArchitectureError):
+            TorusInterconnect(0, 4)
+
+
+class TestDistance:
+    def test_distance_zero_to_self(self, torus):
+        for index in range(16):
+            assert torus.distance(index, index) == 0
+
+    def test_distance_one_to_neighbors(self, torus):
+        for a in range(16):
+            for b in torus.neighbors(a):
+                assert torus.distance(a, b) == 1
+
+    def test_distance_symmetric(self, torus):
+        for a in range(16):
+            for b in range(16):
+                assert torus.distance(a, b) == torus.distance(b, a)
+
+    def test_diameter_is_four(self, torus):
+        diameter = max(torus.distance(a, b)
+                       for a in range(16) for b in range(16))
+        assert diameter == 4
+
+    def test_wraparound_shortens_paths(self, torus):
+        # (0,0) -> (0,3) is one hop on the torus, not three.
+        assert torus.distance(0, 3) == 1
+
+    def test_triangle_inequality(self, torus):
+        for a in range(16):
+            for b in range(16):
+                for c in range(16):
+                    assert (torus.distance(a, c)
+                            <= torus.distance(a, b) + torus.distance(b, c))
+
+
+class TestSmallTori:
+    def test_2x2_dedupes_aliases(self):
+        torus = TorusInterconnect(2, 2)
+        # On 2x2, up == down and left == right.
+        for index in range(4):
+            assert len(torus.neighbors(index)) == 2
+
+    def test_1x4_ring(self):
+        torus = TorusInterconnect(1, 4)
+        assert set(torus.neighbors(0)) == {1, 3}

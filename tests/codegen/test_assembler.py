@@ -1,0 +1,79 @@
+"""Assembler tests: stream construction, pnop folding, fit checking."""
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import get_config, make_cgra
+from repro.codegen.assembler import assemble
+from repro.errors import ContextOverflowError
+from repro.kernels import get_kernel
+from repro.mapping.flow import FlowOptions, map_kernel
+
+
+@pytest.fixture(scope="module")
+def fir_program():
+    kernel = get_kernel("fir", n_samples=8, n_taps=4)
+    mapping = map_kernel(kernel.cdfg, get_config("HOM64"),
+                         FlowOptions.basic())
+    return kernel, mapping, assemble(mapping, kernel.cdfg)
+
+
+class TestStreams:
+    def test_words_match_mapping_accounting(self, fir_program):
+        kernel, mapping, program = fir_program
+        words = mapping.tile_words()
+        for tile in range(16):
+            assert program.tile_words(tile) == words[tile]
+
+    def test_streams_cover_blocks(self, fir_program):
+        kernel, mapping, program = fir_program
+        assert set(program.blocks) == set(kernel.cdfg.blocks)
+
+    def test_instruction_cycles_monotonic(self, fir_program):
+        _, _, program = fir_program
+        for block in program.blocks.values():
+            for stream in block.tile_streams.values():
+                cycles = [instr.cycle for instr in stream]
+                assert cycles == sorted(cycles)
+
+    def test_pnops_fill_gaps_exactly(self, fir_program):
+        _, _, program = fir_program
+        for block in program.blocks.values():
+            for stream in block.tile_streams.values():
+                cursor = 0
+                for instr in stream:
+                    assert instr.cycle == cursor, \
+                        "streams must be gap-free after pnop folding"
+                    cursor += instr.issue_cycles
+
+    def test_no_trailing_pnop(self, fir_program):
+        _, _, program = fir_program
+        for block in program.blocks.values():
+            for stream in block.tile_streams.values():
+                if stream:
+                    assert stream[-1].kind != "pnop"
+
+    def test_symbol_homes_complete(self, fir_program):
+        kernel, mapping, program = fir_program
+        for symbol in kernel.cdfg.symbols:
+            assert symbol in program.symbol_inits
+
+
+class TestFitEnforcement:
+    def test_overflow_detected_on_small_config(self):
+        # A context-unaware mapping loaded onto a tiny-CM CGRA must be
+        # rejected at assembly time, like hardware would reject it.
+        kernel = get_kernel("fir", n_samples=8, n_taps=4)
+        tiny = make_cgra("tiny8", cm_depths=[6] * 16)
+        mapping = map_kernel(kernel.cdfg, tiny, FlowOptions.basic())
+        if mapping.fits:
+            pytest.skip("mapping happened to fit the tiny config")
+        with pytest.raises(ContextOverflowError):
+            assemble(mapping, kernel.cdfg, enforce_fit=True)
+
+    def test_enforce_fit_can_be_deferred(self):
+        kernel = get_kernel("fir", n_samples=8, n_taps=4)
+        tiny = make_cgra("tiny8", cm_depths=[6] * 16)
+        mapping = map_kernel(kernel.cdfg, tiny, FlowOptions.basic())
+        program = assemble(mapping, kernel.cdfg, enforce_fit=False)
+        assert program.total_words() > 0

@@ -1,0 +1,111 @@
+"""Binary encoding tests: field packing, allocation, round-trip."""
+
+import pytest
+
+from repro.arch.configs import get_config
+from repro.codegen.binary import (
+    RegisterAllocator,
+    decode_word,
+    encode_instruction,
+    encode_program,
+)
+from repro.codegen.isa import Instruction, Source
+from repro.errors import EncodingError
+from repro.ir.opcodes import Opcode
+from repro.kernels import get_kernel
+from repro.mapping.flow import FlowOptions, map_kernel
+from repro.codegen.assembler import assemble
+
+
+@pytest.fixture
+def cgra():
+    return get_config("HOM64")
+
+
+@pytest.fixture
+def allocator():
+    return RegisterAllocator(rrf_words=32, crf_values=[0, 1, 7, 42])
+
+
+class TestEncodeDecode:
+    def test_pnop_roundtrip(self, allocator, cgra):
+        word = encode_instruction(Instruction.pnop(9, 0), allocator,
+                                  cgra, 0)
+        decoded = decode_word(word)
+        assert decoded == {"kind": "pnop", "count": 9}
+
+    def test_alu_op_roundtrip(self, allocator, cgra):
+        instr = Instruction.op(Opcode.ADD,
+                               [Source.rf(10), Source.crf(42)],
+                               dest_uid=11, cycle=0)
+        decoded = decode_word(encode_instruction(instr, allocator,
+                                                 cgra, 0))
+        assert decoded["kind"] == "op"
+        assert decoded["opcode"] is Opcode.ADD
+        assert decoded["sources"][0]["stype"] == "rf"
+        assert decoded["sources"][1]["stype"] == "crf"
+        assert decoded["dst"] is not None
+
+    def test_mov_port_roundtrip(self, allocator, cgra):
+        neighbor = cgra.neighbors(0)[2]
+        instr = Instruction.mov(Source.port(neighbor, 5), dest_uid=6,
+                                cycle=1)
+        decoded = decode_word(encode_instruction(instr, allocator,
+                                                 cgra, 0))
+        assert decoded["kind"] == "mov"
+        assert decoded["sources"][0]["stype"] == "port"
+        assert decoded["sources"][0]["index"] == 2
+
+    def test_store_has_no_dst(self, allocator, cgra):
+        instr = Instruction.op(Opcode.STORE,
+                               [Source.rf(1), Source.rf(2)],
+                               dest_uid=None, cycle=0)
+        decoded = decode_word(encode_instruction(instr, allocator,
+                                                 cgra, 0))
+        assert decoded["dst"] is None
+
+    def test_unknown_constant_rejected(self, allocator, cgra):
+        instr = Instruction.op(Opcode.ADD,
+                               [Source.crf(999), Source.rf(1)],
+                               dest_uid=2, cycle=0)
+        with pytest.raises(EncodingError):
+            encode_instruction(instr, allocator, cgra, 0)
+
+    def test_non_neighbor_port_rejected(self, allocator, cgra):
+        instr = Instruction.mov(Source.port(10, 5), dest_uid=6, cycle=0)
+        with pytest.raises(EncodingError):
+            encode_instruction(instr, allocator, cgra, 0)
+
+
+class TestAllocator:
+    def test_slots_stable(self, allocator):
+        first = allocator.slot_for(100)
+        assert allocator.slot_for(100) == first
+        assert allocator.slot_for(101) == first + 1
+
+    def test_block_reset(self, allocator):
+        allocator.slot_for(100)
+        allocator.begin_block()
+        assert allocator.slot_for(200) == 0
+
+    def test_overflow_raises(self):
+        allocator = RegisterAllocator(rrf_words=2, crf_values=[])
+        allocator.slot_for(1)
+        allocator.slot_for(2)
+        with pytest.raises(EncodingError):
+            allocator.slot_for(3)
+
+
+class TestWholeProgram:
+    def test_encode_mapped_kernel(self):
+        kernel = get_kernel("fir", n_samples=8, n_taps=4)
+        mapping = map_kernel(kernel.cdfg, get_config("HET1"),
+                             FlowOptions.aware())
+        program = assemble(mapping, kernel.cdfg)
+        images = encode_program(program)
+        for tile, blocks in images.items():
+            for name, words in blocks:
+                assert len(words) == program.blocks[name].words(tile)
+                for word in words:
+                    assert 0 <= word < (1 << 40)
+                    decode_word(word)  # must not raise

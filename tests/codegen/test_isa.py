@@ -1,0 +1,61 @@
+"""Unit tests for instruction and source descriptors."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.codegen.isa import Instruction, Source
+from repro.ir.opcodes import Opcode
+
+
+class TestSource:
+    def test_rf(self):
+        s = Source.rf(5)
+        assert s.kind == "rf"
+        assert s.uid == 5
+
+    def test_crf(self):
+        s = Source.crf(42)
+        assert s.kind == "crf"
+        assert s.value == 42
+
+    def test_port(self):
+        s = Source.port(3, 7)
+        assert s.kind == "port"
+        assert s.tile == 3
+        assert s.uid == 7
+
+    def test_equality(self):
+        assert Source.rf(5) == Source.rf(5)
+        assert Source.rf(5) != Source.rf(6)
+        assert Source.rf(5) != Source.crf(5)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(CodegenError):
+            Source("magic")
+
+
+class TestInstruction:
+    def test_op(self):
+        instr = Instruction.op(Opcode.ADD, [Source.rf(1), Source.rf(2)],
+                               dest_uid=3, cycle=4)
+        assert instr.kind == "op"
+        assert instr.issue_cycles == 1
+        assert instr.cycle == 4
+
+    def test_mov(self):
+        instr = Instruction.mov(Source.crf(7), dest_uid=9, cycle=0)
+        assert instr.kind == "mov"
+        assert instr.opcode is Opcode.MOV
+
+    def test_pnop(self):
+        instr = Instruction.pnop(5, cycle=2)
+        assert instr.kind == "pnop"
+        assert instr.issue_cycles == 5
+
+    def test_zero_pnop_rejected(self):
+        with pytest.raises(CodegenError):
+            Instruction.pnop(0, cycle=0)
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(CodegenError):
+            Instruction.op("add", [], None, 0)

@@ -1,0 +1,37 @@
+"""Listing/pretty-printer tests."""
+
+import pytest
+
+from repro.arch.configs import get_config
+from repro.codegen.assembler import assemble
+from repro.codegen.listing import format_block, format_program, usage_chart
+from repro.kernels import get_kernel
+from repro.mapping.flow import FlowOptions, map_kernel
+
+
+@pytest.fixture(scope="module")
+def program():
+    kernel = get_kernel("dc_filter", n_samples=16)
+    mapping = map_kernel(kernel.cdfg, get_config("HET1"),
+                         FlowOptions.aware())
+    return assemble(mapping, kernel.cdfg)
+
+
+class TestListing:
+    def test_program_listing_mentions_blocks(self, program):
+        text = format_program(program)
+        for name in program.blocks:
+            assert name in text
+
+    def test_block_listing_shows_instructions(self, program):
+        block = next(iter(program.blocks.values()))
+        text = format_block(block, program.cgra,
+                            only_busy_tiles=False)
+        assert "T1" in text
+
+    def test_usage_chart_shows_capacity(self, program):
+        text = usage_chart(program)
+        assert "/64" in text
+        assert "/16" in text  # HET1 has CM16 tiles
+        lines = text.splitlines()
+        assert len(lines) == 1 + program.cgra.n_tiles

@@ -1,0 +1,53 @@
+"""Experiment-driver tests (small kernels, fast paths)."""
+
+import pytest
+
+from repro.eval import normalize
+from repro.eval.experiments import (
+    cpu_point,
+    execute_point,
+    fig11_data,
+)
+from repro.eval.reporting import render_fig11, render_table
+
+
+class TestNormalize:
+    def test_normalized(self):
+        assert normalize.normalized(50, 100) == 0.5
+        assert normalize.normalized(None, 100) == 0.0
+        assert normalize.normalized(50, 0) == 0.0
+
+    def test_speedup(self):
+        assert normalize.speedup(100, 50) == 2.0
+        assert normalize.speedup(100, None) == 0.0
+
+    def test_gain(self):
+        assert normalize.gain(10.0, 2.5) == 4.0
+
+
+class TestPoints:
+    def test_execute_point_verifies_and_caches(self):
+        first = execute_point("dc_filter", "HET1", "full")
+        second = execute_point("dc_filter", "HET1", "full")
+        assert first is second
+        assert first.mapped
+        assert first.cycles > 0
+        assert first.energy_uj > 0
+
+    def test_cpu_point(self):
+        cycles, energy = cpu_point("dc_filter")
+        assert cycles > 0
+        assert energy.total_uj > 0
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_fig11_renders(self):
+        text = render_fig11(fig11_data())
+        assert "HOM64" in text
+        assert "CPU" in text

@@ -1,0 +1,74 @@
+"""Integration: the paper's pipeline on downsized kernel instances.
+
+Each of the seven kernels is built small (same structure, smaller trip
+counts), mapped with the full context-aware flow onto HET1, assembled,
+binary-encoded, executed on the CGRA simulator, and compared
+bit-exactly against both the numpy/Python reference and the CPU
+model.  One paper-scale smoke test guards the defaults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import get_config
+from repro.codegen.assembler import assemble
+from repro.codegen.binary import encode_program
+from repro.kernels import get_kernel
+from repro.mapping.flow import FlowOptions, map_kernel
+from repro.sim.cgra import CGRASimulator
+from repro.sim.cpu import CPUModel
+
+SMALL = {
+    "fir": {"n_samples": 6, "n_taps": 4},
+    "matmul": {"size": 4, "j_unroll": 2},
+    "convolution": {"image": 6},
+    "sep_filter": {"image": 9, "taps": 3},
+    "nonsep_filter": {"image": 8, "ksize": 3},
+    "fft": {"n_points": 8},
+    "dc_filter": {"n_samples": 8},
+}
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_full_pipeline_small(name):
+    kernel = get_kernel(name, **SMALL[name])
+    mapping = map_kernel(kernel.cdfg, get_config("HET1"),
+                         FlowOptions.aware())
+    assert mapping.fits
+    program = assemble(mapping, kernel.cdfg)
+    encode_program(program)  # binary encoding must succeed too
+
+    inputs = kernel.make_inputs(np.random.default_rng(11))
+    memory = kernel.make_memory(inputs)
+    expected = kernel.reference(inputs)
+
+    cgra_run = CGRASimulator(program, memory).run()
+    cpu_run = CPUModel(kernel.cdfg).run(memory)
+    for region in kernel.output_regions:
+        assert cgra_run.region(kernel.cdfg, region) == expected[region]
+        assert cpu_run.region(kernel.cdfg, region) == expected[region]
+
+
+def test_paper_scale_fir_on_every_config():
+    kernel = get_kernel("fir")
+    inputs = kernel.make_inputs(np.random.default_rng(5))
+    memory = kernel.make_memory(inputs)
+    expected = kernel.reference(inputs)["y"]
+    for config in ("HOM64", "HOM32", "HET1", "HET2"):
+        mapping = map_kernel(kernel.cdfg, get_config(config),
+                             FlowOptions.aware())
+        program = assemble(mapping, kernel.cdfg)
+        run = CGRASimulator(program, memory).run()
+        assert run.region(kernel.cdfg, "y") == expected, config
+
+
+def test_basic_flow_paper_scale_fft():
+    kernel = get_kernel("fft")
+    mapping = map_kernel(kernel.cdfg, get_config("HOM64"),
+                         FlowOptions.basic())
+    program = assemble(mapping, kernel.cdfg, enforce_fit=True)
+    inputs = kernel.make_inputs(np.random.default_rng(2))
+    run = CGRASimulator(program, kernel.make_memory(inputs)).run()
+    expected = kernel.reference(inputs)
+    assert run.region(kernel.cdfg, "xr") == expected["xr"]
+    assert run.region(kernel.cdfg, "xi") == expected["xi"]

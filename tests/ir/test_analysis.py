@@ -1,0 +1,130 @@
+"""Unit tests for the DFG/CDFG analyses feeding the mapper."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import analysis
+from repro.ir.builder import KernelBuilder
+from repro.ir.dfg import DFG
+from repro.ir.opcodes import Opcode
+
+
+def diamond_dfg():
+    """a -> (b, c) -> d: classic diamond."""
+    dfg = DFG("diamond")
+    one = dfg.new_const(1)
+    a = dfg.add_op(Opcode.ADD, [one, one])
+    b = dfg.add_op(Opcode.NEG, [a])
+    c = dfg.add_op(Opcode.NOT, [a])
+    dfg.add_op(Opcode.ADD, [b, c])
+    return dfg
+
+
+class TestLevels:
+    def test_asap_diamond(self):
+        dfg = diamond_dfg()
+        asap = analysis.asap_levels(dfg)
+        levels = [asap[op.uid] for op in dfg.ops]
+        assert levels == [0, 1, 1, 2]
+
+    def test_alap_diamond(self):
+        dfg = diamond_dfg()
+        alap = analysis.alap_levels(dfg)
+        levels = [alap[op.uid] for op in dfg.ops]
+        assert levels == [0, 1, 1, 2]
+
+    def test_mobility_zero_on_critical_path(self):
+        dfg = diamond_dfg()
+        mobility = analysis.mobility(dfg)
+        assert all(value == 0 for value in mobility.values())
+
+    def test_mobility_with_slack(self):
+        dfg = DFG("slack")
+        one = dfg.new_const(1)
+        chain = one
+        for _ in range(3):
+            chain = dfg.add_op(Opcode.ADD, [chain, one])
+        side = dfg.add_op(Opcode.NEG, [one])
+        dfg.add_op(Opcode.ADD, [chain, side])
+        mobility = analysis.mobility(dfg)
+        side_op = dfg.ops[3]
+        assert mobility[side_op.uid] > 0
+
+    def test_alap_with_extended_depth(self):
+        dfg = diamond_dfg()
+        alap = analysis.alap_levels(dfg, depth=5)
+        assert alap[dfg.ops[-1].uid] == 4
+
+    def test_alap_below_critical_path_rejected(self):
+        dfg = diamond_dfg()
+        with pytest.raises(IRError):
+            analysis.alap_levels(dfg, depth=1)
+
+    def test_critical_path_empty_dfg(self):
+        assert analysis.critical_path_length(DFG("empty")) == 1
+
+    def test_memory_order_extends_critical_path(self):
+        dfg = DFG("mem")
+        addr = dfg.new_const(0)
+        dfg.add_op(Opcode.STORE, [addr, dfg.new_const(1)], region="x")
+        dfg.add_op(Opcode.LOAD, [addr], region="x")
+        # The load must come after the store: depth 2, not 1.
+        assert analysis.critical_path_length(dfg) == 2
+
+
+class TestFanout:
+    def test_fanout_counts_operand_slots(self):
+        dfg = DFG("f")
+        one = dfg.new_const(2)
+        a = dfg.add_op(Opcode.ADD, [one, one])
+        dfg.add_op(Opcode.MUL, [a, a])
+        fan = analysis.fanouts(dfg)
+        assert fan[dfg.ops[0].uid] == 2
+        assert fan[dfg.ops[1].uid] == 0
+
+    def test_priority_ordering(self):
+        dfg = diamond_dfg()
+        priority = analysis.backward_priority(dfg)
+        assert len(priority) == 4
+        # Priorities are orderable tuples.
+        assert sorted(priority.values())
+
+
+class TestBlockWeights:
+    def _kernel(self):
+        k = KernelBuilder("w")
+        out = k.array_output("out", 4)
+        acc = k.symbol_var("acc", 0)
+        with k.loop("i", 0, 4) as i:
+            k.set(acc, k.get(acc) + i + i)
+        k.store(out.at(0), k.get(acc))
+        return k.finish()
+
+    def test_weight_counts_symbols_and_fanouts(self):
+        cdfg = self._kernel()
+        weights = analysis.cdfg_block_weights(cdfg)
+        body = [n for n in weights if "body" in n][0]
+        # Body reads acc (fanout 1) and i (fanout 3: two adds plus the
+        # latch increment); writes both: n(s)=2 + fanouts 4 -> 6.
+        assert weights[body] == 6
+        # The body is the heaviest block — weighted traversal maps it
+        # first, exactly the Fig 5 mechanism.
+        assert weights[body] == max(weights.values())
+
+    def test_symbols_present_includes_writes(self):
+        cdfg = self._kernel()
+        entry = cdfg.blocks["entry"]
+        # Entry initialises the loop variable (write-only).
+        assert "i" in analysis.symbols_present(entry)
+
+    def test_weight_zero_without_symbols(self):
+        k = KernelBuilder("plain")
+        out = k.array_output("out", 1)
+        k.store(out.at(0), k.const(1) + 2)
+        cdfg = k.finish()
+        assert analysis.block_weight(cdfg.blocks["entry"]) == 0
+
+    def test_symbol_fanout_of_unread_symbol(self):
+        cdfg = self._kernel()
+        entry = cdfg.blocks["entry"]
+        assert analysis.symbol_fanout(entry, "i") == 0

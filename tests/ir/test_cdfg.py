@@ -1,0 +1,135 @@
+"""Unit tests for CDFG structure, terminators and validation."""
+
+import pytest
+
+from repro.errors import IRError, ValidationError
+from repro.ir.cdfg import CDFG, Branch, Exit, Jump
+from repro.ir.opcodes import Opcode
+from repro.ir.validate import validate_cdfg
+
+
+def linear_cdfg():
+    cdfg = CDFG("linear")
+    a = cdfg.add_block("a")
+    b = cdfg.add_block("b")
+    a.set_terminator(Jump("b"))
+    b.set_terminator(Exit())
+    return cdfg
+
+
+class TestStructure:
+    def test_entry_is_first_block(self):
+        cdfg = linear_cdfg()
+        assert cdfg.entry == "a"
+
+    def test_duplicate_block_rejected(self):
+        cdfg = CDFG("d")
+        cdfg.add_block("a")
+        with pytest.raises(IRError):
+            cdfg.add_block("a")
+
+    def test_successors_predecessors(self):
+        cdfg = linear_cdfg()
+        assert cdfg.successors("a") == ["b"]
+        assert cdfg.predecessors("b") == ["a"]
+        assert cdfg.successors("b") == []
+
+    def test_unknown_block_lookup(self):
+        cdfg = linear_cdfg()
+        with pytest.raises(IRError):
+            cdfg.block("zzz")
+
+    def test_double_terminator_rejected(self):
+        cdfg = CDFG("t")
+        a = cdfg.add_block("a")
+        a.set_terminator(Exit())
+        with pytest.raises(IRError):
+            a.set_terminator(Exit())
+
+    def test_branch_emits_br_op(self):
+        cdfg = CDFG("br")
+        a = cdfg.add_block("a")
+        cond = a.dfg.add_op(Opcode.LT, [a.dfg.new_const(0),
+                                        a.dfg.new_const(1)])
+        b = cdfg.add_block("b")
+        c = cdfg.add_block("c")
+        a.set_terminator(Branch(cond, "b", "c"))
+        assert a.dfg.ops[-1].opcode is Opcode.BR
+        b.set_terminator(Exit())
+        c.set_terminator(Exit())
+        assert cdfg.validate()
+
+    def test_branch_condition_must_be_data_node(self):
+        with pytest.raises(IRError):
+            Branch("not-a-node", "b", "c")
+
+
+class TestTraversalOrder:
+    def test_reverse_post_order_diamond(self):
+        cdfg = CDFG("dia")
+        a = cdfg.add_block("a")
+        cond = a.dfg.add_op(Opcode.LT, [a.dfg.new_const(0),
+                                        a.dfg.new_const(1)])
+        for name in ("left", "right", "join"):
+            cdfg.add_block(name)
+        a.set_terminator(Branch(cond, "left", "right"))
+        cdfg.block("left").set_terminator(Jump("join"))
+        cdfg.block("right").set_terminator(Jump("join"))
+        cdfg.block("join").set_terminator(Exit())
+        order = cdfg.reverse_post_order()
+        assert order[0] == "a"
+        assert order[-1] == "join"
+        assert set(order) == {"a", "left", "right", "join"}
+
+
+class TestValidation:
+    def test_missing_terminator(self):
+        cdfg = CDFG("v")
+        cdfg.add_block("a")
+        with pytest.raises(ValidationError):
+            cdfg.validate()
+
+    def test_dangling_target(self):
+        cdfg = CDFG("v")
+        a = cdfg.add_block("a")
+        a.set_terminator(Jump("ghost"))
+        with pytest.raises(ValidationError):
+            cdfg.validate()
+
+    def test_unreachable_block(self):
+        cdfg = linear_cdfg()
+        orphan = cdfg.add_block("orphan")
+        orphan.set_terminator(Exit())
+        with pytest.raises(ValidationError):
+            cdfg.validate()
+
+    def test_undeclared_symbol_read(self):
+        cdfg = CDFG("v")
+        a = cdfg.add_block("a")
+        a.dfg.new_symbol_input("ghost")
+        a.set_terminator(Exit())
+        with pytest.raises(ValidationError):
+            cdfg.validate()
+
+    def test_unused_symbol_flagged_by_validate_cdfg(self):
+        cdfg = linear_cdfg()
+        cdfg.declare_symbol("dead", 0)
+        cdfg.validate()  # structural validation passes
+        with pytest.raises(ValidationError):
+            validate_cdfg(cdfg)  # strict validation rejects
+
+    def test_empty_cdfg_rejected(self):
+        with pytest.raises(ValidationError):
+            CDFG("empty").validate()
+
+    def test_duplicate_region_rejected(self):
+        cdfg = linear_cdfg()
+        cdfg.declare_region("x", 0, 4, "input")
+        with pytest.raises(IRError):
+            cdfg.declare_region("x", 4, 4, "input")
+
+    def test_memory_size_tracks_regions(self):
+        cdfg = linear_cdfg()
+        cdfg.declare_region("x", 0, 4, "input")
+        cdfg.declare_region("y", 10, 6, "output")
+        assert cdfg.memory_size == 16

@@ -1,0 +1,91 @@
+"""Unit tests for the per-block data-flow graph structure."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.dfg import DFG
+from repro.ir.opcodes import Opcode
+
+
+@pytest.fixture
+def dfg():
+    return DFG("bb")
+
+
+class TestConstruction:
+    def test_const_dedup(self, dfg):
+        a = dfg.new_const(7)
+        b = dfg.new_const(7)
+        c = dfg.new_const(8)
+        assert a is b
+        assert a is not c
+
+    def test_const_wraps_to_32_bits(self, dfg):
+        node = dfg.new_const(0xFFFFFFFF)
+        assert node.value == -1
+
+    def test_symbol_input_unique(self, dfg):
+        a = dfg.new_symbol_input("i")
+        b = dfg.new_symbol_input("i")
+        assert a is b
+        assert a.is_symbol
+
+    def test_add_op_produces_result(self, dfg):
+        a = dfg.new_const(1)
+        b = dfg.new_const(2)
+        result = dfg.add_op(Opcode.ADD, [a, b])
+        assert result is not None
+        assert result.producer is dfg.ops[0]
+
+    def test_store_has_no_result(self, dfg):
+        addr = dfg.new_const(0)
+        val = dfg.new_const(1)
+        assert dfg.add_op(Opcode.STORE, [addr, val]) is None
+
+    def test_wrong_arity_rejected(self, dfg):
+        a = dfg.new_const(1)
+        with pytest.raises(IRError):
+            dfg.add_op(Opcode.ADD, [a])
+
+    def test_foreign_operand_rejected(self, dfg):
+        other = DFG("other")
+        foreign = other.new_const(1)
+        # A fresh-uid foreign node is caught by the uid guard.
+        local = dfg.new_const(1)
+        assert foreign is not local
+
+    def test_non_datanode_operand_rejected(self, dfg):
+        with pytest.raises(IRError):
+            dfg.add_op(Opcode.NEG, [42])
+
+
+class TestQueries:
+    def test_consumers_and_fanout(self, dfg):
+        a = dfg.new_const(1)
+        b = dfg.new_const(2)
+        s = dfg.add_op(Opcode.ADD, [a, b])
+        dfg.add_op(Opcode.MUL, [s, s])
+        dfg.add_op(Opcode.NEG, [s])
+        assert len(dfg.consumers(s)) == 2
+        assert dfg.consumer_count(s) == 3  # MUL uses it twice
+
+    def test_predecessors_successors(self, dfg):
+        a = dfg.new_const(1)
+        x = dfg.add_op(Opcode.NEG, [a])
+        y = dfg.add_op(Opcode.NEG, [x])
+        op_x, op_y = dfg.ops
+        assert dfg.predecessors(op_y) == [op_x]
+        assert dfg.successors(op_x) == [op_y]
+        assert dfg.predecessors(op_x) == []
+        assert dfg.successors(op_y) == []
+
+    def test_symbol_output(self, dfg):
+        v = dfg.add_op(Opcode.ADD, [dfg.new_const(1), dfg.new_const(2)])
+        dfg.set_symbol_output("acc", v)
+        assert dfg.symbol_outputs["acc"] is v
+
+    def test_validate_passes(self, dfg):
+        a = dfg.new_symbol_input("i")
+        v = dfg.add_op(Opcode.ADD, [a, dfg.new_const(1)])
+        dfg.set_symbol_output("i", v)
+        assert dfg.validate()

@@ -1,0 +1,99 @@
+"""Interpreter tests: semantics, statistics, failure modes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.builder import KernelBuilder
+from repro.ir.interp import Interpreter
+from repro.ir.opcodes import Opcode
+
+
+class TestExecution:
+    def test_branch_both_ways(self):
+        k = KernelBuilder("b")
+        out = k.array_output("out", 2)
+        flag = k.symbol_var("flag", 1)
+        taken = k.declare_block("taken")
+        skipped = k.declare_block("skipped")
+        done = k.declare_block("done")
+        k.branch(k.get(flag), taken, skipped)
+        k.emit_in(taken)
+        k.store(out.at(0), k.const(111))
+        k.goto(done)
+        k.emit_in(skipped)
+        k.store(out.at(0), k.const(222))
+        k.goto(done)
+        k.emit_in(done)
+        k.store(out.at(1), k.const(9))
+        cdfg = k.finish()
+        result = Interpreter(cdfg).run()
+        assert result.region(cdfg, "out") == [111, 9]
+
+    def test_op_counts_are_dynamic(self):
+        k = KernelBuilder("c")
+        out = k.array_output("out", 1)
+        acc = k.symbol_var("acc", 0)
+        with k.loop("i", 0, 5) as i:
+            k.set(acc, k.get(acc) + i)
+        k.store(out.at(0), k.get(acc))
+        cdfg = k.finish()
+        result = Interpreter(cdfg).run()
+        # The body ADD runs 5 times (plus latch and header work).
+        assert result.op_counts[Opcode.BR] == 6  # 5 taken + 1 exit
+        assert result.block_counts[cdfg.entry] == 1
+
+    def test_memory_image_not_mutated(self):
+        k = KernelBuilder("m")
+        data = k.array_input("data", 2)
+        out = k.array_output("out", 1)
+        k.store(out.at(0), k.load(data.at(0)))
+        cdfg = k.finish()
+        image = [7, 8, 0]
+        Interpreter(cdfg).run(image)
+        assert image == [7, 8, 0]
+
+    def test_region_view(self):
+        k = KernelBuilder("r")
+        out = k.array_output("out", 3)
+        for i in range(3):
+            k.store(out.at(i), k.const(i * 10))
+        cdfg = k.finish()
+        result = Interpreter(cdfg).run()
+        assert result.region(cdfg, "out") == [0, 10, 20]
+        assert result.dynamic_ops > 0
+
+
+class TestFailureModes:
+    def test_out_of_bounds_load(self):
+        k = KernelBuilder("oob")
+        data = k.array_input("data", 2)
+        out = k.array_output("out", 1)
+        k.store(out.at(0), k.load(data.at(0) + 100))
+        cdfg = k.finish()
+        with pytest.raises(SimulationError):
+            Interpreter(cdfg).run()
+
+    def test_short_memory_image_rejected(self):
+        k = KernelBuilder("short")
+        data = k.array_input("data", 8)
+        out = k.array_output("out", 1)
+        k.store(out.at(0), k.load(data.at(0)))
+        cdfg = k.finish()
+        with pytest.raises(SimulationError):
+            Interpreter(cdfg).run([0, 0])
+
+    def test_runaway_loop_guard(self):
+        k = KernelBuilder("run")
+        out = k.array_output("out", 1)
+        spin = k.symbol_var("spin", 1)
+        head = k.declare_block("head")
+        tail = k.declare_block("tail")
+        k.goto(head)
+        k.emit_in(head)
+        # Condition never becomes false.
+        k.branch(k.get(spin), head, tail)
+        k.emit_in(tail)
+        k.store(out.at(0), k.const(1))
+        cdfg = k.finish()
+        with pytest.raises(SimulationError):
+            Interpreter(cdfg, max_block_executions=100).run()

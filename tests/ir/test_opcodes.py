@@ -1,0 +1,123 @@
+"""Unit tests for the opcode set and its fixed-point semantics."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import opcodes
+from repro.ir.opcodes import Opcode
+
+
+class TestArity:
+    def test_binary_ops(self):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND,
+                   Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL,
+                   Opcode.SRA, Opcode.MIN, Opcode.MAX, Opcode.EQ,
+                   Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE,
+                   Opcode.STORE):
+            assert opcodes.arity(op) == 2
+
+    def test_unary_ops(self):
+        for op in (Opcode.NEG, Opcode.NOT, Opcode.ABS, Opcode.LOAD,
+                   Opcode.MOV, Opcode.BR):
+            assert opcodes.arity(op) == 1
+
+    def test_select_is_ternary(self):
+        assert opcodes.arity(Opcode.SELECT) == 3
+
+    def test_every_opcode_has_arity(self):
+        for op in Opcode:
+            assert opcodes.arity(op) >= 1
+
+
+class TestProperties:
+    def test_no_result_ops(self):
+        assert not opcodes.has_result(Opcode.STORE)
+        assert not opcodes.has_result(Opcode.BR)
+        assert opcodes.has_result(Opcode.ADD)
+        assert opcodes.has_result(Opcode.LOAD)
+        assert opcodes.has_result(Opcode.MOV)
+
+    def test_memory_ops(self):
+        assert opcodes.is_memory(Opcode.LOAD)
+        assert opcodes.is_memory(Opcode.STORE)
+        assert not opcodes.is_memory(Opcode.ADD)
+        assert not opcodes.is_memory(Opcode.MOV)
+
+    def test_commutativity(self):
+        assert opcodes.is_commutative(Opcode.ADD)
+        assert opcodes.is_commutative(Opcode.MUL)
+        assert not opcodes.is_commutative(Opcode.SUB)
+        assert not opcodes.is_commutative(Opcode.SLL)
+        assert not opcodes.is_commutative(Opcode.LT)
+
+    def test_cpu_costs(self):
+        assert opcodes.cpu_cycles(Opcode.ADD) == 1
+        assert opcodes.cpu_cycles(Opcode.MUL) == 3
+        assert opcodes.cpu_cycles(Opcode.LOAD) == 2
+        assert opcodes.cpu_cycles(Opcode.STORE) == 1
+        assert opcodes.cpu_cycles(Opcode.BR) == 3
+
+
+class TestEvaluate:
+    def test_add_wraps(self):
+        assert opcodes.evaluate(Opcode.ADD, [0x7FFFFFFF, 1]) == -0x80000000
+
+    def test_sub(self):
+        assert opcodes.evaluate(Opcode.SUB, [3, 5]) == -2
+
+    def test_mul_wraps(self):
+        assert opcodes.evaluate(Opcode.MUL, [1 << 16, 1 << 16]) == 0
+
+    def test_logic(self):
+        assert opcodes.evaluate(Opcode.AND, [0b1100, 0b1010]) == 0b1000
+        assert opcodes.evaluate(Opcode.OR, [0b1100, 0b1010]) == 0b1110
+        assert opcodes.evaluate(Opcode.XOR, [0b1100, 0b1010]) == 0b0110
+
+    def test_shifts(self):
+        assert opcodes.evaluate(Opcode.SLL, [1, 4]) == 16
+        assert opcodes.evaluate(Opcode.SRA, [-8, 1]) == -4
+        assert opcodes.evaluate(Opcode.SRL, [-8, 1]) == 0x7FFFFFFC
+
+    def test_shift_amount_masked_to_5_bits(self):
+        assert opcodes.evaluate(Opcode.SLL, [1, 33]) == 2
+
+    def test_minmax(self):
+        assert opcodes.evaluate(Opcode.MIN, [-3, 7]) == -3
+        assert opcodes.evaluate(Opcode.MAX, [-3, 7]) == 7
+
+    def test_comparisons(self):
+        assert opcodes.evaluate(Opcode.LT, [1, 2]) == 1
+        assert opcodes.evaluate(Opcode.GE, [1, 2]) == 0
+        assert opcodes.evaluate(Opcode.EQ, [5, 5]) == 1
+        assert opcodes.evaluate(Opcode.NE, [5, 5]) == 0
+        assert opcodes.evaluate(Opcode.LE, [2, 2]) == 1
+        assert opcodes.evaluate(Opcode.GT, [3, 2]) == 1
+
+    def test_unary(self):
+        assert opcodes.evaluate(Opcode.NEG, [5]) == -5
+        assert opcodes.evaluate(Opcode.NOT, [0]) == -1
+        assert opcodes.evaluate(Opcode.ABS, [-9]) == 9
+        assert opcodes.evaluate(Opcode.MOV, [42]) == 42
+
+    def test_select(self):
+        assert opcodes.evaluate(Opcode.SELECT, [1, 10, 20]) == 10
+        assert opcodes.evaluate(Opcode.SELECT, [0, 10, 20]) == 20
+        assert opcodes.evaluate(Opcode.SELECT, [-1, 10, 20]) == 10
+
+    def test_memory_ops_rejected(self):
+        with pytest.raises(IRError):
+            opcodes.evaluate(Opcode.LOAD, [0])
+        with pytest.raises(IRError):
+            opcodes.evaluate(Opcode.STORE, [0, 1])
+        with pytest.raises(IRError):
+            opcodes.evaluate(Opcode.BR, [1])
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(IRError):
+            opcodes.evaluate(Opcode.ADD, [1])
+
+    def test_wrap32_helper(self):
+        assert opcodes.wrap32(0x80000000) == -0x80000000
+        assert opcodes.wrap32(-0x80000001) == 0x7FFFFFFF
+        assert opcodes.wrap32(0) == 0
+        assert opcodes.wrap32(0xFFFFFFFF) == -1

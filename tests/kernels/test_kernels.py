@@ -1,0 +1,113 @@
+"""Functional validation of the seven paper kernels.
+
+Each kernel's CDFG, executed by the golden interpreter, must reproduce
+its independent Python reference bit-exactly.  This validates the CDFGs
+themselves before any mapping happens.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.interp import Interpreter
+from repro.kernels import PAPER_KERNEL_ORDER, get_kernel
+from repro.kernels.suite import display_name
+
+
+def run_kernel(kernel, seed=0):
+    inputs = kernel.make_inputs(np.random.default_rng(seed))
+    memory = kernel.make_memory(inputs)
+    result = Interpreter(kernel.cdfg).run(memory)
+    return inputs, result
+
+
+@pytest.mark.parametrize("name", PAPER_KERNEL_ORDER)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_kernel_matches_reference(name, seed):
+    kernel = get_kernel(name)
+    inputs, result = run_kernel(kernel, seed)
+    expected = kernel.reference(inputs)
+    for region_name in kernel.output_regions:
+        got = result.region(kernel.cdfg, region_name)
+        assert got == expected[region_name], (
+            f"{name}: region {region_name!r} mismatch")
+
+
+@pytest.mark.parametrize("name", PAPER_KERNEL_ORDER)
+def test_kernel_cdfg_validates(name):
+    kernel = get_kernel(name)
+    assert kernel.cdfg.validate()
+
+
+@pytest.mark.parametrize("name", PAPER_KERNEL_ORDER)
+def test_kernel_has_display_name(name):
+    assert display_name(name) != ""
+
+
+class TestKernelShapes:
+    """The structural properties the evaluation narrative relies on."""
+
+    def test_block_counts_stay_mappable(self):
+        # Every kernel must keep a compact CDFG: per-tile context cost
+        # grows with block count, and the paper maps all kernels onto
+        # CM64 tiles with the basic flow.
+        for name in PAPER_KERNEL_ORDER:
+            kernel = get_kernel(name)
+            assert len(kernel.cdfg.blocks) <= 24, (
+                f"{name} has {len(kernel.cdfg.blocks)} blocks")
+
+    def test_fft_is_among_largest_static_kernels(self):
+        sizes = {name: get_kernel(name).cdfg.n_ops
+                 for name in PAPER_KERNEL_ORDER}
+        ranked = sorted(sizes, key=sizes.get, reverse=True)
+        assert "fft" in ranked[:3], sizes
+
+    def test_dc_filter_is_small(self):
+        sizes = {name: get_kernel(name).cdfg.n_ops
+                 for name in PAPER_KERNEL_ORDER}
+        assert sizes["dc_filter"] <= sizes["fft"]
+
+
+class TestFFTAgainstNumpy:
+    def test_fft_matches_numpy_within_fixed_point_error(self):
+        kernel = get_kernel("fft")
+        inputs, result = run_kernel(kernel, seed=3)
+        n = len(inputs["re"])
+        signal = np.array(inputs["re"]) + 1j * np.array(inputs["im"])
+        expected = np.fft.fft(signal)
+        got = (np.array(result.region(kernel.cdfg, "xr"))
+               + 1j * np.array(result.region(kernel.cdfg, "xi")))
+        # Q2.14 twiddles truncate; allow a small relative/absolute slack.
+        error = np.abs(got - expected)
+        assert float(np.max(error)) < 64.0
+
+
+class TestParametrisedBuilds:
+    def test_tiny_fir(self):
+        kernel = get_kernel("fir", n_samples=4, n_taps=2)
+        inputs, result = run_kernel(kernel)
+        assert result.region(kernel.cdfg, "y") == kernel.reference(inputs)["y"]
+
+    def test_tiny_matmul(self):
+        kernel = get_kernel("matmul", size=4, j_unroll=2)
+        inputs, result = run_kernel(kernel)
+        assert result.region(kernel.cdfg, "c") == kernel.reference(inputs)["c"]
+
+    def test_matmul_bad_unroll_rejected(self):
+        with pytest.raises(ValueError):
+            get_kernel("matmul", size=6, j_unroll=4)
+
+    def test_tiny_fft(self):
+        kernel = get_kernel("fft", n_points=8)
+        inputs, result = run_kernel(kernel)
+        expected = kernel.reference(inputs)
+        assert result.region(kernel.cdfg, "xr") == expected["xr"]
+        assert result.region(kernel.cdfg, "xi") == expected["xi"]
+
+    def test_non_power_of_two_fft_rejected(self):
+        with pytest.raises(ValueError):
+            get_kernel("fft", n_points=12)
+
+    def test_unknown_kernel_rejected(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            get_kernel("dct")

@@ -1,0 +1,68 @@
+"""Kernel-suite plumbing tests (registry, wrappers, error paths)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.kernels import PAPER_KERNEL_ORDER, get_kernel, iter_kernels
+from repro.kernels.suite import Kernel
+from repro.kernels.util import tree_sum
+
+
+class TestRegistry:
+    def test_iter_kernels_order(self):
+        names = [kernel.name for kernel in iter_kernels()]
+        assert tuple(names) == tuple(PAPER_KERNEL_ORDER)
+
+    def test_descriptions_present(self):
+        for name in PAPER_KERNEL_ORDER:
+            assert get_kernel(name).description
+
+
+class TestKernelWrapper:
+    def test_make_memory_places_regions(self):
+        kernel = get_kernel("fir", n_samples=4, n_taps=2)
+        inputs = kernel.make_inputs(np.random.default_rng(0))
+        memory = kernel.make_memory(inputs)
+        base = kernel.cdfg.regions["h"]["base"]
+        assert memory[base:base + 2] == inputs["h"]
+
+    def test_inputs_size_validated(self):
+        kernel = get_kernel("fir", n_samples=4, n_taps=2)
+
+        def bad_inputs(_rng):
+            return {"x": [1, 2, 3], "h": [1, 2]}  # x too short
+
+        broken = Kernel("broken", kernel.cdfg, bad_inputs,
+                        lambda i: {})
+        with pytest.raises(ReproError):
+            broken.make_inputs()
+
+    def test_unknown_region_rejected(self):
+        kernel = get_kernel("fir", n_samples=4, n_taps=2)
+
+        def bad_inputs(_rng):
+            return {"ghost": [0]}
+
+        broken = Kernel("broken", kernel.cdfg, bad_inputs,
+                        lambda i: {})
+        with pytest.raises(ReproError):
+            broken.make_inputs()
+
+    def test_output_regions(self):
+        kernel = get_kernel("fft", n_points=8)
+        assert set(kernel.output_regions) == {"xr", "xi"}
+
+    def test_default_rng_reproducible(self):
+        kernel = get_kernel("dc_filter", n_samples=8)
+        assert kernel.make_inputs() == kernel.make_inputs()
+
+
+class TestTreeSum:
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            tree_sum([])
+
+    def test_single_value_passthrough(self):
+        sentinel = object()
+        assert tree_sum([sentinel]) is sentinel

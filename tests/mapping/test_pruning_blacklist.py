@@ -1,0 +1,115 @@
+"""Unit tests for ACMAP, ECMAP, stochastic pruning and CAB."""
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import make_cgra
+from repro.mapping.blacklist import full_tiles, update_blacklist
+from repro.mapping.pruning import acmap_filter, ecmap_filter, stochastic_prune
+from repro.mapping.state import CommittedState, PartialMapping
+
+
+def tiny_cgra(depth=8):
+    return make_cgra("tiny", rows=2, cols=2, cm_depths=[depth] * 4,
+                     lsu_tiles=(0, 1))
+
+
+def pm_with_usage(cgra, tile, cycles, committed=None):
+    pm = PartialMapping(cgra, committed or CommittedState(cgra),
+                        max(cycles) + 1 if cycles else 1)
+    for index, cycle in enumerate(cycles):
+        pm.occupy(tile, cycle, ("op", 100 + index))
+    return pm
+
+
+class TestAcmapEcmap:
+    def test_fitting_mapping_survives_both(self):
+        cgra = tiny_cgra(depth=8)
+        pm = pm_with_usage(cgra, 0, [0, 1, 2])
+        assert acmap_filter([pm]) == [pm]
+        assert ecmap_filter([pm]) == [pm]
+
+    def test_overflow_killed_by_both(self):
+        cgra = tiny_cgra(depth=4)
+        pm = pm_with_usage(cgra, 0, [0, 1, 2, 3, 4])
+        assert acmap_filter([pm]) == []
+        assert ecmap_filter([pm]) == []
+
+    def test_acmap_is_pessimistic(self):
+        # Two ops with a wide gap: exact pnops = 1 (3 words); the
+        # ACMAP bound assumes up to 2 gaps (4 words).  On a depth-3
+        # tile ACMAP rejects what ECMAP accepts.
+        cgra = tiny_cgra(depth=3)
+        pm = pm_with_usage(cgra, 0, [0, 5])
+        assert ecmap_filter([pm]) == [pm]
+        assert acmap_filter([pm]) == []
+
+    def test_committed_usage_counts(self):
+        cgra = tiny_cgra(depth=8)
+        committed = CommittedState(cgra).extend([6, 0, 0, 0], {})
+        pm = pm_with_usage(cgra, 0, [0, 1, 2], committed=committed)
+        assert ecmap_filter([pm]) == []
+
+
+class TestStochasticPrune:
+    def _population(self, cgra, count):
+        population = []
+        for index in range(count):
+            pm = PartialMapping(cgra, CommittedState(cgra), 8)
+            for m in range(index % 5):
+                pm.add_mov(index % 4, m, 100 + m)
+            population.append(pm)
+        return population
+
+    def test_under_cap_untouched(self):
+        cgra = tiny_cgra()
+        population = self._population(cgra, 5)
+        result = stochastic_prune(population, 10,
+                                  np.random.default_rng(0))
+        assert result == population
+
+    def test_prunes_to_cap(self):
+        cgra = tiny_cgra()
+        population = self._population(cgra, 40)
+        result = stochastic_prune(population, 8,
+                                  np.random.default_rng(0))
+        assert len(result) == 8
+
+    def test_keeps_best(self):
+        cgra = tiny_cgra()
+        population = self._population(cgra, 40)
+        best = min(population, key=lambda pm: pm.cost())
+        result = stochastic_prune(population, 8,
+                                  np.random.default_rng(0))
+        assert best in result
+
+    def test_deterministic_for_seed(self):
+        cgra = tiny_cgra()
+        population = self._population(cgra, 40)
+        first = stochastic_prune(population, 8, np.random.default_rng(5))
+        second = stochastic_prune(population, 8, np.random.default_rng(5))
+        assert [id(pm) for pm in first] == [id(pm) for pm in second]
+
+
+class TestCab:
+    def test_fresh_mapping_has_no_blacklist(self):
+        cgra = tiny_cgra(depth=8)
+        pm = PartialMapping(cgra, CommittedState(cgra), 4)
+        assert full_tiles(pm) == frozenset()
+
+    def test_full_tile_blacklisted(self):
+        cgra = tiny_cgra(depth=4)
+        pm = pm_with_usage(cgra, 0, [0, 1, 2])  # 3 words of 4: <2 left
+        assert 0 in full_tiles(pm)
+
+    def test_update_blacklist_stores(self):
+        cgra = tiny_cgra(depth=4)
+        pm = pm_with_usage(cgra, 1, [0, 1, 2])
+        update_blacklist(pm)
+        assert pm.blacklist == frozenset({1})
+
+    def test_committed_only_blacklist(self):
+        cgra = tiny_cgra(depth=8)
+        committed = CommittedState(cgra).extend([7, 0, 0, 0], {})
+        pm = PartialMapping(cgra, committed, 4)
+        assert 0 in full_tiles(pm)

@@ -1,0 +1,58 @@
+"""MappingResult accounting tests."""
+
+import pytest
+
+from repro.arch.configs import get_config, make_cgra
+from repro.errors import MappingError
+from repro.kernels import get_kernel
+from repro.mapping.flow import FlowOptions, map_kernel
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    kernel = get_kernel("dc_filter", n_samples=16)
+    return map_kernel(kernel.cdfg, get_config("HOM64"),
+                      FlowOptions.basic())
+
+
+class TestAccounting:
+    def test_tile_words_sum_blocks(self, mapping):
+        words = mapping.tile_words()
+        manual = [0] * 16
+        for block in mapping.blocks.values():
+            for tile, used in enumerate(block.block_usage()):
+                manual[tile] += used
+        assert words == manual
+
+    def test_total_words(self, mapping):
+        assert mapping.total_words == sum(mapping.tile_words())
+
+    def test_totals_consistent(self, mapping):
+        assert mapping.total_ops > 0
+        per_block = sum(block.n_ops for block in mapping.blocks.values())
+        assert mapping.total_ops == per_block
+
+    def test_breakdown_matches_usage(self, mapping):
+        for block in mapping.blocks.values():
+            for tile in range(16):
+                breakdown = block.tile_breakdown(tile)
+                assert (breakdown["ops"] + breakdown["movs"]
+                        + breakdown["pnops"]
+                        == block.block_usage()[tile])
+
+    def test_check_fits_passes_on_fitting(self, mapping):
+        assert mapping.fits
+        mapping.check_fits()  # must not raise
+
+    def test_check_fits_names_tiles(self):
+        kernel = get_kernel("fir", n_samples=8, n_taps=4)
+        tiny = make_cgra("tiny4", cm_depths=[4] * 16)
+        result = map_kernel(kernel.cdfg, tiny, FlowOptions.basic())
+        if result.fits:
+            pytest.skip("mapping happened to fit")
+        with pytest.raises(MappingError) as excinfo:
+            result.check_fits()
+        assert "T" in str(excinfo.value)
+
+    def test_compile_seconds_recorded(self, mapping):
+        assert mapping.compile_seconds > 0

@@ -1,0 +1,97 @@
+"""Unit tests for backward list scheduling and CDFG traversal orders."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.ir.builder import KernelBuilder
+from repro.ir.dfg import DFG
+from repro.ir.opcodes import Opcode
+from repro.mapping.scheduler import backward_order
+from repro.mapping.traversal import block_order, forward_order, weighted_order
+
+
+def chain_dfg(n):
+    dfg = DFG("chain")
+    value = dfg.new_const(1)
+    for _ in range(n):
+        value = dfg.add_op(Opcode.ADD, [value, dfg.new_const(1)])
+    return dfg
+
+
+class TestBackwardOrder:
+    def test_consumers_before_producers(self):
+        dfg = chain_dfg(5)
+        order = backward_order(dfg)
+        position = {op.uid: i for i, op in enumerate(order)}
+        for op in dfg.ops:
+            for succ in dfg.successors(op):
+                assert position[succ.uid] < position[op.uid]
+
+    def test_all_ops_scheduled_once(self):
+        dfg = chain_dfg(7)
+        order = backward_order(dfg)
+        assert len(order) == 7
+        assert len({op.uid for op in order}) == 7
+
+    def test_order_respects_memory_ordering(self):
+        dfg = DFG("mem")
+        addr = dfg.new_const(0)
+        value = dfg.new_const(1)
+        dfg.add_op(Opcode.STORE, [addr, value], region="a")
+        dfg.add_op(Opcode.LOAD, [addr], region="a")
+        order = backward_order(dfg)
+        # Backward order: the LOAD (later in time) comes first.
+        assert order[0].opcode is Opcode.LOAD
+        assert order[1].opcode is Opcode.STORE
+
+    def test_priority_prefers_low_mobility(self):
+        # Two independent sinks: one on the critical path (mobility 0),
+        # one slack-rich (mobility > 0).  The critical one comes first.
+        dfg = DFG("prio")
+        a = dfg.new_const(1)
+        long_chain = a
+        for _ in range(4):
+            long_chain = dfg.add_op(Opcode.ADD, [long_chain, a])
+        critical_sink = dfg.ops[-1]
+        slack_op_result = dfg.add_op(Opcode.NEG, [a])
+        slack_sink = dfg.ops[-1]
+        order = backward_order(dfg)
+        position = {op.uid: i for i, op in enumerate(order)}
+        assert position[critical_sink.uid] < position[slack_sink.uid]
+
+    def test_empty_dfg(self):
+        assert backward_order(DFG("empty")) == []
+
+
+class TestTraversal:
+    def _loop_kernel(self):
+        k = KernelBuilder("t")
+        out = k.array_output("out", 8)
+        acc = k.symbol_var("acc", 0)
+        with k.loop("i", 0, 8) as i:
+            k.set(acc, k.get(acc) + i)
+            k.store(out.at(i), k.get(acc))
+        return k.finish()
+
+    def test_forward_starts_at_entry(self):
+        cdfg = self._loop_kernel()
+        order = forward_order(cdfg)
+        assert order[0] == cdfg.entry
+        assert set(order) == set(cdfg.blocks)
+
+    def test_weighted_puts_symbol_heavy_block_first(self):
+        cdfg = self._loop_kernel()
+        order = weighted_order(cdfg)
+        # The loop body reads acc and i (heaviest symbol traffic).
+        assert order[0].startswith("i_body")
+
+    def test_weighted_is_permutation(self):
+        cdfg = self._loop_kernel()
+        assert sorted(weighted_order(cdfg)) == sorted(cdfg.blocks)
+
+    def test_block_order_dispatch(self):
+        cdfg = self._loop_kernel()
+        assert block_order(cdfg, "forward") == forward_order(cdfg)
+        assert block_order(cdfg, "weighted") == weighted_order(cdfg)
+        with pytest.raises(MappingError):
+            block_order(cdfg, "random")

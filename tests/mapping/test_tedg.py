@@ -1,0 +1,35 @@
+"""TEDG view tests (the paper's time-extended directed graph)."""
+
+from repro.arch.configs import get_config
+from repro.mapping.tedg import TEDG
+
+
+class TestTEDG:
+    def setup_method(self):
+        self.tedg = TEDG(get_config("HOM64"))
+
+    def test_time_slices(self):
+        assert len(self.tedg.fu_nodes(0)) == 16
+        assert len(self.tedg.rf_nodes(3)) == 16
+
+    def test_fu_edges_include_writeback_and_ports(self):
+        edges = self.tedg.edges_from_fu(0, 5)
+        targets = {target for _, target in edges}
+        # Writeback to the local RF at t+1.
+        assert (("RF", 0), 6) in targets
+        # Port forwarding to each torus neighbour at t+1.
+        for neighbor in self.tedg.port_consumers(0):
+            assert (("FU", neighbor), 6) in targets
+        assert len(edges) == 5
+
+    def test_rf_edges_hold_and_read(self):
+        edges = self.tedg.edges_from_rf(2, 7)
+        targets = {target for _, target in edges}
+        assert (("RF", 2), 8) in targets   # value rests
+        assert (("FU", 2), 7) in targets   # same-cycle operand read
+
+    def test_port_consumers_match_torus(self):
+        cgra = get_config("HOM64")
+        for tile in range(16):
+            assert (self.tedg.port_consumers(tile)
+                    == cgra.neighbors(tile))

@@ -1,0 +1,140 @@
+"""Unit tests for the graph transformations (re-compute, pre-split)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.ir.dfg import DFG
+from repro.ir.opcodes import Opcode
+from repro.mapping.transforms import (
+    copy_dfg,
+    is_recomputable,
+    presplit_high_fanout,
+    recompute_split,
+    transformed_op_count,
+)
+
+
+def fanout_dfg():
+    """One ADD feeding four NEG consumers."""
+    dfg = DFG("t")
+    a = dfg.new_const(1)
+    b = dfg.new_const(2)
+    shared = dfg.add_op(Opcode.ADD, [a, b])
+    for _ in range(4):
+        dfg.add_op(Opcode.NEG, [shared])
+    return dfg
+
+
+class TestCopyDfg:
+    def test_structural_equality(self):
+        dfg = fanout_dfg()
+        clone = copy_dfg(dfg)
+        assert clone.n_ops == dfg.n_ops
+        assert [op.uid for op in clone.ops] == [op.uid for op in dfg.ops]
+        assert clone.validate()
+
+    def test_copy_is_deep(self):
+        dfg = fanout_dfg()
+        clone = copy_dfg(dfg)
+        clone.add_op(Opcode.NEG, [clone.ops[0].result])
+        assert clone.n_ops == dfg.n_ops + 1
+        assert dfg.validate()
+
+    def test_symbols_carried(self):
+        dfg = DFG("s")
+        node = dfg.new_symbol_input("i")
+        result = dfg.add_op(Opcode.ADD, [node, dfg.new_const(1)])
+        dfg.set_symbol_output("i", result)
+        clone = copy_dfg(dfg)
+        assert "i" in clone.symbol_inputs
+        assert clone.symbol_outputs["i"].uid == result.uid
+
+    def test_order_edges_carried(self):
+        dfg = DFG("m")
+        addr = dfg.new_const(0)
+        dfg.add_op(Opcode.STORE, [addr, dfg.new_const(1)], region="x")
+        dfg.add_op(Opcode.LOAD, [addr], region="x")
+        clone = copy_dfg(dfg)
+        load = clone.ops[1]
+        assert load.order_after == [clone.ops[0]]
+
+
+class TestRecompute:
+    def test_split_halves_consumers(self):
+        dfg = fanout_dfg()
+        add_uid = dfg.ops[0].uid
+        split = recompute_split(dfg, add_uid)
+        assert split.n_ops == dfg.n_ops + 1
+        original = split.op_by_uid(add_uid)
+        duplicate = [op for op in split.ops
+                     if op.name.endswith("_rc")][0]
+        assert len(split.consumers(original.result)) == 2
+        assert len(split.consumers(duplicate.result)) == 2
+
+    def test_split_preserves_validation(self):
+        dfg = fanout_dfg()
+        split = recompute_split(dfg, dfg.ops[0].uid)
+        assert split.validate()
+
+    def test_single_consumer_not_splittable(self):
+        dfg = DFG("t")
+        v = dfg.add_op(Opcode.ADD, [dfg.new_const(1), dfg.new_const(2)])
+        dfg.add_op(Opcode.NEG, [v])
+        with pytest.raises(MappingError):
+            recompute_split(dfg, dfg.ops[0].uid)
+
+    def test_store_not_recomputable(self):
+        dfg = DFG("t")
+        dfg.add_op(Opcode.STORE, [dfg.new_const(0), dfg.new_const(1)],
+                   region="x")
+        assert not is_recomputable(dfg, dfg.ops[0])
+
+    def test_load_recomputable_when_region_read_only(self):
+        dfg = DFG("t")
+        load = None
+        dfg.add_op(Opcode.LOAD, [dfg.new_const(0)], region="in")
+        assert is_recomputable(dfg, dfg.ops[0])
+
+    def test_load_not_recomputable_when_region_stored(self):
+        dfg = DFG("t")
+        dfg.add_op(Opcode.LOAD, [dfg.new_const(0)], region="buf")
+        dfg.add_op(Opcode.STORE, [dfg.new_const(1), dfg.new_const(2)],
+                   region="buf")
+        assert not is_recomputable(dfg, dfg.ops[0])
+
+    def test_transformed_op_count(self):
+        dfg = fanout_dfg()
+        split = recompute_split(dfg, dfg.ops[0].uid)
+        assert transformed_op_count(split, dfg) == 1
+
+
+class TestPresplit:
+    def _dfg_with_wide_load(self, consumers):
+        dfg = DFG("t")
+        load = dfg.add_op(Opcode.LOAD, [dfg.new_const(0)], region="in")
+        for _ in range(consumers):
+            dfg.add_op(Opcode.NEG, [load])
+        return dfg
+
+    def test_wide_load_split(self):
+        dfg = self._dfg_with_wide_load(4)
+        result = presplit_high_fanout(dfg, load_fanout=2)
+        loads = [op for op in result.ops if op.opcode is Opcode.LOAD]
+        assert len(loads) >= 2
+        for load in loads:
+            assert len(result.consumers(load.result)) <= 2
+
+    def test_narrow_load_untouched(self):
+        dfg = self._dfg_with_wide_load(2)
+        result = presplit_high_fanout(dfg, load_fanout=2)
+        assert result is dfg
+
+    def test_stored_region_untouched(self):
+        dfg = DFG("t")
+        load = dfg.add_op(Opcode.LOAD, [dfg.new_const(0)], region="buf")
+        for _ in range(4):
+            dfg.add_op(Opcode.NEG, [load])
+        dfg.add_op(Opcode.STORE, [dfg.new_const(1), dfg.new_const(2)],
+                   region="buf")
+        result = presplit_high_fanout(dfg, load_fanout=2)
+        assert result is dfg

@@ -1,0 +1,115 @@
+"""Energy and area model tests: arithmetic and paper anchors."""
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import CGRA_CONFIGS, get_config
+from repro.power import tech
+from repro.power.area import AreaModel, cgra_area, cpu_area
+from repro.power.energy import EnergyBreakdown, EnergyModel
+from repro.sim.activity import ActivityCounters
+
+
+class TestTechRelations:
+    def test_cm_read_grows_with_depth(self):
+        assert (tech.cm_read_pj(16) < tech.cm_read_pj(32)
+                < tech.cm_read_pj(64))
+
+    def test_tile_leak_grows_with_depth(self):
+        assert tech.tile_leak_pj(16) < tech.tile_leak_pj(64)
+
+    def test_cm40_percent_anchor(self):
+        # Paper Sec I: a 64-word CM is ~40% of the PE area.
+        cm = 64 * tech.AREA_CM_WORD_UM2
+        pe = tech.AREA_PE_BASE_UM2 + cm
+        assert cm / pe == pytest.approx(0.40, abs=0.01)
+
+    def test_gated_cheaper_than_fetch(self):
+        assert tech.GATED_CYCLE_PJ < tech.cm_read_pj(16)
+
+
+class TestAreaModel:
+    def test_hom64_about_twice_cpu(self):
+        # Fig 11 headline.
+        ratio = AreaModel().ratio_to_cpu(get_config("HOM64"))
+        assert 1.7 <= ratio <= 2.3
+
+    def test_het_configs_smaller_than_hom64(self):
+        model = AreaModel()
+        hom64 = model.cgra_total(get_config("HOM64"))
+        for name in ("HOM32", "HET1", "HET2"):
+            assert model.cgra_total(get_config(name)) < hom64
+
+    def test_ordering_follows_cm_totals(self):
+        model = AreaModel()
+        totals = {name: model.cgra_total(cgra)
+                  for name, cgra in CGRA_CONFIGS.items()}
+        assert totals["HET1"] > totals["HET2"]
+        assert totals["HET2"] == pytest.approx(totals["HOM32"])
+
+    def test_breakdown_sums_to_total(self):
+        model = AreaModel()
+        cgra = get_config("HET1")
+        assert (sum(model.cgra_breakdown(cgra).values())
+                == pytest.approx(model.cgra_total(cgra)))
+
+    def test_helpers(self):
+        assert cgra_area(get_config("HOM64")) > 0
+        assert cpu_area() > 0
+
+
+def synthetic_activity(n_tiles=16, cycles=100):
+    activity = ActivityCounters(n_tiles)
+    activity.cycles = cycles
+    for tile in activity.tiles:
+        tile.alu_ops = 10
+        tile.cm_reads = 12
+        tile.active_cycles = 10
+        tile.pnop_fetches = 2
+        tile.gated_cycles = 40
+        tile.idle_cycles = 50
+        tile.rf_reads = 15
+        tile.rf_writes = 10
+    activity.dmem_reads = 20
+    activity.dmem_writes = 10
+    activity.block_transitions = 5
+    return activity
+
+
+class TestEnergyModel:
+    def test_breakdown_total(self):
+        breakdown = EnergyBreakdown({"a": 10.0, "b": 5.0})
+        assert breakdown.total_pj == 15.0
+        assert breakdown.total_uj == pytest.approx(15e-6)
+        assert breakdown.fraction("a") == pytest.approx(2 / 3)
+
+    def test_same_activity_cheaper_on_small_cms(self):
+        activity = synthetic_activity()
+        model = EnergyModel()
+        hom64 = model.cgra_energy(activity, get_config("HOM64"))
+        het2 = model.cgra_energy(activity, get_config("HET2"))
+        assert het2.total_pj < hom64.total_pj
+
+    def test_leakage_scales_with_cycles(self):
+        model = EnergyModel()
+        short = synthetic_activity(cycles=100)
+        long = synthetic_activity(cycles=1000)
+        cgra = get_config("HOM64")
+        assert (model.cgra_energy(long, cgra).parts["leakage"]
+                == pytest.approx(
+                    10 * model.cgra_energy(short, cgra).parts["leakage"]))
+
+    def test_requires_config(self):
+        with pytest.raises(ValueError):
+            EnergyModel().cgra_energy(synthetic_activity())
+
+    def test_cpu_energy_positive_components(self):
+        from repro.kernels import get_kernel
+        from repro.sim.cpu import CPUModel
+        kernel = get_kernel("dc_filter", n_samples=8)
+        run = CPUModel(kernel.cdfg).run(
+            kernel.make_memory(kernel.make_inputs()))
+        breakdown = EnergyModel().cpu_energy(run)
+        assert breakdown.parts["fetch"] > 0
+        assert breakdown.parts["leakage"] > 0
+        assert breakdown.total_uj > 0

@@ -1,0 +1,31 @@
+"""Kernel energy record tests."""
+
+import numpy as np
+
+from repro.arch.configs import get_config
+from repro.codegen.assembler import assemble
+from repro.kernels import get_kernel
+from repro.mapping.flow import FlowOptions, map_kernel
+from repro.power.report import record_cgra_run, record_cpu_run
+from repro.sim.cgra import CGRASimulator
+from repro.sim.cpu import CPUModel
+
+
+def test_records_compare():
+    kernel = get_kernel("dc_filter", n_samples=16)
+    cgra = get_config("HET1")
+    mapping = map_kernel(kernel.cdfg, cgra, FlowOptions.aware())
+    program = assemble(mapping, kernel.cdfg)
+    inputs = kernel.make_inputs(np.random.default_rng(0))
+    memory = kernel.make_memory(inputs)
+    cgra_run = CGRASimulator(program, memory).run()
+    cpu_run = CPUModel(kernel.cdfg).run(memory)
+
+    cgra_record = record_cgra_run("aware@HET1", cgra_run, cgra)
+    cpu_record = record_cpu_run("or1k", cpu_run)
+
+    assert cgra_record.total_uj > 0
+    assert cpu_record.total_uj > 0
+    assert cgra_record.gain_over(cpu_record) > 1.0
+    assert cgra_record.dominant_component() in cgra_record.breakdown.parts
+    assert "uJ" in repr(cgra_record)

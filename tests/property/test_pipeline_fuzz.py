@@ -1,0 +1,109 @@
+"""End-to-end fuzzing: random programs through the whole pipeline.
+
+Hypothesis generates random straight-line kernels (arithmetic over
+random inputs, loads, stores); each is interpreted (golden model),
+then mapped -> assembled -> simulated on the CGRA.  Output regions
+and every store must agree bit-exactly.  This is the strongest
+soundness check in the suite: it exercises scheduling, binding,
+routing, pnop folding, operand resolution and the simulator against
+each other with no hand-written expectations.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch.configs import get_config
+from repro.codegen.assembler import assemble
+from repro.ir.builder import KernelBuilder
+from repro.ir.interp import Interpreter
+from repro.mapping.flow import FlowOptions, map_kernel
+from repro.sim.cgra import CGRASimulator
+
+MEM = 16
+
+binary_ops = st.sampled_from(["add", "sub", "mul", "and", "or", "xor",
+                              "min", "max"])
+
+
+@st.composite
+def straight_line_program(draw):
+    """A random single-block kernel over a small memory region."""
+    n_steps = draw(st.integers(min_value=3, max_value=18))
+    steps = []
+    for _ in range(n_steps):
+        kind = draw(st.sampled_from(["op", "op", "op", "load", "store"]))
+        if kind == "op":
+            steps.append(("op", draw(binary_ops),
+                          draw(st.integers(-100, 100))))
+        elif kind == "load":
+            steps.append(("load", draw(st.integers(0, MEM - 1))))
+        else:
+            steps.append(("store", draw(st.integers(0, MEM - 1))))
+    return steps
+
+
+def build_kernel(steps):
+    k = KernelBuilder("fuzz")
+    data = k.array_input("data", MEM)
+    out = k.array_output("out", 1)
+    values = [k.const(1)]
+    for step in steps:
+        if step[0] == "op":
+            _, name, constant = step
+            method = {
+                "add": lambda a, b: a + b,
+                "sub": lambda a, b: a - b,
+                "mul": lambda a, b: a * b,
+                "and": lambda a, b: a & b,
+                "or": lambda a, b: a | b,
+                "xor": lambda a, b: a ^ b,
+                "min": None,
+                "max": None,
+            }[name]
+            left = values[len(values) // 2]
+            if method is None:
+                from repro.ir.opcodes import Opcode
+                opcode = Opcode.MIN if name == "min" else Opcode.MAX
+                values.append(k.op(opcode, left, k.const(constant)))
+            else:
+                values.append(method(left, k.const(constant)))
+        elif step[0] == "load":
+            values.append(k.load(data.at(step[1])))
+        else:
+            k.store(data.at(step[1]), values[-1])
+    k.store(out.at(0), values[-1])
+    return k.finish()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(steps=straight_line_program(), seed=st.integers(0, 2**16))
+def test_random_program_cgra_matches_interpreter(steps, seed):
+    cdfg = build_kernel(steps)
+    rng = np.random.default_rng(seed)
+    memory = [int(v) for v in rng.integers(-1000, 1000, cdfg.memory_size)]
+
+    golden = Interpreter(cdfg).run(memory)
+
+    mapping = map_kernel(cdfg, get_config("HOM64"), FlowOptions.basic())
+    program = assemble(mapping, cdfg, enforce_fit=True)
+    run = CGRASimulator(program, memory).run()
+
+    assert run.memory.snapshot() == golden.memory
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(steps=straight_line_program(), seed=st.integers(0, 2**16))
+def test_random_program_aware_flow_on_het2(steps, seed):
+    cdfg = build_kernel(steps)
+    rng = np.random.default_rng(seed)
+    memory = [int(v) for v in rng.integers(-1000, 1000, cdfg.memory_size)]
+
+    golden = Interpreter(cdfg).run(memory)
+
+    mapping = map_kernel(cdfg, get_config("HET2"), FlowOptions.aware())
+    program = assemble(mapping, cdfg)
+    run = CGRASimulator(program, memory).run()
+
+    assert run.memory.snapshot() == golden.memory

@@ -1,0 +1,96 @@
+"""CGRA simulator tests: functional equivalence + activity sanity."""
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import get_config
+from repro.codegen.assembler import assemble
+from repro.kernels import get_kernel
+from repro.mapping.flow import FlowOptions, map_kernel
+from repro.sim.cgra import CGRASimulator
+from repro.sim.cpu import CPUModel
+
+SMALL_PARAMS = {
+    "fir": {"n_samples": 8, "n_taps": 4},
+    "matmul": {"size": 4, "j_unroll": 2},
+    "convolution": {"image": 6},
+    "dc_filter": {"n_samples": 16},
+    "fft": {"n_points": 8},
+}
+
+
+def pipeline(kernel, config="HET1", options=None, seed=0):
+    options = options or FlowOptions.aware()
+    mapping = map_kernel(kernel.cdfg, get_config(config), options)
+    program = assemble(mapping, kernel.cdfg)
+    inputs = kernel.make_inputs(np.random.default_rng(seed))
+    memory = kernel.make_memory(inputs)
+    run = CGRASimulator(program, memory).run()
+    return inputs, run
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+def test_small_kernels_bit_exact(name):
+    kernel = get_kernel(name, **SMALL_PARAMS[name])
+    inputs, run = pipeline(kernel)
+    expected = kernel.reference(inputs)
+    for region in kernel.output_regions:
+        assert run.region(kernel.cdfg, region) == expected[region]
+
+
+class TestActivityConsistency:
+    @pytest.fixture(scope="class")
+    def fir_run(self):
+        kernel = get_kernel("fir", n_samples=8, n_taps=4)
+        inputs, run = pipeline(kernel)
+        return kernel, run
+
+    def test_cycle_accounting_closes(self, fir_run):
+        # active + gated + idle must cover tiles x cycles exactly.
+        _, run = fir_run
+        activity = run.activity
+        for tile in activity.tiles:
+            covered = (tile.active_cycles + tile.gated_cycles
+                       + tile.idle_cycles)
+            assert covered == activity.cycles
+
+    def test_cm_reads_equal_issued_plus_pnops(self, fir_run):
+        _, run = fir_run
+        for tile in run.activity.tiles:
+            assert tile.cm_reads == tile.issued + tile.pnop_fetches
+
+    def test_memory_counters_match(self, fir_run):
+        _, run = fir_run
+        activity = run.activity
+        assert activity.dmem_reads == activity.total("loads")
+        assert activity.dmem_writes == activity.total("stores")
+
+    def test_cycles_match_static_formula(self):
+        kernel = get_kernel("fir", n_samples=8, n_taps=4)
+        mapping = map_kernel(kernel.cdfg, get_config("HET1"),
+                             FlowOptions.aware())
+        program = assemble(mapping, kernel.cdfg)
+        inputs = kernel.make_inputs(np.random.default_rng(0))
+        run = CGRASimulator(program, kernel.make_memory(inputs)).run()
+        assert run.cycles == mapping.static_cycles(run.block_counts)
+
+
+class TestCpuModel:
+    def test_cpu_matches_reference(self):
+        kernel = get_kernel("fir", n_samples=8, n_taps=4)
+        inputs = kernel.make_inputs(np.random.default_rng(1))
+        run = CPUModel(kernel.cdfg).run(kernel.make_memory(inputs))
+        expected = kernel.reference(inputs)
+        assert run.region(kernel.cdfg, "y") == expected["y"]
+
+    def test_cpu_cycles_exceed_instruction_count(self):
+        kernel = get_kernel("fir", n_samples=8, n_taps=4)
+        run = CPUModel(kernel.cdfg).run(
+            kernel.make_memory(kernel.make_inputs()))
+        assert run.cycles >= run.instructions
+
+    def test_cgra_outperforms_cpu(self):
+        kernel = get_kernel("fir")  # paper-scale
+        inputs, run = pipeline(kernel)
+        cpu = CPUModel(kernel.cdfg).run(kernel.make_memory(inputs))
+        assert cpu.cycles > run.cycles

@@ -1,0 +1,103 @@
+"""CGRA simulator failure modes: unsound inputs must fail loudly."""
+
+import pytest
+
+from repro.arch.configs import get_config
+from repro.codegen.assembler import BlockProgram, Program
+from repro.codegen.isa import Instruction, Source
+from repro.errors import ContextOverflowError, SimulationError
+from repro.ir.cdfg import Exit, Jump
+from repro.ir.opcodes import Opcode
+from repro.sim.cgra import CGRASimulator
+
+
+def empty_streams(cgra):
+    return {tile: [] for tile in range(cgra.n_tiles)}
+
+
+def make_program(cgra, blocks, symbol_inits=None):
+    return Program("synthetic", cgra, blocks, entry=next(iter(blocks)),
+                   const_images={t: () for t in range(cgra.n_tiles)},
+                   symbol_inits=symbol_inits or {})
+
+
+class TestLoadTimeChecks:
+    def test_context_overflow_refused(self):
+        cgra = get_config("HET2")
+        streams = empty_streams(cgra)
+        # Tile 8 has CM16 on HET2; give it 17 instructions.
+        streams[8] = [Instruction.mov(Source.crf(0), dest_uid=100 + i,
+                                      cycle=i) for i in range(17)]
+        block = BlockProgram("b", 17, streams, Exit(), [], [])
+        program = Program("overflow", cgra, {"b": block}, "b",
+                          {t: (0,) for t in range(cgra.n_tiles)}, {})
+        with pytest.raises(ContextOverflowError):
+            CGRASimulator(program)
+
+    def test_non_program_rejected(self):
+        with pytest.raises(SimulationError):
+            CGRASimulator("not a program")
+
+
+class TestRunTimeChecks:
+    def test_missing_rf_value_detected(self):
+        cgra = get_config("HOM64")
+        streams = empty_streams(cgra)
+        # An ADD reading a value nobody produced.
+        streams[0] = [Instruction.op(
+            Opcode.ADD, [Source.rf(999), Source.rf(998)], dest_uid=1,
+            cycle=0)]
+        block = BlockProgram("b", 1, streams, Exit(), [], [])
+        with pytest.raises(SimulationError):
+            CGRASimulator(make_program(cgra, {"b": block})).run()
+
+    def test_stale_port_read_detected(self):
+        cgra = get_config("HOM64")
+        streams = empty_streams(cgra)
+        neighbor = cgra.neighbors(0)[0]
+        # Tile `neighbor` produces value 7 at cycle 0; tile 0 tries to
+        # read that port at cycle 2 — one cycle too late.
+        streams[neighbor] = [Instruction.mov(Source.crf(0), dest_uid=7,
+                                             cycle=0)]
+        streams[0] = [Instruction.op(
+            Opcode.NEG, [Source.port(neighbor, 7)], dest_uid=8,
+            cycle=2)]
+        block = BlockProgram("b", 3, streams, Exit(), [], [])
+        program = Program("stale", cgra, {"b": block}, "b",
+                          {t: (0,) for t in range(cgra.n_tiles)}, {})
+        with pytest.raises(SimulationError):
+            CGRASimulator(program).run()
+
+    def test_uninitialised_symbol_read_detected(self):
+        cgra = get_config("HOM64")
+        streams = empty_streams(cgra)
+        block = BlockProgram("b", 1, streams, Exit(),
+                             [("ghost", 0, 5)], [])
+        with pytest.raises(SimulationError):
+            CGRASimulator(make_program(cgra, {"b": block})).run()
+
+    def test_runaway_loop_guard(self):
+        cgra = get_config("HOM64")
+        streams = empty_streams(cgra)
+        block = BlockProgram("spin", 1, streams, Jump("spin"), [], [])
+        program = make_program(cgra, {"spin": block})
+        simulator = CGRASimulator(program, max_block_executions=50)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_port_value_lives_exactly_one_cycle(self):
+        cgra = get_config("HOM64")
+        streams = empty_streams(cgra)
+        neighbor = cgra.neighbors(0)[0]
+        streams[neighbor] = [Instruction.mov(Source.crf(0), dest_uid=7,
+                                             cycle=0)]
+        # Reading at exactly cycle 1 works.
+        streams[0] = [Instruction.op(
+            Opcode.NEG, [Source.port(neighbor, 7)], dest_uid=8,
+            cycle=1)]
+        block = BlockProgram("b", 2, streams, Exit(), [], [])
+        program = Program("fresh", cgra, {"b": block}, "b",
+                          {t: (0,) for t in range(cgra.n_tiles)}, {})
+        run = CGRASimulator(program).run()
+        assert run.cycles == 2
+        assert run.activity.tiles[0].port_reads == 1

@@ -1,0 +1,48 @@
+"""Unit tests for the data-memory model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.memory import DataMemory
+
+
+class TestDataMemory:
+    def test_size_construction(self):
+        mem = DataMemory(16)
+        assert len(mem) == 16
+        assert mem.load(0) == 0
+
+    def test_image_construction_wraps(self):
+        mem = DataMemory([0xFFFFFFFF, 5])
+        assert mem.load(0) == -1
+        assert mem.load(1) == 5
+
+    def test_store_load(self):
+        mem = DataMemory(4)
+        mem.store(2, -7)
+        assert mem.load(2) == -7
+
+    def test_counters(self):
+        mem = DataMemory(4)
+        mem.store(0, 1)
+        mem.load(0)
+        mem.load(0)
+        assert mem.writes == 1
+        assert mem.reads == 2
+
+    def test_bounds_checked(self):
+        mem = DataMemory(4)
+        with pytest.raises(SimulationError):
+            mem.load(4)
+        with pytest.raises(SimulationError):
+            mem.store(-1, 0)
+
+    def test_snapshot_is_copy(self):
+        mem = DataMemory(4)
+        snap = mem.snapshot()
+        mem.store(0, 9)
+        assert snap[0] == 0
+
+    def test_region(self):
+        mem = DataMemory([1, 2, 3, 4, 5])
+        assert mem.region(1, 3) == [2, 3, 4]

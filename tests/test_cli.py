@@ -1,0 +1,41 @@
+"""CLI smoke tests (small but real end-to-end paths)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_kernels_listing(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "fir" in out
+        assert "fft" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "HOM64" in out
+
+    def test_map_dc_filter(self, capsys):
+        assert main(["map", "dc_filter", "--config", "HET1"]) == 0
+        out = capsys.readouterr().out
+        assert "fits: True" in out
+        assert "T16" in out
+
+    def test_run_dc_filter(self, capsys):
+        assert main(["run", "dc_filter", "--config", "HET1"]) == 0
+        out = capsys.readouterr().out
+        assert "verified OK" in out
+        assert "speedup" in out
+
+    def test_energy_dc_filter(self, capsys):
+        assert main(["energy", "dc_filter", "--config", "HET1",
+                     "--flow", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "uJ" in out
+        assert "leakage" in out
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["map", "unknown_kernel"])
