@@ -6,44 +6,85 @@ so size them for the application domain instead of over-provisioning.
 This script sweeps homogeneous CM depths for each paper kernel, finds
 the smallest depth the context-aware flow can still map, and prints
 the area saved versus the HOM64 baseline.
+
+The exploration runs depth by depth through the parallel runtime
+engine: each round batches all still-unresolved kernels at the next
+depth (``--workers N`` fans them out over N processes) and a kernel
+drops out at its first mappable depth, so no work is spent on depths
+above a kernel's answer.  Completed points persist in the result
+cache (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``), so re-running
+the exploration only maps new points.
 """
 
+import argparse
+
 from repro.arch.configs import make_cgra
-from repro.errors import UnmappableError
-from repro.kernels import PAPER_KERNEL_ORDER, get_kernel
-from repro.mapping.flow import FlowOptions, map_kernel
+from repro.errors import ReproError
+from repro.kernels import PAPER_KERNEL_ORDER
+from repro.mapping.flow import FlowOptions
 from repro.power.area import AreaModel
+from repro.runtime import PointSpec, ResultCache, run_sweep
+from repro.runtime.sweep import DETERMINISTIC_ERRORS
 
 DEPTHS = (8, 16, 24, 32, 48, 64)
 
 
-def minimum_depth(kernel_name):
-    """Smallest homogeneous CM depth that still maps, plus its stats."""
+def depth_spec(kernel, depth):
+    return PointSpec(kernel, f"HOM{depth}", "full",
+                     options=FlowOptions.aware(max_attempts=10),
+                     cm_depths=(depth,) * 16)
+
+
+def minimum_depths(workers, cache):
+    """Per kernel: (smallest mappable depth, its point).
+
+    Ascends the depth ladder in parallel rounds; kernels that map
+    leave the pool, exactly like the classic serial early-exit search
+    but with every round's attempts running concurrently.
+    """
+    remaining = list(PAPER_KERNEL_ORDER)
+    smallest = {}
     for depth in DEPTHS:
-        cgra = make_cgra(f"HOM{depth}", cm_depths=[depth] * 16)
-        kernel = get_kernel(kernel_name)
-        try:
-            result = map_kernel(kernel.cdfg, cgra,
-                                FlowOptions.aware(max_attempts=10))
-        except UnmappableError:
-            continue
-        return depth, result
-    return None, None
+        if not remaining:
+            break
+        result = run_sweep([depth_spec(k, depth) for k in remaining],
+                           workers=workers, cache=cache)
+        print(f"depth {depth:2d}: {result.summary()}")
+        for spec, point in zip(result.specs, result.points):
+            if point.error not in DETERMINISTIC_ERRORS:
+                # "Does not map at this depth" is an answer; a crash
+                # (e.g. a soundness mismatch) is not — fail loudly.
+                raise ReproError(f"{spec.describe()}: {point.error}")
+            if point.mapped:
+                smallest[spec.kernel_name] = (depth, point)
+        remaining = [k for k in remaining if k not in smallest]
+    return smallest
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+    args = parser.parse_args(argv)
+
+    cache = None if args.no_cache else ResultCache()
+    smallest = minimum_depths(args.workers, cache)
+    print()
     model = AreaModel()
     baseline = model.cgra_total(make_cgra("HOM64", cm_depths=[64] * 16))
     print(f"{'kernel':14s} {'min CM':>7s} {'max words':>10s} "
           f"{'area mm^2':>10s} {'vs HOM64':>9s}")
     for name in PAPER_KERNEL_ORDER:
-        depth, result = minimum_depth(name)
-        if depth is None:
+        if name not in smallest:
             print(f"{name:14s} {'> 64':>7s}")
             continue
+        depth, point = smallest[name]
         cgra = make_cgra(f"HOM{depth}", cm_depths=[depth] * 16)
         area = model.cgra_total(cgra)
-        print(f"{name:14s} {depth:7d} {max(result.tile_words()):10d} "
+        print(f"{name:14s} {depth:7d} "
+              f"{max(point.mapping.tile_words()):10d} "
               f"{area:10.3f} {area / baseline:8.1%}")
     print("\nSmaller context memories -> smaller, lower-leakage array;")
     print("this sweep is the sizing step the paper's flow enables.")

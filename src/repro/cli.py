@@ -8,7 +8,12 @@ Commands mirror the user journeys of the examples:
   reference, and print cycles vs the CPU baseline;
 - ``energy KERNEL`` — one Table II row with component breakdowns;
 - ``area``          — the Fig 11 area comparison;
-- ``kernels``       — list the available kernels.
+- ``kernels``       — list the available kernels;
+- ``sweep``         — batch-run kernels × configs × flow variants in
+  parallel (``--workers N``) against the persistent result cache
+  (``--no-cache`` / ``--clear-cache`` to bypass or wipe it);
+- ``figure NAME``   — regenerate one paper figure/table; the
+  mapping-bound ones accept ``--workers``.
 """
 
 from __future__ import annotations
@@ -43,11 +48,47 @@ def _parser():
                        choices=sorted(VARIANTS))
         p.add_argument("--seed", type=int, default=7)
 
+    def add_cache_flags(p):
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result cache")
+        p.add_argument("--cache-dir", default=None,
+                       help="cache directory (default ~/.cache/repro "
+                            "or $REPRO_CACHE_DIR)")
+
     add_common(sub.add_parser("map", help="map a kernel, show usage"))
     add_common(sub.add_parser("run", help="map + simulate + verify"))
-    add_common(sub.add_parser("energy", help="energy breakdown row"))
+    energy = sub.add_parser("energy", help="energy breakdown row")
+    add_common(energy)
+    add_cache_flags(energy)
     sub.add_parser("area", help="Fig 11 area comparison")
     sub.add_parser("kernels", help="list available kernels")
+
+    sweep = sub.add_parser(
+        "sweep", help="batch-run experiment points in parallel")
+    sweep.add_argument("--kernels", default=None,
+                       help="comma-separated kernels (default: all)")
+    sweep.add_argument("--configs", default=None,
+                       help="comma-separated configs (default: "
+                            "HOM64,HOM32,HET1,HET2)")
+    sweep.add_argument("--variants", default=None,
+                       help="comma-separated flow variants "
+                            "(default: all)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="wipe the cache before running")
+    add_cache_flags(sweep)
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one paper figure/table")
+    figure.add_argument("name", choices=(
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "table2"))
+    figure.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the mapping-bound "
+                             "figures (fig6-8, fig10, table2)")
+    add_cache_flags(figure)
     return parser
 
 
@@ -83,12 +124,23 @@ def _run(args):
     return 0
 
 
+def _cache_from(args):
+    """ResultCache honouring --no-cache/--cache-dir (None = disabled)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.runtime.cache import ResultCache
+    return ResultCache(getattr(args, "cache_dir", None))
+
+
 def _energy(args):
-    from repro.eval.experiments import cpu_point, execute_point
+    from repro.eval.experiments import (
+        PointSpec, cpu_point, execute_spec, prefetch_points)
     cpu_cycles, cpu_energy = cpu_point(args.kernel)
     print(f"{args.kernel}: CPU {cpu_energy.total_uj:.4f} uJ "
           f"({cpu_cycles} cycles)")
-    point = execute_point(args.kernel, args.config, args.flow)
+    spec = PointSpec(args.kernel, args.config, args.flow, seed=args.seed)
+    prefetch_points([spec], cache=_cache_from(args))
+    point = execute_spec(spec)
     if not point.mapped:
         print(f"  {args.config}/{args.flow}: no mapping ({point.error})")
         return 1
@@ -108,6 +160,79 @@ def _area(_args):
     return 0
 
 
+def _sweep(args):
+    from repro.eval.reporting import render_sweep
+    from repro.mapping.flow import VARIANTS as FLOW_VARIANTS
+    from repro.runtime.sweep import LATENCY_CONFIGS, sweep_specs
+
+    def split(value, default):
+        return tuple(value.split(",")) if value else tuple(default)
+
+    # Compute each axis once; validate every axis before any
+    # destructive action — a typo must not cost the user their whole
+    # accumulated cache.
+    from repro.kernels import KERNEL_NAMES
+    kernels = split(args.kernels, PAPER_KERNEL_ORDER)
+    configs = tuple(c.upper() for c in
+                    split(args.configs, LATENCY_CONFIGS))
+    variants = split(args.variants, FLOW_VARIANTS)
+    for label, given, valid in (("kernels", kernels, set(KERNEL_NAMES)),
+                                ("configs", configs, set(CGRA_CONFIGS)),
+                                ("variants", variants,
+                                 set(FLOW_VARIANTS))):
+        unknown = set(given) - valid
+        if unknown:
+            raise ReproError(f"unknown {label} {sorted(unknown)}; "
+                             f"choose from {sorted(valid)}")
+    cache = _cache_from(args)
+    if args.clear_cache:
+        # Wipe even under --no-cache ("clear it, then recompute
+        # without it") via a throwaway handle on the same directory.
+        from repro.runtime.cache import ResultCache
+        target = cache if cache is not None \
+            else ResultCache(getattr(args, "cache_dir", None))
+        removed = target.clear()
+        print(f"cleared {removed} cache entries from {target.directory}")
+    specs = sweep_specs(kernels=kernels, configs=configs,
+                        variants=variants, seed=args.seed)
+    from repro.runtime.pool import run_sweep
+    result = run_sweep(specs, workers=args.workers, cache=cache)
+    print(render_sweep(result))
+    if cache is not None:
+        print(f"cache: {cache.directory} ({cache.hits} hits, "
+              f"{cache.stores} new entries)")
+    return 1 if result.crashed else 0
+
+
+def _figure(args):
+    from repro.eval import experiments, reporting
+    cache = _cache_from(args)
+    workers = args.workers
+    if args.name == "fig5":
+        print(reporting.render_fig5(experiments.fig5_data()))
+    elif args.name in ("fig6", "fig7", "fig8"):
+        variant = {"fig6": "acmap", "fig7": "ecmap",
+                   "fig8": "full"}[args.name]
+        chart = experiments.latency_figure_data(
+            variant, workers=workers, cache=cache)
+        print(reporting.render_latency_figure(
+            f"Fig {args.name[3:]} — {variant} flow", chart,
+            experiments.LATENCY_CONFIGS))
+    elif args.name == "fig9":
+        # Compile-time measurements stay serial: sharing cores would
+        # distort the very quantity the figure reports.
+        print(reporting.render_fig9(experiments.fig9_data()))
+    elif args.name == "fig10":
+        print(reporting.render_fig10(
+            experiments.fig10_data(workers=workers, cache=cache)))
+    elif args.name == "fig11":
+        print(reporting.render_fig11(experiments.fig11_data()))
+    else:
+        print(reporting.render_table2(
+            experiments.table2_data(workers=workers, cache=cache)))
+    return 0
+
+
 def _kernels(_args):
     for name in PAPER_KERNEL_ORDER:
         kernel = get_kernel(name)
@@ -120,7 +245,8 @@ def _kernels(_args):
 def main(argv=None):
     args = _parser().parse_args(argv)
     handlers = {"map": _map, "run": _run, "energy": _energy,
-                "area": _area, "kernels": _kernels}
+                "area": _area, "kernels": _kernels, "sweep": _sweep,
+                "figure": _figure}
     try:
         return handlers[args.command](args)
     except UnmappableError as error:

@@ -1,6 +1,7 @@
 """Experiment drivers: one entry point per figure/table of the paper.
 
-Every driver composes the same pipeline::
+Every driver composes the same pipeline (implemented in
+:mod:`repro.runtime.sweep`)::
 
     kernel --map--> MappingResult --assemble--> Program --simulate-->
     cycles + activity --price--> energy
@@ -9,8 +10,13 @@ and *verifies functional correctness* along the way: the CGRA's output
 regions must match the kernel's independent reference bit-exactly, so
 a latency/energy number is never reported for a broken mapping.
 
-Results are memoised per process keyed by (kernel, config, variant) —
-several figures share the same experiment points.
+Results are memoised per process keyed by the fully resolved
+:class:`~repro.runtime.sweep.PointSpec` — kernel, config, variant,
+the complete FlowOptions and input seed — so several figures share
+the same experiment points and custom-option callers can never
+receive a stale entry keyed only by a variant name.  Drivers accept
+``workers``/``cache`` and prefetch their points through the parallel
+engine of :mod:`repro.runtime.pool` before assembling the figure.
 """
 
 from __future__ import annotations
@@ -20,52 +26,30 @@ import time
 import numpy as np
 
 from repro.arch.configs import get_config
-from repro.codegen.assembler import assemble
 from repro.errors import ReproError, UnmappableError
 from repro.eval import normalize
 from repro.kernels import PAPER_KERNEL_ORDER, get_kernel
-from repro.mapping.flow import VARIANTS, map_kernel
+from repro.mapping.flow import map_kernel
 from repro.power.area import AreaModel
 from repro.power.energy import EnergyModel
-from repro.sim.cgra import CGRASimulator
+from repro.runtime.pool import run_specs
+from repro.runtime.sweep import (
+    DEFAULT_SEED as INPUT_SEED,
+    DETERMINISTIC_ERRORS,
+    LATENCY_CONFIGS,
+    ExperimentPoint,
+    PointSpec,
+    compute_point,
+)
 from repro.sim.cpu import CPUModel
 
-#: Default input seed for all experiment executions.
-INPUT_SEED = 7
-
-#: The configurations the latency figures sweep.
-LATENCY_CONFIGS = ("HOM64", "HOM32", "HET1", "HET2")
-
-
-class ExperimentPoint:
-    """One (kernel, config, flow-variant) measurement."""
-
-    def __init__(self, kernel_name, config_name, variant, mapping=None,
-                 compile_seconds=None, cycles=None, activity=None,
-                 energy=None, error=None):
-        self.kernel_name = kernel_name
-        self.config_name = config_name
-        self.variant = variant
-        self.mapping = mapping
-        self.compile_seconds = compile_seconds
-        self.cycles = cycles
-        self.activity = activity
-        self.energy = energy
-        self.error = error
-
-    @property
-    def mapped(self):
-        return self.mapping is not None
-
-    @property
-    def energy_uj(self):
-        return self.energy.total_uj if self.energy is not None else None
-
-    def __repr__(self):
-        status = f"{self.cycles} cycles" if self.mapped else "no mapping"
-        return (f"ExperimentPoint({self.kernel_name}@{self.config_name}"
-                f"/{self.variant}: {status})")
-
+__all__ = [
+    "INPUT_SEED", "LATENCY_CONFIGS", "ExperimentPoint", "PointSpec",
+    "clear_cache", "compile_point", "execute_point", "execute_spec",
+    "figure_specs", "prefetch_points", "cpu_point", "fig5_data",
+    "latency_figure_data",
+    "fig9_data", "fig10_data", "fig11_data", "table2_data",
+]
 
 _POINT_CACHE = {}
 _CPU_CACHE = {}
@@ -76,61 +60,81 @@ def clear_cache():
     _CPU_CACHE.clear()
 
 
-def compile_point(kernel_name, config_name, variant):
+def compile_point(kernel_name, config_name, variant, options=None):
     """Map a kernel; returns (MappingResult | None, seconds)."""
     kernel = get_kernel(kernel_name)
-    cgra = get_config(config_name)
-    options = VARIANTS[variant]()
+    spec = PointSpec(kernel_name, config_name, variant,
+                     options=options).resolve()
     started = time.perf_counter()
     try:
-        result = map_kernel(kernel.cdfg, cgra, options)
+        result = map_kernel(kernel.cdfg, spec.build_cgra(), spec.options)
     except UnmappableError:
         return None, time.perf_counter() - started
     return result, time.perf_counter() - started
 
 
-def execute_point(kernel_name, config_name, variant):
-    """Full pipeline for one point, memoised."""
-    key = (kernel_name, config_name, variant)
-    cached = _POINT_CACHE.get(key)
+def execute_spec(spec):
+    """Full pipeline for one spec, memoised on the resolved spec."""
+    spec = spec.resolve()
+    cached = _POINT_CACHE.get(spec)
     if cached is not None:
         return cached
-    kernel = get_kernel(kernel_name)
-    mapping, seconds = compile_point(kernel_name, config_name, variant)
-    if mapping is None:
-        point = ExperimentPoint(kernel_name, config_name, variant,
-                                compile_seconds=seconds,
-                                error="unmappable")
-        _POINT_CACHE[key] = point
-        return point
-    program = assemble(mapping, kernel.cdfg,
-                       enforce_fit=mapping.options.ecmap)
-    if not mapping.fits:
-        # A context-unaware mapping that physically overflows this
-        # configuration cannot run — the paper's zero bars.
-        point = ExperimentPoint(kernel_name, config_name, variant,
-                                compile_seconds=seconds,
-                                error="context overflow")
-        _POINT_CACHE[key] = point
-        return point
-    inputs = kernel.make_inputs(np.random.default_rng(INPUT_SEED))
-    memory = kernel.make_memory(inputs)
-    run = CGRASimulator(program, memory).run()
-    expected = kernel.reference(inputs)
-    for region in kernel.output_regions:
-        got = run.region(kernel.cdfg, region)
-        if got != expected[region]:
-            raise ReproError(
-                f"{kernel_name}@{config_name}/{variant}: region "
-                f"{region!r} mismatch — mapping pipeline is unsound")
-    energy = EnergyModel().cgra_energy(run.activity,
-                                       get_config(config_name))
-    point = ExperimentPoint(kernel_name, config_name, variant,
-                            mapping=mapping, compile_seconds=seconds,
-                            cycles=run.cycles, activity=run.activity,
-                            energy=energy)
-    _POINT_CACHE[key] = point
+    point = compute_point(spec)
+    _POINT_CACHE[spec] = point
     return point
+
+
+def execute_point(kernel_name, config_name, variant, options=None,
+                  seed=INPUT_SEED):
+    """Full pipeline for one point, memoised.
+
+    The memo key is the *resolved* spec: two calls that differ only in
+    ``options`` (e.g. a custom pruning seed under the same variant
+    name) get distinct entries.
+    """
+    return execute_spec(PointSpec(kernel_name, config_name, variant,
+                                  options=options, seed=seed))
+
+
+def prefetch_points(specs, workers=1, cache=None):
+    """Batch-compute specs into the memo via the parallel engine.
+
+    Already-memoised specs are skipped; the rest run through
+    :func:`repro.runtime.pool.run_specs` (process-parallel when
+    ``workers > 1``, consulting/filling the persistent ``cache`` when
+    given) and land in the per-process memo the drivers read.
+    """
+    missing = []
+    for spec in specs:
+        spec = spec.resolve()
+        if spec not in _POINT_CACHE and spec not in missing:
+            missing.append(spec)
+    if not missing:
+        return 0
+    points, _ = run_specs(missing, workers=workers, cache=cache)
+    for spec, point in zip(missing, points):
+        if point.error in DETERMINISTIC_ERRORS:
+            _POINT_CACHE[spec] = point
+        # A captured worker crash is not memoised: the next serial
+        # execute_spec() recomputes it and raises the real exception.
+    return len(missing)
+
+
+def figure_specs(kernels=PAPER_KERNEL_ORDER, configs=LATENCY_CONFIGS):
+    """Every memoised point the figure/table drivers consume.
+
+    The latency figures need the basic@HOM64 baseline plus the
+    acmap/ecmap/full variants on every configuration; Fig 10 and
+    Table II read a subset of those.  Fig 5/Fig 9 time compilation
+    through :func:`compile_point` and are deliberately not covered —
+    prewarming them would not speed them up.
+    """
+    specs = [PointSpec(kernel, "HOM64", "basic") for kernel in kernels]
+    specs += [PointSpec(kernel, config, variant)
+              for kernel in kernels
+              for variant in ("acmap", "ecmap", "full")
+              for config in configs]
+    return specs
 
 
 def cpu_point(kernel_name):
@@ -195,13 +199,18 @@ def fig5_data(kernel_name="fft", config_name="HOM64"):
 # Figs 6-8: latency under each flow variant, normalised to basic@HOM64
 # ----------------------------------------------------------------------
 def latency_figure_data(variant, kernels=PAPER_KERNEL_ORDER,
-                        configs=LATENCY_CONFIGS):
+                        configs=LATENCY_CONFIGS, workers=1, cache=None):
     """Latency chart for one flow variant (Fig 6: "acmap", Fig 7:
     "ecmap", Fig 8: "full"), normalised to the baseline mapping.
 
     Zero means the variant found no mapping for that configuration —
     rendered exactly like the paper's missing bars.
     """
+    prefetch_points(
+        [PointSpec(kernel, "HOM64", "basic") for kernel in kernels]
+        + [PointSpec(kernel, config, variant)
+           for kernel in kernels for config in configs],
+        workers=workers, cache=cache)
     chart = {}
     for kernel_name in kernels:
         baseline = execute_point(kernel_name, "HOM64", "basic")
@@ -247,16 +256,26 @@ def fig9_data(kernels=PAPER_KERNEL_ORDER, config_name="HET1"):
 # ----------------------------------------------------------------------
 # Fig 10: execution time vs CPU
 # ----------------------------------------------------------------------
-def fig10_data(kernels=PAPER_KERNEL_ORDER):
+#: The (label, config, variant) columns shared by Fig 10 and Table II.
+_CPU_COMPARISON_COLUMNS = (
+    ("basic_hom64", "HOM64", "basic"),
+    ("aware_het1", "HET1", "full"),
+    ("aware_het2", "HET2", "full"),
+)
+
+
+def fig10_data(kernels=PAPER_KERNEL_ORDER, workers=1, cache=None):
     """Cycles normalised to the or1k CPU (plus speedups)."""
+    prefetch_points(
+        [PointSpec(kernel, config, variant)
+         for kernel in kernels
+         for _, config, variant in _CPU_COMPARISON_COLUMNS],
+        workers=workers, cache=cache)
     chart = {}
     for kernel_name in kernels:
         cpu_cycles, _ = cpu_point(kernel_name)
         rows = {"cpu_cycles": cpu_cycles}
-        for label, config, variant in (
-                ("basic_hom64", "HOM64", "basic"),
-                ("aware_het1", "HET1", "full"),
-                ("aware_het2", "HET2", "full")):
+        for label, config, variant in _CPU_COMPARISON_COLUMNS:
             point = execute_point(kernel_name, config, variant)
             rows[label] = {
                 "cycles": point.cycles if point.mapped else None,
@@ -290,16 +309,18 @@ def fig11_data(configs=LATENCY_CONFIGS):
 # ----------------------------------------------------------------------
 # Table II: energy comparison
 # ----------------------------------------------------------------------
-def table2_data(kernels=PAPER_KERNEL_ORDER):
+def table2_data(kernels=PAPER_KERNEL_ORDER, workers=1, cache=None):
     """Energy in uJ: CPU vs basic@HOM64 vs aware@HET1 vs aware@HET2."""
+    prefetch_points(
+        [PointSpec(kernel, config, variant)
+         for kernel in kernels
+         for _, config, variant in _CPU_COMPARISON_COLUMNS],
+        workers=workers, cache=cache)
     table = {}
     for kernel_name in kernels:
         cpu_cycles, cpu_energy = cpu_point(kernel_name)
         row = {"cpu_uj": cpu_energy.total_uj}
-        for label, config, variant in (
-                ("basic_hom64", "HOM64", "basic"),
-                ("aware_het1", "HET1", "full"),
-                ("aware_het2", "HET2", "full")):
+        for label, config, variant in _CPU_COMPARISON_COLUMNS:
             point = execute_point(kernel_name, config, variant)
             uj = point.energy_uj if point.mapped else None
             row[label] = {

@@ -98,6 +98,34 @@ def render_fig11(data):
     return (f"Fig 11 — area (paper: HOM64 ~2x CPU, HET ~1.5x)\n{table}")
 
 
+def render_sweep(result):
+    """Tabulate a :class:`~repro.runtime.sweep.SweepResult`.
+
+    One row per point — cycles, energy and compile time for mapped
+    points, the failure class for the paper's zero bars — plus the
+    cache/parallelism summary line used to confirm a warm run
+    re-mapped nothing.
+    """
+    rows = []
+    for spec, point in zip(result.specs, result.points):
+        if point.mapped:
+            status = "ok"
+            cycles = point.cycles
+            energy = f"{point.energy_uj:.4f}"
+        else:
+            status = (point.error or "error").splitlines()[0]
+            cycles = "-"
+            energy = "-"
+        compile_s = (f"{point.compile_seconds:.2f}s"
+                     if point.compile_seconds is not None else "-")
+        rows.append([display_name(spec.kernel_name), spec.config_name,
+                     spec.variant, cycles, energy, compile_s, status])
+    table = render_table(
+        ["kernel", "config", "variant", "cycles", "energy uJ",
+         "compile", "status"], rows)
+    return f"Sweep — {result.summary()}\n{table}"
+
+
 def render_table2(table):
     rows = []
     gains_basic = []

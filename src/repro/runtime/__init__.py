@@ -1,0 +1,54 @@
+"""Parallel experiment runtime with a persistent result cache.
+
+The experiment drivers of :mod:`repro.eval` all reduce to the same
+unit of work — one *(kernel, configuration, flow variant)* point run
+through map → assemble → simulate → verify → price.  This package
+turns that unit into a first-class, batchable job:
+
+- :mod:`repro.runtime.sweep` — :class:`PointSpec` describes one point
+  (including custom :class:`~repro.mapping.flow.FlowOptions` and
+  custom context-memory depths for design-space exploration);
+  :func:`compute_point` executes it; :func:`sweep_specs` expands
+  "all kernels × all configs × all variants" into one batch.
+- :mod:`repro.runtime.pool` — :func:`run_specs` fans a batch out over
+  ``concurrent.futures.ProcessPoolExecutor`` workers with
+  deterministic result ordering and worker-side exception capture
+  (an :class:`~repro.errors.UnmappableError` in one point never kills
+  the sweep); ``workers=1`` is a plain serial loop.
+- :mod:`repro.runtime.cache` — :class:`ResultCache` persists computed
+  points under ``~/.cache/repro/`` (override with ``REPRO_CACHE_DIR``)
+  keyed by a content hash of everything that determines the result,
+  with atomic writes so an interrupted run never corrupts the cache.
+
+Quickstart::
+
+    from repro.runtime import ResultCache, run_sweep, sweep_specs
+
+    result = run_sweep(sweep_specs(), workers=4, cache=ResultCache())
+    print(result.summary())
+"""
+
+from repro.runtime.cache import ResultCache, default_cache_dir, point_key
+from repro.runtime.pool import run_specs, run_sweep
+from repro.runtime.sweep import (
+    DEFAULT_SEED,
+    ExperimentPoint,
+    PointSpec,
+    SweepResult,
+    compute_point,
+    sweep_specs,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ExperimentPoint",
+    "PointSpec",
+    "ResultCache",
+    "SweepResult",
+    "compute_point",
+    "default_cache_dir",
+    "point_key",
+    "run_specs",
+    "run_sweep",
+    "sweep_specs",
+]

@@ -1,0 +1,191 @@
+"""Persistent on-disk cache for computed experiment points.
+
+Mapping is by far the dominant cost of reproducing the paper's
+figures, and it is fully deterministic: the flow derives every random
+stream from the options' seed.  So a computed
+:class:`~repro.runtime.sweep.ExperimentPoint` is worth keeping across
+processes and sessions.
+
+Keys are a SHA-256 content hash of *everything that determines the
+result*: kernel name, configuration name, flow variant, the complete
+:class:`~repro.mapping.flow.FlowOptions`, the input seed, any custom
+context-memory depths, the package version and the cache format
+version.  Change any of them — a different pruning seed, a new
+release that alters the energy model — and the key changes, so stale
+payloads are never returned; they are merely orphaned until the next
+``clear()``.
+
+Writes are atomic: payloads are pickled to a temporary file in the
+cache directory and ``os.replace``-d into place, so a reader never
+observes a partially written entry and an interrupted run leaves at
+worst an ignored ``*.tmp*`` file behind.  Unreadable or truncated
+entries are treated as misses and deleted.
+
+The cache directory defaults to ``~/.cache/repro`` and is overridden
+with the ``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+
+import repro
+
+#: Environment variable overriding the cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Bump when the on-disk payload layout changes incompatibly.
+CACHE_FORMAT = 1
+
+_SUFFIX = ".pkl"
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def point_key(spec, version=None):
+    """Content hash identifying one experiment point's result.
+
+    Two specs that describe the same computation hash identically
+    (``options=None`` is resolved to the variant's preset first);
+    any field that could change the outcome perturbs the digest.
+    """
+    spec = spec.resolve()
+    payload = {
+        "format": CACHE_FORMAT,
+        "version": version if version is not None else repro.__version__,
+        "kernel": spec.kernel_name,
+        "config": spec.config_name,
+        "variant": spec.variant,
+        "options": dataclasses.asdict(spec.options),
+        "seed": spec.seed,
+        "cm_depths": (list(spec.cm_depths)
+                      if spec.cm_depths is not None else None),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of pickled experiment points, one file per key.
+
+    Tracks ``hits`` / ``misses`` / ``stores`` for the session so
+    callers can assert "a warm run re-mapped zero points".
+    """
+
+    def __init__(self, directory=None):
+        self.directory = (pathlib.Path(directory) if directory is not None
+                          else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Key-level interface
+    # ------------------------------------------------------------------
+    def path_for(self, key):
+        return self.directory / f"{key}{_SUFFIX}"
+
+    def get(self, key):
+        """The cached payload for ``key``, or None on a miss.
+
+        A corrupt or truncated entry (e.g. the machine died mid-write
+        of a non-atomic filesystem, or a payload pickled by an
+        incompatible interpreter) counts as a miss and is removed.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # pickle.load on a corrupt payload can raise nearly
+            # anything (UnpicklingError, EOFError, KeyError, ValueError,
+            # struct.error, ...); any failure to read is a miss and the
+            # entry is dropped so it cannot crash the next run either.
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload):
+        """Atomically persist ``payload`` under ``key``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f"{key}{_SUFFIX}.tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, final)
+        except BaseException:
+            self._discard(pathlib.Path(temp_name))
+            raise
+        self.stores += 1
+        return final
+
+    def invalidate(self, key):
+        """Drop one entry; True if it existed."""
+        path = self.path_for(key)
+        existed = path.exists()
+        self._discard(path)
+        return existed
+
+    # ------------------------------------------------------------------
+    # Spec-level convenience
+    # ------------------------------------------------------------------
+    def get_point(self, spec):
+        return self.get(point_key(spec))
+
+    def store_point(self, spec, point):
+        return self.put(point_key(spec), point)
+
+    def invalidate_point(self, spec):
+        return self.invalidate(point_key(spec))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def entries(self):
+        """Paths of all complete cache entries (ignores temp files)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(path for path in self.directory.iterdir()
+                      if path.suffix == _SUFFIX)
+
+    def clear(self):
+        """Wipe every entry (and stray temp files); returns the count."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.iterdir():
+            if path.suffix == _SUFFIX or ".tmp" in path.name:
+                self._discard(path)
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return (f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")

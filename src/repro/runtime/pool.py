@@ -1,0 +1,123 @@
+"""The parallel experiment engine.
+
+:func:`run_specs` executes a batch of
+:class:`~repro.runtime.sweep.PointSpec` with three guarantees:
+
+- **Deterministic ordering** — results come back in the order the
+  specs were given, regardless of which worker finished first.
+  Duplicate specs within a batch are computed once and fanned back
+  out to every requesting position.
+- **Exception capture** — the pipeline already folds
+  :class:`~repro.errors.UnmappableError` into an error-carrying
+  :class:`~repro.runtime.sweep.ExperimentPoint`; any *other*
+  exception inside a worker is captured the same way (with its
+  traceback in ``point.error``) so one broken point can never kill a
+  140-point sweep.  Captured crashes are never persisted to the
+  cache — only deterministic outcomes are.
+- **Serial fallback** — ``workers=1`` runs the identical code path
+  inline, with no executor and no pickling, which is what the
+  equivalence tests compare the parallel path against.
+
+Workers are plain ``concurrent.futures.ProcessPoolExecutor``
+processes; specs and points cross the boundary by pickling.  The
+mapping flow seeds every random stream from ``FlowOptions.seed``, so
+a point computes identically in any process.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.runtime.sweep import (
+    DETERMINISTIC_ERRORS,
+    ExperimentPoint,
+    SweepResult,
+    compute_point,
+    sweep_specs,
+)
+
+
+def _compute_captured(spec):
+    """Worker entry point: compute one spec, capture any failure.
+
+    Catches ``Exception``, not ``BaseException``: the serial path
+    runs this inline in the main process, where KeyboardInterrupt /
+    SystemExit must abort the whole sweep, not burn one point each.
+    """
+    try:
+        return compute_point(spec)
+    except Exception as error:  # noqa: BLE001 — capture is the contract
+        detail = traceback.format_exc(limit=8)
+        return ExperimentPoint(
+            spec.kernel_name, spec.config_name, spec.variant,
+            error=f"{type(error).__name__}: {error}\n{detail}")
+
+
+def run_specs(specs, workers=1, cache=None):
+    """Execute a batch of specs; returns ``(points, cache_hits)``.
+
+    ``points`` is ordered like ``specs``.  ``cache`` is a
+    :class:`~repro.runtime.cache.ResultCache` or None (disabled).
+    """
+    specs = [spec.resolve() for spec in specs]
+    points = [None] * len(specs)
+    positions = {}
+    for index, spec in enumerate(specs):
+        positions.setdefault(spec, []).append(index)
+
+    cache_hits = 0
+    pending = []
+    for spec, indices in positions.items():
+        cached = cache.get_point(spec) if cache is not None else None
+        if cached is not None:
+            cache_hits += 1
+            for index in indices:
+                points[index] = cached
+        else:
+            pending.append(spec)
+
+    if pending:
+        if workers <= 1:
+            computed = [(spec, _compute_captured(spec)) for spec in pending]
+        else:
+            computed = _run_pool(pending, workers)
+        for spec, point in computed:
+            if cache is not None and point.error in DETERMINISTIC_ERRORS:
+                cache.store_point(spec, point)
+            for index in positions[spec]:
+                points[index] = point
+    return points, cache_hits
+
+
+def _run_pool(pending, workers):
+    """Fan unique specs out over a process pool."""
+    results = {}
+    with ProcessPoolExecutor(max_workers=min(workers,
+                                             len(pending))) as executor:
+        futures = {executor.submit(_compute_captured, spec): spec
+                   for spec in pending}
+        for future in as_completed(futures):
+            spec = futures[future]
+            try:
+                point = future.result()
+            except Exception as error:  # a worker died outright
+                point = ExperimentPoint(
+                    spec.kernel_name, spec.config_name, spec.variant,
+                    error=f"worker failure: {type(error).__name__}: "
+                          f"{error}")
+            results[spec] = point
+    return [(spec, results[spec]) for spec in pending]
+
+
+def run_sweep(specs=None, workers=1, cache=None):
+    """Run a batch (default: the full paper sweep) into a SweepResult."""
+    if specs is None:
+        specs = sweep_specs()
+    specs = [spec.resolve() for spec in specs]
+    started = time.perf_counter()
+    points, cache_hits = run_specs(specs, workers=workers, cache=cache)
+    return SweepResult(specs=specs, points=points, cache_hits=cache_hits,
+                       computed=len({s for s in specs}) - cache_hits,
+                       elapsed_seconds=time.perf_counter() - started)

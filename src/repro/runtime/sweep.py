@@ -1,0 +1,229 @@
+"""Experiment points as data: specs, execution, batched sweeps.
+
+:class:`PointSpec` is the immutable, hashable, picklable description
+of one experiment point.  Everything that can change the outcome is a
+field of the spec — kernel, configuration, flow variant, the full
+:class:`~repro.mapping.flow.FlowOptions`, the input seed, optional
+custom context-memory depths — so a spec can serve directly as a
+memoisation key, a process-pool work item and (hashed together with
+the package version) a persistent cache key.
+
+:func:`compute_point` is the single implementation of the pipeline
+every figure shares::
+
+    kernel --map--> MappingResult --assemble--> Program --simulate-->
+    cycles + activity --price--> energy
+
+with the same soundness guarantee as before: the CGRA's outputs are
+verified bit-exactly against the kernel's reference before any
+latency/energy number is reported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.arch.configs import get_config, make_cgra
+from repro.codegen.assembler import assemble
+from repro.errors import ReproError, UnmappableError
+from repro.kernels import PAPER_KERNEL_ORDER, get_kernel
+from repro.mapping.flow import VARIANTS, FlowOptions
+from repro.power.energy import EnergyModel
+from repro.sim.cgra import CGRASimulator
+
+#: Default input seed for all experiment executions.
+DEFAULT_SEED = 7
+
+#: The configurations the latency figures sweep.
+LATENCY_CONFIGS = ("HOM64", "HOM32", "HET1", "HET2")
+
+
+class ExperimentPoint:
+    """One (kernel, config, flow-variant) measurement."""
+
+    def __init__(self, kernel_name, config_name, variant, mapping=None,
+                 compile_seconds=None, cycles=None, activity=None,
+                 energy=None, error=None):
+        self.kernel_name = kernel_name
+        self.config_name = config_name
+        self.variant = variant
+        self.mapping = mapping
+        self.compile_seconds = compile_seconds
+        self.cycles = cycles
+        self.activity = activity
+        self.energy = energy
+        self.error = error
+
+    @property
+    def mapped(self):
+        return self.mapping is not None
+
+    @property
+    def energy_uj(self):
+        return self.energy.total_uj if self.energy is not None else None
+
+    def __repr__(self):
+        status = f"{self.cycles} cycles" if self.mapped else "no mapping"
+        return (f"ExperimentPoint({self.kernel_name}@{self.config_name}"
+                f"/{self.variant}: {status})")
+
+
+#: Outcomes that are deterministic properties of the spec.  Anything
+#: else in ``ExperimentPoint.error`` is a captured crash and must not
+#: be persisted (see :mod:`repro.runtime.pool`).
+DETERMINISTIC_ERRORS = (None, "unmappable", "context overflow")
+
+
+@dataclasses.dataclass(frozen=True)
+class PointSpec:
+    """Immutable description of one experiment point.
+
+    ``options=None`` means "the named variant's preset"; call
+    :meth:`resolve` to pin the concrete :class:`FlowOptions` so equal
+    computations compare (and hash) equal.  ``cm_depths`` builds a
+    custom homogeneous/heterogeneous array via
+    :func:`~repro.arch.configs.make_cgra` instead of looking the
+    configuration name up in Table I — the design-space-exploration
+    path.
+    """
+
+    kernel_name: str
+    config_name: str
+    variant: str
+    options: FlowOptions = None
+    seed: int = DEFAULT_SEED
+    cm_depths: tuple = None
+
+    def resolve(self):
+        """Canonical spec: concrete FlowOptions, upper-case config.
+
+        Configuration lookup is case-insensitive, so ``hom64`` and
+        ``HOM64`` describe the same computation — normalising here
+        makes them share one memo entry and one cache key.
+        """
+        resolved = self
+        if self.config_name != self.config_name.upper():
+            resolved = dataclasses.replace(
+                resolved, config_name=self.config_name.upper())
+        if resolved.options is None:
+            resolved = dataclasses.replace(
+                resolved, options=VARIANTS[resolved.variant]())
+        if (resolved.cm_depths is not None
+                and not isinstance(resolved.cm_depths, tuple)):
+            # Lists are the natural call style (make_cgra takes lists)
+            # but would make the frozen spec unhashable.
+            resolved = dataclasses.replace(
+                resolved, cm_depths=tuple(resolved.cm_depths))
+        return resolved
+
+    def build_cgra(self):
+        if self.cm_depths is not None:
+            return make_cgra(self.config_name,
+                             cm_depths=list(self.cm_depths))
+        return get_config(self.config_name)
+
+    def describe(self):
+        return f"{self.kernel_name}@{self.config_name}/{self.variant}"
+
+
+def sweep_specs(kernels=PAPER_KERNEL_ORDER, configs=LATENCY_CONFIGS,
+                variants=tuple(VARIANTS), seed=DEFAULT_SEED):
+    """The full cartesian batch: kernels × configs × flow variants."""
+    return [PointSpec(kernel, config, variant, seed=seed)
+            for kernel in kernels
+            for config in configs
+            for variant in variants]
+
+
+def compute_point(spec):
+    """Execute one spec: map, assemble, simulate, verify, price."""
+    spec = spec.resolve()
+    kernel = get_kernel(spec.kernel_name)
+    cgra = spec.build_cgra()
+    options = spec.options
+    started = time.perf_counter()
+    try:
+        mapping = map_kernel_for(kernel, cgra, options)
+    except UnmappableError:
+        return ExperimentPoint(spec.kernel_name, spec.config_name,
+                               spec.variant,
+                               compile_seconds=time.perf_counter() - started,
+                               error="unmappable")
+    seconds = time.perf_counter() - started
+    program = assemble(mapping, kernel.cdfg, enforce_fit=options.ecmap)
+    if not mapping.fits:
+        # A context-unaware mapping that physically overflows this
+        # configuration cannot run — the paper's zero bars.
+        return ExperimentPoint(spec.kernel_name, spec.config_name,
+                               spec.variant, compile_seconds=seconds,
+                               error="context overflow")
+    inputs = kernel.make_inputs(np.random.default_rng(spec.seed))
+    memory = kernel.make_memory(inputs)
+    run = CGRASimulator(program, memory).run()
+    expected = kernel.reference(inputs)
+    for region in kernel.output_regions:
+        got = run.region(kernel.cdfg, region)
+        if got != expected[region]:
+            raise ReproError(
+                f"{spec.describe()}: region {region!r} mismatch — "
+                f"mapping pipeline is unsound")
+    energy = EnergyModel().cgra_energy(run.activity, cgra)
+    return ExperimentPoint(spec.kernel_name, spec.config_name, spec.variant,
+                           mapping=mapping, compile_seconds=seconds,
+                           cycles=run.cycles, activity=run.activity,
+                           energy=energy)
+
+
+def map_kernel_for(kernel, cgra, options):
+    """Map a kernel object (split out so tests can monkeypatch)."""
+    from repro.mapping.flow import map_kernel
+
+    return map_kernel(kernel.cdfg, cgra, options)
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Outcome of one batched run, in the order the specs were given."""
+
+    specs: list
+    points: list
+    cache_hits: int
+    computed: int
+    elapsed_seconds: float
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self):
+        return len(self.points)
+
+    def point(self, kernel_name, config_name, variant):
+        """First point matching the (kernel, config, variant) triple."""
+        for spec, point in zip(self.specs, self.points):
+            if (spec.kernel_name, spec.config_name,
+                    spec.variant) == (kernel_name, config_name, variant):
+                return point
+        raise KeyError(f"{kernel_name}@{config_name}/{variant}")
+
+    @property
+    def mapped(self):
+        return [p for p in self.points if p.mapped]
+
+    @property
+    def unmapped(self):
+        return [p for p in self.points
+                if not p.mapped and p.error in DETERMINISTIC_ERRORS]
+
+    @property
+    def crashed(self):
+        return [p for p in self.points
+                if p.error not in DETERMINISTIC_ERRORS]
+
+    def summary(self):
+        return (f"{len(self.points)} points: {len(self.mapped)} mapped, "
+                f"{len(self.unmapped)} no-map, {len(self.crashed)} errors; "
+                f"{self.cache_hits} from cache, {self.computed} computed "
+                f"in {self.elapsed_seconds:.1f}s")

@@ -7,8 +7,13 @@ from repro.eval.experiments import (
     cpu_point,
     execute_point,
     fig11_data,
+    figure_specs,
+    latency_figure_data,
+    prefetch_points,
 )
 from repro.eval.reporting import render_fig11, render_table
+from repro.mapping.flow import FlowOptions
+from repro.runtime.sweep import PointSpec
 
 
 class TestNormalize:
@@ -38,6 +43,51 @@ class TestPoints:
         cycles, energy = cpu_point("dc_filter")
         assert cycles > 0
         assert energy.total_uj > 0
+
+    def test_memo_keyed_on_full_flow_options(self):
+        """Custom-option callers must never get a stale variant-keyed
+        point (and vice versa)."""
+        default = execute_point("dc_filter", "HOM64", "basic")
+        custom = execute_point("dc_filter", "HOM64", "basic",
+                               options=FlowOptions.basic(seed=3))
+        assert custom is not default
+        # The custom entry memoises under its own key...
+        assert execute_point("dc_filter", "HOM64", "basic",
+                             options=FlowOptions.basic(seed=3)) is custom
+        # ...and an explicit preset shares the named variant's entry.
+        assert execute_point("dc_filter", "HOM64", "basic",
+                             options=FlowOptions.basic()) is default
+        assert execute_point("dc_filter", "HOM64", "basic") is default
+
+    def test_memo_keyed_on_input_seed(self):
+        default = execute_point("dc_filter", "HOM64", "basic")
+        reseeded = execute_point("dc_filter", "HOM64", "basic", seed=8)
+        assert reseeded is not default
+
+    def test_prefetch_fills_the_memo(self):
+        specs = [PointSpec("dc_filter", "HOM64", "basic"),
+                 PointSpec("dc_filter", "HET1", "full")]
+        prefetch_points(specs)
+        assert prefetch_points(specs) == 0  # everything memoised
+        assert execute_point("dc_filter", "HET1", "full").mapped
+
+    def test_figure_specs_cover_the_drivers(self):
+        specs = set(spec.resolve() for spec in figure_specs())
+        # Baseline + the three context-aware variants everywhere...
+        assert PointSpec("fir", "HOM64", "basic").resolve() in specs
+        assert PointSpec("fft", "HET2", "full").resolve() in specs
+        # ...but not the compile-time-only 'weighted' slice.
+        assert all(spec.variant != "weighted" for spec in specs)
+
+    def test_parallel_figure_matches_serial(self):
+        serial = latency_figure_data("full", kernels=("dc_filter",),
+                                     configs=("HOM64", "HET1"))
+        from repro.eval.experiments import clear_cache
+        clear_cache()
+        parallel = latency_figure_data("full", kernels=("dc_filter",),
+                                       configs=("HOM64", "HET1"),
+                                       workers=2)
+        assert serial == parallel
 
 
 class TestRendering:

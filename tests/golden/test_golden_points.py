@@ -1,0 +1,82 @@
+"""Golden regression tests for the experiment layer.
+
+``points.json`` snapshots the reproduced numbers — cycles, energy,
+MOV/PNOP/context-word counts — of a representative slice of the
+paper's experiment points, captured from the seed pipeline.  The
+whole stack (traversal, scheduling, binding, pruning, assembling,
+simulation, energy pricing) is seeded and deterministic, so any drift
+in these values means a future change silently altered the paper's
+reproduced figures and must be reviewed (and, if intended, the
+snapshot regenerated — see ``regenerate()`` below).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.eval.experiments import cpu_point, execute_point
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "points.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: Energy totals are pure float arithmetic over integer activity
+#: counts — deterministic on one platform, but allow for a different
+#: libm/summation order.
+ENERGY_REL = 1e-9
+
+
+@pytest.mark.parametrize(
+    "entry", GOLDEN["points"],
+    ids=[f"{e['kernel']}@{e['config']}/{e['variant']}"
+         for e in GOLDEN["points"]])
+def test_point_matches_snapshot(entry):
+    point = execute_point(entry["kernel"], entry["config"],
+                          entry["variant"])
+    assert point.mapped, point.error
+    assert point.cycles == entry["cycles"]
+    assert point.energy_uj == pytest.approx(entry["energy_uj"],
+                                            rel=ENERGY_REL)
+    assert point.mapping.total_movs == entry["total_movs"]
+    assert point.mapping.total_pnops == entry["total_pnops"]
+    assert point.mapping.total_words == entry["total_words"]
+
+
+@pytest.mark.parametrize("kernel", sorted(GOLDEN["cpu"]))
+def test_cpu_baseline_matches_snapshot(kernel):
+    cycles, energy = cpu_point(kernel)
+    expected = GOLDEN["cpu"][kernel]
+    assert cycles == expected["cycles"]
+    assert energy.total_uj == pytest.approx(expected["energy_uj"],
+                                            rel=ENERGY_REL)
+
+
+def regenerate():  # pragma: no cover — maintenance helper
+    """Rewrite points.json from the current pipeline.
+
+    Run after an *intended* change to mapping/simulation/energy::
+
+        PYTHONPATH=src python tests/golden/test_golden_points.py
+    """
+    points = []
+    for entry in GOLDEN["points"]:
+        point = execute_point(entry["kernel"], entry["config"],
+                              entry["variant"])
+        points.append({
+            "kernel": entry["kernel"], "config": entry["config"],
+            "variant": entry["variant"], "cycles": point.cycles,
+            "energy_uj": point.energy_uj,
+            "total_movs": point.mapping.total_movs,
+            "total_pnops": point.mapping.total_pnops,
+            "total_words": point.mapping.total_words,
+        })
+    cpu = {}
+    for kernel in sorted(GOLDEN["cpu"]):
+        cycles, energy = cpu_point(kernel)
+        cpu[kernel] = {"cycles": cycles, "energy_uj": energy.total_uj}
+    GOLDEN_PATH.write_text(
+        json.dumps({"points": points, "cpu": cpu}, indent=2) + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

@@ -49,6 +49,7 @@ def test_full_pipeline_small(name):
         assert cpu_run.region(kernel.cdfg, region) == expected[region]
 
 
+@pytest.mark.slow
 def test_paper_scale_fir_on_every_config():
     kernel = get_kernel("fir")
     inputs = kernel.make_inputs(np.random.default_rng(5))
@@ -62,6 +63,7 @@ def test_paper_scale_fir_on_every_config():
         assert run.region(kernel.cdfg, "y") == expected, config
 
 
+@pytest.mark.slow
 def test_basic_flow_paper_scale_fft():
     kernel = get_kernel("fft")
     mapping = map_kernel(kernel.cdfg, get_config("HOM64"),

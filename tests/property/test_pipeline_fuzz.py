@@ -10,7 +10,12 @@ each other with no hand-written expectations.
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
+
+#: End-to-end fuzzing is the heaviest part of the suite; the fast CI
+#: lane (`pytest -m "not slow"`) skips it.
+pytestmark = pytest.mark.slow
 
 from repro.arch.configs import get_config
 from repro.codegen.assembler import assemble

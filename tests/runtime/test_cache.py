@@ -1,0 +1,177 @@
+"""Unit tests for the persistent result cache.
+
+Everything runs against ``tmp_path``-scoped cache directories — the
+suite never touches the user's real ``~/.cache/repro``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.mapping.flow import FlowOptions
+from repro.runtime.cache import (
+    ENV_CACHE_DIR,
+    ResultCache,
+    default_cache_dir,
+    point_key,
+)
+from repro.runtime.sweep import ExperimentPoint, PointSpec
+
+SPEC = PointSpec("dc_filter", "HOM64", "basic")
+
+
+def make_point(cycles=123):
+    return ExperimentPoint("dc_filter", "HOM64", "basic", cycles=cycles)
+
+
+class TestPointKey:
+    def test_same_spec_same_key(self):
+        assert point_key(SPEC) == point_key(
+            PointSpec("dc_filter", "HOM64", "basic"))
+
+    def test_none_options_resolve_to_variant_preset(self):
+        explicit = PointSpec("dc_filter", "HOM64", "basic",
+                             options=FlowOptions.basic())
+        assert point_key(SPEC) == point_key(explicit)
+
+    def test_every_determining_field_perturbs_the_key(self):
+        baseline = point_key(SPEC)
+        perturbed = [
+            PointSpec("fir", "HOM64", "basic"),
+            PointSpec("dc_filter", "HET1", "basic"),
+            PointSpec("dc_filter", "HOM64", "full"),
+            PointSpec("dc_filter", "HOM64", "basic", seed=8),
+            PointSpec("dc_filter", "HOM64", "basic",
+                      options=FlowOptions.basic(seed=3)),
+            PointSpec("dc_filter", "HOM64", "basic",
+                      options=FlowOptions.basic(prune_cap=13)),
+            PointSpec("dc_filter", "HOM64", "basic",
+                      cm_depths=(64,) * 16),
+        ]
+        keys = [point_key(spec) for spec in perturbed]
+        assert baseline not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_empty_cm_depths_is_not_the_default_config(self):
+        # () must not collide with None (the Table I lookup).
+        assert point_key(PointSpec("dc_filter", "HOM64", "basic",
+                                   cm_depths=())) != point_key(SPEC)
+
+    def test_config_name_case_is_normalised(self):
+        # get_config() is case-insensitive, so the keys must agree.
+        assert point_key(PointSpec("dc_filter", "hom64", "basic")) \
+            == point_key(SPEC)
+
+    def test_package_version_perturbs_the_key(self):
+        assert point_key(SPEC, version="1.0.0") \
+            != point_key(SPEC, version="1.0.1")
+
+
+class TestHitMissInvalidate:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get_point(SPEC) is None
+        assert cache.misses == 1
+        cache.store_point(SPEC, make_point())
+        assert cache.stores == 1
+        got = cache.get_point(SPEC)
+        assert got is not None
+        assert got.cycles == 123
+        assert cache.hits == 1
+
+    def test_roundtrip_preserves_fields(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = ExperimentPoint("dc_filter", "HET2", "full",
+                                compile_seconds=1.5, cycles=308,
+                                error=None)
+        cache.store_point(SPEC, point)
+        got = cache.get_point(SPEC)
+        assert (got.kernel_name, got.config_name, got.variant) \
+            == ("dc_filter", "HET2", "full")
+        assert got.cycles == 308
+        assert got.compile_seconds == 1.5
+
+    def test_invalidate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_point(SPEC, make_point())
+        assert cache.invalidate_point(SPEC) is True
+        assert cache.get_point(SPEC) is None
+        assert cache.invalidate_point(SPEC) is False
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_point(SPEC, make_point())
+        cache.store_point(PointSpec("fir", "HET1", "full"), make_point())
+        assert len(cache.entries()) == 2
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_distinct_options_hit_distinct_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        custom = PointSpec("dc_filter", "HOM64", "basic",
+                           options=FlowOptions.basic(seed=3))
+        cache.store_point(SPEC, make_point(cycles=100))
+        cache.store_point(custom, make_point(cycles=200))
+        assert cache.get_point(SPEC).cycles == 100
+        assert cache.get_point(custom).cycles == 200
+
+
+class TestAtomicWrites:
+    def test_partial_temp_file_is_ignored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(SPEC)
+        # Simulate a writer that died mid-write: a temp file exists,
+        # the final name does not.
+        partial = tmp_path / f"{key}.pkl.tmp1234"
+        partial.write_bytes(pickle.dumps(make_point())[:10])
+        assert cache.get(key) is None
+        assert cache.entries() == []
+
+    def test_truncated_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(SPEC)
+        cache.put(key, make_point())
+        payload = cache.path_for(key).read_bytes()
+        cache.path_for(key).write_bytes(payload[: len(payload) // 2])
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(SPEC)
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_bytes(b"not a pickle at all")
+        assert cache.get(key) is None
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_point(SPEC, make_point())
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_clear_sweeps_stray_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "deadbeef.pkl.tmp99").write_bytes(b"partial")
+        cache.store_point(SPEC, make_point())
+        assert cache.clear() == 2
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCacheDir:
+    def test_env_var_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "elsewhere"
+
+    def test_default_is_under_home(self, monkeypatch):
+        monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+        path = default_cache_dir()
+        assert path.name == "repro"
+        assert path.parent.name == ".cache"
+
+    def test_get_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never_created")
+        assert cache.get_point(SPEC) is None
+        assert cache.entries() == []
+        assert cache.clear() == 0

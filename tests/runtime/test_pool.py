@@ -1,0 +1,143 @@
+"""Parallel engine tests: determinism, exception capture, caching.
+
+The equivalence test is the load-bearing one: a figure's points
+computed with ``workers=1`` (plain serial loop, no pickling) and
+``workers=4`` (process pool) must agree field-by-field, proving that
+a point's result is a pure function of its spec no matter which
+process computes it.
+"""
+
+import pytest
+
+from repro.mapping.flow import FlowOptions
+from repro.runtime import pool
+from repro.runtime.cache import ResultCache
+from repro.runtime.pool import run_specs, run_sweep
+from repro.runtime.sweep import PointSpec
+
+#: A small figure's worth of points: the dc_filter column of the
+#: latency figures (baseline + three variants), plus one point that
+#: cannot map (4-word context memories) to prove failure capture.
+FIGURE_SPECS = [
+    PointSpec("dc_filter", "HOM64", "basic"),
+    PointSpec("dc_filter", "HET1", "acmap"),
+    PointSpec("dc_filter", "HET1", "full"),
+    PointSpec("dc_filter", "HOM32", "full"),
+    PointSpec("dc_filter", "HOM4", "full",
+              options=FlowOptions.aware(max_attempts=2),
+              cm_depths=(4,) * 16),
+]
+
+
+def point_fields(point):
+    """Every deterministic field of a point (compile time excluded)."""
+    fields = {
+        "kernel": point.kernel_name,
+        "config": point.config_name,
+        "variant": point.variant,
+        "cycles": point.cycles,
+        "error": point.error and point.error.splitlines()[0],
+        "energy_uj": point.energy_uj,
+        "energy_parts": dict(point.energy.parts) if point.energy else None,
+    }
+    if point.mapped:
+        fields["movs"] = point.mapping.total_movs
+        fields["pnops"] = point.mapping.total_pnops
+        fields["tile_words"] = point.mapping.tile_words()
+        fields["activity_cycles"] = point.activity.cycles
+    return fields
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial_field_by_field(self):
+        serial, _ = run_specs(FIGURE_SPECS, workers=1)
+        parallel, _ = run_specs(FIGURE_SPECS, workers=4)
+        assert len(serial) == len(parallel) == len(FIGURE_SPECS)
+        for left, right in zip(serial, parallel):
+            assert point_fields(left) == point_fields(right)
+        # The unmappable point failed identically on both paths.
+        assert serial[-1].error == "unmappable"
+        assert parallel[-1].error == "unmappable"
+
+
+class TestExceptionCapture:
+    def test_broken_point_does_not_kill_the_sweep(self):
+        specs = [
+            PointSpec("dc_filter", "HOM64", "basic"),
+            PointSpec("no_such_kernel", "HOM64", "basic"),
+            PointSpec("dc_filter", "HET1", "full"),
+        ]
+        points, _ = run_specs(specs, workers=2)
+        assert points[0].mapped
+        assert points[2].mapped
+        assert not points[1].mapped
+        assert "no_such_kernel" in points[1].error
+
+    def test_captured_crash_is_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [PointSpec("no_such_kernel", "HOM64", "basic"),
+                 PointSpec("dc_filter", "HOM64", "basic")]
+        run_specs(specs, workers=1, cache=cache)
+        # Only the deterministic outcome was persisted.
+        assert len(cache.entries()) == 1
+        warm = ResultCache(tmp_path)
+        points, hits = run_specs(specs, workers=1, cache=warm)
+        assert hits == 1
+        assert points[1].mapped
+
+
+class TestOrderingAndDedup:
+    def test_results_follow_spec_order(self):
+        specs = [
+            PointSpec("dc_filter", "HET1", "full"),
+            PointSpec("dc_filter", "HOM64", "basic"),
+            PointSpec("dc_filter", "HET1", "basic"),
+        ]
+        points, _ = run_specs(specs, workers=3)
+        got = [(p.config_name, p.variant) for p in points]
+        assert got == [("HET1", "full"), ("HOM64", "basic"),
+                       ("HET1", "basic")]
+
+    def test_duplicates_computed_once(self, monkeypatch):
+        calls = []
+        real = pool._compute_captured
+
+        def counting(spec):
+            calls.append(spec)
+            return real(spec)
+
+        monkeypatch.setattr(pool, "_compute_captured", counting)
+        spec = PointSpec("dc_filter", "HOM64", "basic")
+        points, _ = run_specs([spec, spec, spec], workers=1)
+        assert len(calls) == 1
+        assert points[0] is points[1] is points[2]
+
+
+class TestCacheIntegration:
+    def test_warm_run_computes_nothing(self, tmp_path, monkeypatch):
+        specs = FIGURE_SPECS[:3]
+        cold = ResultCache(tmp_path)
+        cold_points, hits = run_specs(specs, workers=1, cache=cold)
+        assert hits == 0
+        assert cold.stores == len(specs)
+
+        def explode(_spec):  # pragma: no cover — must never run
+            raise AssertionError("warm run re-computed a point")
+
+        monkeypatch.setattr(pool, "_compute_captured", explode)
+        warm = ResultCache(tmp_path)
+        warm_points, hits = run_specs(specs, workers=1, cache=warm)
+        assert hits == len(specs)
+        for left, right in zip(cold_points, warm_points):
+            assert point_fields(left) == point_fields(right)
+
+    def test_run_sweep_summary_counts(self, tmp_path):
+        specs = FIGURE_SPECS[:2]
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(specs, workers=1, cache=cache)
+        assert cold.cache_hits == 0
+        assert cold.computed == 2
+        warm = run_sweep(specs, workers=1, cache=ResultCache(tmp_path))
+        assert warm.cache_hits == 2
+        assert warm.computed == 0
+        assert "0 computed" in warm.summary()
