@@ -12,6 +12,9 @@ instead of letting each figure map its points serially:
 - ``REPRO_BENCH_WORKERS=N`` (N > 1) prefetches every point the
   figure drivers consume over N worker processes before the first
   benchmark runs;
+- ``REPRO_BENCH_SHARD=i/N`` prewarms only shard *i* of the point set
+  (deterministic cost-balanced partition), so N machines sharing a
+  cache directory can split the prewarm between them;
 - the persistent result cache (``~/.cache/repro`` or
   ``$REPRO_CACHE_DIR``) is consulted and filled during the prewarm
   unless ``REPRO_BENCH_NO_CACHE`` is set.
@@ -38,14 +41,26 @@ def prewarm_experiment_points():
     single-figure run still computes only the points it needs.
     """
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
-    if workers <= 1:
+    shard_env = os.environ.get("REPRO_BENCH_SHARD")
+    if workers <= 1 and not shard_env:
         return
     from repro.eval.experiments import figure_specs, prefetch_points
     from repro.runtime.cache import ResultCache
 
+    specs = figure_specs()
+    if shard_env:
+        from repro.errors import ReproError
+        from repro.runtime.shard import parse_shard, shard_specs
+        if os.environ.get("REPRO_BENCH_NO_CACHE"):
+            # Same guard as `repro sweep --shard --no-cache`: a
+            # shard's only lasting output is the shared cache.
+            raise ReproError(
+                "REPRO_BENCH_SHARD with REPRO_BENCH_NO_CACHE "
+                "discards the prewarm; unset one of them")
+        specs = shard_specs(specs, *parse_shard(shard_env))
     cache = (None if os.environ.get("REPRO_BENCH_NO_CACHE")
              else ResultCache())
-    prefetch_points(figure_specs(), workers=workers, cache=cache)
+    prefetch_points(specs, workers=workers, cache=cache)
 
 
 @pytest.fixture(scope="session")

@@ -11,19 +11,31 @@ The exploration runs depth by depth through the parallel runtime
 engine: each round batches all still-unresolved kernels at the next
 depth (``--workers N`` fans them out over N processes) and a kernel
 drops out at its first mappable depth, so no work is spent on depths
-above a kernel's answer.  Completed points persist in the result
+above a kernel's answer.  Each round *streams*: a one-line verdict is
+printed the moment a kernel's attempt lands, rather than after the
+round's slowest mapping.  Completed points persist in the result
 cache (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``), so re-running
-the exploration only maps new points.
+the exploration only maps new points.  ``--shard i/N`` prewarms one
+deterministic slice of the full depth grid into a shared cache
+directory; after all N shards have run, an unsharded re-run answers
+entirely from cache.
 """
 
 import argparse
+import sys
 
 from repro.arch.configs import make_cgra
 from repro.errors import ReproError
 from repro.kernels import PAPER_KERNEL_ORDER
 from repro.mapping.flow import FlowOptions
 from repro.power.area import AreaModel
-from repro.runtime import PointSpec, ResultCache, run_sweep
+from repro.runtime import (
+    PointSpec,
+    ResultCache,
+    parse_shard,
+    run_sweep,
+    shard_specs,
+)
 from repro.runtime.sweep import DETERMINISTIC_ERRORS
 
 DEPTHS = (8, 16, 24, 32, 48, 64)
@@ -33,6 +45,37 @@ def depth_spec(kernel, depth):
     return PointSpec(kernel, f"HOM{depth}", "full",
                      options=FlowOptions.aware(max_attempts=10),
                      cm_depths=(depth,) * 16)
+
+
+def stream_progress(update):
+    """Per-point narration: verdicts land as workers finish them."""
+    print(f"    {update.describe()}", file=sys.stderr, flush=True)
+
+
+def prewarm_shard(workers, cache, shard):
+    """Compute one shard of the *full* depth × kernel grid.
+
+    The adaptive early-exit ladder cannot run per-shard: which
+    kernels are "resolved" depends on points another machine owns, so
+    a sharded ladder could report a too-high minimum as if it were
+    the answer.  Instead, shard mode computes its slice of the whole
+    grid into the shared cache; once every shard has run, an
+    unsharded re-run resolves the ladder entirely from cache hits.
+    """
+    grid = [depth_spec(kernel, depth)
+            for depth in DEPTHS for kernel in PAPER_KERNEL_ORDER]
+    specs = shard_specs(grid, *shard)
+    result = run_sweep(specs, workers=workers, cache=cache,
+                       progress=stream_progress)
+    for spec, point in zip(result.specs, result.points):
+        if point.error not in DETERMINISTIC_ERRORS:
+            # A crash is never cached, so this shard's contribution
+            # would silently be missing — fail loudly, like the
+            # unsharded ladder does.
+            raise ReproError(f"{spec.describe()}: {point.error}")
+    print(f"shard {shard[0]}/{shard[1]}: {result.summary()}")
+    print("prewarm only — re-run without --shard once every shard "
+          "has finished to get the minimum-depth table.")
 
 
 def minimum_depths(workers, cache):
@@ -47,8 +90,9 @@ def minimum_depths(workers, cache):
     for depth in DEPTHS:
         if not remaining:
             break
-        result = run_sweep([depth_spec(k, depth) for k in remaining],
-                           workers=workers, cache=cache)
+        specs = [depth_spec(k, depth) for k in remaining]
+        result = run_sweep(specs, workers=workers, cache=cache,
+                           progress=stream_progress)
         print(f"depth {depth:2d}: {result.summary()}")
         for spec, point in zip(result.specs, result.points):
             if point.error not in DETERMINISTIC_ERRORS:
@@ -67,9 +111,21 @@ def main(argv=None):
                         help="worker processes for the sweep")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result cache")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="prewarm only shard I of N of the full "
+                             "depth grid into the shared cache "
+                             "($REPRO_CACHE_DIR), then exit; re-run "
+                             "unsharded for the table")
     args = parser.parse_args(argv)
 
+    if args.shard and args.no_cache:
+        # Shard mode's only output *is* the shared cache; without it
+        # every mapped point would be silently thrown away.
+        parser.error("--shard requires the cache (drop --no-cache)")
     cache = None if args.no_cache else ResultCache()
+    if args.shard:
+        prewarm_shard(args.workers, cache, parse_shard(args.shard))
+        return
     smallest = minimum_depths(args.workers, cache)
     print()
     model = AreaModel()

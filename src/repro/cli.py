@@ -11,14 +11,26 @@ Commands mirror the user journeys of the examples:
 - ``kernels``       — list the available kernels;
 - ``sweep``         — batch-run kernels × configs × flow variants in
   parallel (``--workers N``) against the persistent result cache
-  (``--no-cache`` / ``--clear-cache`` to bypass or wipe it);
+  (``--no-cache`` / ``--clear-cache`` to bypass or wipe it); with
+  ``--shard i/N`` runs one deterministic slice of the batch and with
+  ``--json`` emits a machine-readable result payload that a later
+  ``merge`` reassembles;
+- ``merge``         — combine N shard JSON files back into the one
+  sweep result the unsharded run would have produced;
+- ``cache``         — manage the persistent result cache
+  (``stats`` / ``prune`` / ``clear``);
 - ``figure NAME``   — regenerate one paper figure/table; the
-  mapping-bound ones accept ``--workers``.
+  mapping-bound ones accept ``--workers``, ``--shard`` (distributed
+  prewarm) and ``--json``.
+
+Sweeps and figure prewarms stream one progress line per landed point
+to stderr, so stdout stays clean for tables and JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -78,7 +90,32 @@ def _parser():
     sweep.add_argument("--seed", type=int, default=7)
     sweep.add_argument("--clear-cache", action="store_true",
                        help="wipe the cache before running")
+    sweep.add_argument("--shard", default=None, metavar="I/N",
+                       help="run only shard I of N (deterministic, "
+                            "disjoint, cost-balanced slices)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit a machine-readable result payload "
+                            "on stdout instead of the table")
     add_cache_flags(sweep)
+
+    merge = sub.add_parser(
+        "merge", help="combine shard JSON result files into one sweep")
+    merge.add_argument("files", nargs="+",
+                       help="JSON files written by sweep/figure --json")
+    merge.add_argument("--json", action="store_true",
+                       help="emit the merged payload as JSON")
+
+    cache = sub.add_parser(
+        "cache", help="manage the persistent result cache")
+    cache.add_argument("action", choices=("stats", "prune", "clear"))
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default ~/.cache/repro "
+                            "or $REPRO_CACHE_DIR)")
+    cache.add_argument("--max-bytes", default=None,
+                       help="byte cap for prune, e.g. 4096 / 512K / "
+                            "64M / 2G (default $REPRO_CACHE_MAX_BYTES)")
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable stats")
 
     figure = sub.add_parser(
         "figure", help="regenerate one paper figure/table")
@@ -88,8 +125,58 @@ def _parser():
     figure.add_argument("--workers", type=int, default=1,
                         help="worker processes for the mapping-bound "
                              "figures (fig6-8, fig10, table2)")
+    figure.add_argument("--shard", default=None, metavar="I/N",
+                        help="compute only shard I of N of this "
+                             "figure's points (distributed prewarm); "
+                             "emits the partial sweep, not the figure")
+    figure.add_argument("--json", action="store_true",
+                        help="emit the figure data (or the shard "
+                             "payload) as JSON")
     add_cache_flags(figure)
     return parser
+
+
+def _stderr_progress(update):
+    """Narrate a streaming sweep on stderr, one line per point."""
+    print(update.describe(), file=sys.stderr, flush=True)
+
+
+def _check_shard_output(args):
+    """--shard needs a durable output: the cache or a --json payload.
+
+    A shard's contribution lives on only through the shared cache or
+    a mergeable payload; with neither, hours of mapping would print
+    a table and evaporate.
+    """
+    if args.no_cache and not args.json:
+        raise ReproError(
+            "--shard with --no-cache discards all results: "
+            "add --json (mergeable payload) or drop --no-cache")
+
+
+def _run_shard(args, cache, specs, shard, label=""):
+    """Run one shard of ``specs``; emits a mergeable ``--json``
+    payload or a partial-sweep table.  Shared by ``sweep --shard``
+    and ``figure --shard`` so their payloads cannot drift apart."""
+    from repro.eval.reporting import render_sweep
+    from repro.runtime.pool import run_sweep
+    from repro.runtime.shard import (
+        shard_indices, sweep_fingerprint, sweep_json_payload)
+
+    positions = shard_indices(specs, *shard)
+    result = run_sweep([specs[i] for i in positions],
+                       workers=args.workers, cache=cache,
+                       progress=_stderr_progress)
+    if args.json:
+        print(json.dumps(sweep_json_payload(
+            result, shard=shard, positions=positions,
+            spec_total=len(specs),
+            fingerprint=sweep_fingerprint(specs)), indent=2))
+    else:
+        print(f"{label}shard {shard[0]}/{shard[1]}: "
+              f"{len(positions)} of {len(specs)} points")
+        print(render_sweep(result))
+    return 1 if result.crashed else 0
 
 
 def _map(args):
@@ -184,6 +271,14 @@ def _sweep(args):
         if unknown:
             raise ReproError(f"unknown {label} {sorted(unknown)}; "
                              f"choose from {sorted(valid)}")
+    # Like the axes above, the shard string must be validated before
+    # any destructive action — a typo must not cost the user their
+    # whole accumulated cache.
+    shard = None
+    if args.shard:
+        from repro.runtime.shard import parse_shard
+        shard = parse_shard(args.shard)
+        _check_shard_output(args)
     cache = _cache_from(args)
     if args.clear_cache:
         # Wipe even under --no-cache ("clear it, then recompute
@@ -192,44 +287,138 @@ def _sweep(args):
         target = cache if cache is not None \
             else ResultCache(getattr(args, "cache_dir", None))
         removed = target.clear()
-        print(f"cleared {removed} cache entries from {target.directory}")
+        # Status narration, not a result: under --json stdout must
+        # hold nothing but the payload.
+        print(f"cleared {removed} cache entries from {target.directory}",
+              file=sys.stderr if args.json else sys.stdout)
     specs = sweep_specs(kernels=kernels, configs=configs,
                         variants=variants, seed=args.seed)
+    if shard is not None:
+        return _run_shard(args, cache, specs, shard)
     from repro.runtime.pool import run_sweep
-    result = run_sweep(specs, workers=args.workers, cache=cache)
-    print(render_sweep(result))
-    if cache is not None:
-        print(f"cache: {cache.directory} ({cache.hits} hits, "
-              f"{cache.stores} new entries)")
+    result = run_sweep(specs, workers=args.workers, cache=cache,
+                       progress=_stderr_progress)
+    if args.json:
+        from repro.runtime.shard import sweep_json_payload
+        print(json.dumps(sweep_json_payload(result), indent=2))
+    else:
+        print(render_sweep(result))
+        if cache is not None:
+            print(f"cache: {cache.directory} ({cache.hits} hits, "
+                  f"{cache.stores} new entries)")
     return 1 if result.crashed else 0
+
+
+def _merge(args):
+    from repro.eval.reporting import render_sweep
+    from repro.runtime.shard import merge_sweep_files, sweep_json_payload
+
+    result = merge_sweep_files(args.files)
+    if args.json:
+        print(json.dumps(sweep_json_payload(result), indent=2))
+    else:
+        print(render_sweep(result))
+    return 1 if result.crashed else 0
+
+
+def _format_bytes(n):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+
+
+def _cache(args):
+    from repro.runtime.cache import ResultCache, parse_bytes
+
+    cache = ResultCache(getattr(args, "cache_dir", None))
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            cap = (_format_bytes(stats["max_bytes"])
+                   if stats["max_bytes"] is not None else "none")
+            print(f"cache: {stats['directory']}")
+            print(f"  entries:     {stats['entries']}")
+            print(f"  total size:  "
+                  f"{_format_bytes(stats['total_bytes'])}")
+            print(f"  byte cap:    {cap}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.directory}")
+        return 0
+    try:
+        cap = (parse_bytes(args.max_bytes)
+               if args.max_bytes is not None else None)
+        evicted = cache.prune(cap)
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+    print(f"evicted {evicted} entries; "
+          f"{_format_bytes(cache.size_bytes())} in {cache.directory}")
+    return 0
+
+
+def _figure_shard(args, cache):
+    """Distributed prewarm: compute one shard of a figure's points.
+
+    Emits the partial sweep (table or ``--json`` payload) instead of
+    the figure — the shards fill a shared cache and/or merge into the
+    full point set; the figure itself renders from any machine that
+    sees all of them.
+    """
+    from repro.eval.experiments import figure_point_specs
+    from repro.runtime.shard import parse_shard
+
+    specs = figure_point_specs(args.name)
+    if not specs:
+        raise ReproError(
+            f"{args.name} has no prewarmable experiment points to "
+            f"shard; only the latency figures (fig6-8), fig10 and "
+            f"table2 have one")
+    shard = parse_shard(args.shard)
+    _check_shard_output(args)
+    return _run_shard(args, cache, specs, shard,
+                      label=f"{args.name} ")
 
 
 def _figure(args):
     from repro.eval import experiments, reporting
     cache = _cache_from(args)
     workers = args.workers
+    if args.shard:
+        return _figure_shard(args, cache)
     if args.name == "fig5":
-        print(reporting.render_fig5(experiments.fig5_data()))
-    elif args.name in ("fig6", "fig7", "fig8"):
-        variant = {"fig6": "acmap", "fig7": "ecmap",
-                   "fig8": "full"}[args.name]
-        chart = experiments.latency_figure_data(
-            variant, workers=workers, cache=cache)
-        print(reporting.render_latency_figure(
-            f"Fig {args.name[3:]} — {variant} flow", chart,
-            experiments.LATENCY_CONFIGS))
+        data = experiments.fig5_data()
+        render = reporting.render_fig5
+    elif args.name in experiments.FIGURE_VARIANTS:
+        variant = experiments.FIGURE_VARIANTS[args.name]
+        data = experiments.latency_figure_data(
+            variant, workers=workers, cache=cache,
+            progress=_stderr_progress)
+
+        def render(chart):
+            return reporting.render_latency_figure(
+                f"Fig {args.name[3:]} — {variant} flow", chart,
+                experiments.LATENCY_CONFIGS)
     elif args.name == "fig9":
         # Compile-time measurements stay serial: sharing cores would
         # distort the very quantity the figure reports.
-        print(reporting.render_fig9(experiments.fig9_data()))
+        data = experiments.fig9_data()
+        render = reporting.render_fig9
     elif args.name == "fig10":
-        print(reporting.render_fig10(
-            experiments.fig10_data(workers=workers, cache=cache)))
+        data = experiments.fig10_data(workers=workers, cache=cache,
+                                      progress=_stderr_progress)
+        render = reporting.render_fig10
     elif args.name == "fig11":
-        print(reporting.render_fig11(experiments.fig11_data()))
+        data = experiments.fig11_data()
+        render = reporting.render_fig11
     else:
-        print(reporting.render_table2(
-            experiments.table2_data(workers=workers, cache=cache)))
+        data = experiments.table2_data(workers=workers, cache=cache,
+                                       progress=_stderr_progress)
+        render = reporting.render_table2
+    print(json.dumps(data, indent=2) if args.json else render(data))
     return 0
 
 
@@ -246,7 +435,7 @@ def main(argv=None):
     args = _parser().parse_args(argv)
     handlers = {"map": _map, "run": _run, "energy": _energy,
                 "area": _area, "kernels": _kernels, "sweep": _sweep,
-                "figure": _figure}
+                "merge": _merge, "cache": _cache, "figure": _figure}
     try:
         return handlers[args.command](args)
     except UnmappableError as error:

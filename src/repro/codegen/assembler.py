@@ -23,8 +23,7 @@ the right cycle, the mapping was unsound and assembly fails loudly.
 from __future__ import annotations
 
 from repro.errors import CodegenError, ContextOverflowError
-from repro.ir.cdfg import Branch, Exit, Jump
-from repro.ir.opcodes import Opcode
+from repro.ir.cdfg import Branch
 from repro.codegen.isa import Instruction, Source
 
 

@@ -46,8 +46,9 @@ from repro.sim.cpu import CPUModel
 __all__ = [
     "INPUT_SEED", "LATENCY_CONFIGS", "ExperimentPoint", "PointSpec",
     "clear_cache", "compile_point", "execute_point", "execute_spec",
-    "figure_specs", "prefetch_points", "cpu_point", "fig5_data",
-    "latency_figure_data",
+    "figure_specs", "figure_point_specs", "latency_specs",
+    "cpu_comparison_specs", "prefetch_points",
+    "cpu_point", "fig5_data", "latency_figure_data",
     "fig9_data", "fig10_data", "fig11_data", "table2_data",
 ]
 
@@ -96,13 +97,17 @@ def execute_point(kernel_name, config_name, variant, options=None,
                                   options=options, seed=seed))
 
 
-def prefetch_points(specs, workers=1, cache=None):
+def prefetch_points(specs, workers=1, cache=None, progress=None):
     """Batch-compute specs into the memo via the parallel engine.
 
     Already-memoised specs are skipped; the rest run through
     :func:`repro.runtime.pool.run_specs` (process-parallel when
     ``workers > 1``, consulting/filling the persistent ``cache`` when
     given) and land in the per-process memo the drivers read.
+    ``progress`` receives a
+    :class:`~repro.runtime.stream.StreamUpdate` per landed point, so
+    long prefetches report incrementally instead of going silent
+    until the slowest point finishes.
     """
     missing = []
     for spec in specs:
@@ -111,7 +116,8 @@ def prefetch_points(specs, workers=1, cache=None):
             missing.append(spec)
     if not missing:
         return 0
-    points, _ = run_specs(missing, workers=workers, cache=cache)
+    points, _ = run_specs(missing, workers=workers, cache=cache,
+                          progress=progress)
     for spec, point in zip(missing, points):
         if point.error in DETERMINISTIC_ERRORS:
             _POINT_CACHE[spec] = point
@@ -135,6 +141,47 @@ def figure_specs(kernels=PAPER_KERNEL_ORDER, configs=LATENCY_CONFIGS):
               for variant in ("acmap", "ecmap", "full")
               for config in configs]
     return specs
+
+
+#: Flow variant each latency figure sweeps.
+FIGURE_VARIANTS = {"fig6": "acmap", "fig7": "ecmap", "fig8": "full"}
+
+
+def latency_specs(variant, kernels=PAPER_KERNEL_ORDER,
+                  configs=LATENCY_CONFIGS):
+    """Specs one latency figure consumes: baselines, then the variant.
+
+    The single source of truth shared by the figure driver and the
+    ``--shard`` prewarm path — if they diverged, the distributed
+    prewarm would warm the wrong set without any error.
+    """
+    return ([PointSpec(kernel, "HOM64", "basic") for kernel in kernels]
+            + [PointSpec(kernel, config, variant)
+               for kernel in kernels for config in configs])
+
+
+def cpu_comparison_specs(kernels=PAPER_KERNEL_ORDER):
+    """Specs Fig 10 and Table II consume (shared with ``--shard``)."""
+    return [PointSpec(kernel, config, variant)
+            for kernel in kernels
+            for _, config, variant in _CPU_COMPARISON_COLUMNS]
+
+
+def figure_point_specs(name, kernels=PAPER_KERNEL_ORDER,
+                       configs=LATENCY_CONFIGS):
+    """The mapping-bound specs one figure/table consumes, in a fixed
+    deterministic order — the unit that ``repro figure NAME
+    --shard i/N`` partitions across machines.
+
+    Fig 5, Fig 9 and Fig 11 time compilation or price area and have
+    no prewarmable points; they return an empty list.
+    """
+    if name in FIGURE_VARIANTS:
+        return latency_specs(FIGURE_VARIANTS[name], kernels=kernels,
+                             configs=configs)
+    if name in ("fig10", "table2"):
+        return cpu_comparison_specs(kernels=kernels)
+    return []
 
 
 def cpu_point(kernel_name):
@@ -199,18 +246,17 @@ def fig5_data(kernel_name="fft", config_name="HOM64"):
 # Figs 6-8: latency under each flow variant, normalised to basic@HOM64
 # ----------------------------------------------------------------------
 def latency_figure_data(variant, kernels=PAPER_KERNEL_ORDER,
-                        configs=LATENCY_CONFIGS, workers=1, cache=None):
+                        configs=LATENCY_CONFIGS, workers=1, cache=None,
+                        progress=None):
     """Latency chart for one flow variant (Fig 6: "acmap", Fig 7:
     "ecmap", Fig 8: "full"), normalised to the baseline mapping.
 
     Zero means the variant found no mapping for that configuration —
     rendered exactly like the paper's missing bars.
     """
-    prefetch_points(
-        [PointSpec(kernel, "HOM64", "basic") for kernel in kernels]
-        + [PointSpec(kernel, config, variant)
-           for kernel in kernels for config in configs],
-        workers=workers, cache=cache)
+    prefetch_points(latency_specs(variant, kernels=kernels,
+                                  configs=configs),
+                    workers=workers, cache=cache, progress=progress)
     chart = {}
     for kernel_name in kernels:
         baseline = execute_point(kernel_name, "HOM64", "basic")
@@ -264,13 +310,11 @@ _CPU_COMPARISON_COLUMNS = (
 )
 
 
-def fig10_data(kernels=PAPER_KERNEL_ORDER, workers=1, cache=None):
+def fig10_data(kernels=PAPER_KERNEL_ORDER, workers=1, cache=None,
+               progress=None):
     """Cycles normalised to the or1k CPU (plus speedups)."""
-    prefetch_points(
-        [PointSpec(kernel, config, variant)
-         for kernel in kernels
-         for _, config, variant in _CPU_COMPARISON_COLUMNS],
-        workers=workers, cache=cache)
+    prefetch_points(cpu_comparison_specs(kernels=kernels),
+                    workers=workers, cache=cache, progress=progress)
     chart = {}
     for kernel_name in kernels:
         cpu_cycles, _ = cpu_point(kernel_name)
@@ -309,13 +353,11 @@ def fig11_data(configs=LATENCY_CONFIGS):
 # ----------------------------------------------------------------------
 # Table II: energy comparison
 # ----------------------------------------------------------------------
-def table2_data(kernels=PAPER_KERNEL_ORDER, workers=1, cache=None):
+def table2_data(kernels=PAPER_KERNEL_ORDER, workers=1, cache=None,
+                progress=None):
     """Energy in uJ: CPU vs basic@HOM64 vs aware@HET1 vs aware@HET2."""
-    prefetch_points(
-        [PointSpec(kernel, config, variant)
-         for kernel in kernels
-         for _, config, variant in _CPU_COMPARISON_COLUMNS],
-        workers=workers, cache=cache)
+    prefetch_points(cpu_comparison_specs(kernels=kernels),
+                    workers=workers, cache=cache, progress=progress)
     table = {}
     for kernel_name in kernels:
         cpu_cycles, cpu_energy = cpu_point(kernel_name)

@@ -137,7 +137,10 @@ def route_to_operand(pm, value_uid, tile, cycle,
     """
     if pm.readable_at(value_uid, tile, cycle):
         return Route([])
-    goal = lambda state: _is_operand_goal(state, pm, tile, cycle)
+
+    def goal(state):
+        return _is_operand_goal(state, pm, tile, cycle)
+
     return _search(pm, value_uid, cycle, goal, max_movs, blacklist)
 
 
@@ -151,7 +154,10 @@ def route_to_rf(pm, value_uid, tile, deadline,
     avail = pm.rf_cycle(value_uid, tile)
     if avail is not None and avail <= deadline:
         return Route([])
-    goal = lambda state: _is_landing_goal(state, tile, deadline)
+
+    def goal(state):
+        return _is_landing_goal(state, tile, deadline)
+
     return _search(pm, value_uid, deadline, goal, max_movs, blacklist)
 
 

@@ -18,7 +18,18 @@ turns that unit into a first-class, batchable job:
 - :mod:`repro.runtime.cache` — :class:`ResultCache` persists computed
   points under ``~/.cache/repro/`` (override with ``REPRO_CACHE_DIR``)
   keyed by a content hash of everything that determines the result,
-  with atomic writes so an interrupted run never corrupts the cache.
+  with atomic writes so an interrupted run never corrupts the cache,
+  plus management: size accounting, ``stats()`` and LRU-by-mtime
+  eviction under a byte cap (``REPRO_CACHE_MAX_BYTES``).
+- :mod:`repro.runtime.stream` — :func:`stream_specs` yields
+  ``(spec, point)`` pairs *as workers finish* with
+  :class:`StreamUpdate` progress callbacks, so figures and reports
+  can render incrementally instead of blocking on the slowest point.
+- :mod:`repro.runtime.shard` — :func:`shard_specs` deterministically
+  partitions a spec list into disjoint, cost-balanced shards for
+  multi-machine sweeps; JSON result payloads plus
+  :func:`merge_sweep_payloads` reassemble N shard files into the one
+  :class:`SweepResult` the unsharded run would have produced.
 
 Quickstart::
 
@@ -26,10 +37,35 @@ Quickstart::
 
     result = run_sweep(sweep_specs(), workers=4, cache=ResultCache())
     print(result.summary())
+
+Streaming and sharding::
+
+    from repro.runtime import shard_specs, stream_specs
+
+    mine = shard_specs(sweep_specs(), index=0, total=4)
+    for spec, point in stream_specs(mine, workers=4,
+                                    cache=ResultCache()):
+        print(spec.describe(), point)
 """
 
-from repro.runtime.cache import ResultCache, default_cache_dir, point_key
+from repro.runtime.cache import (
+    ResultCache,
+    default_cache_dir,
+    parse_bytes,
+    point_key,
+)
 from repro.runtime.pool import run_specs, run_sweep
+from repro.runtime.shard import (
+    estimated_cost,
+    merge_sweep_files,
+    merge_sweep_payloads,
+    parse_shard,
+    shard_indices,
+    shard_specs,
+    sweep_fingerprint,
+    sweep_json_payload,
+)
+from repro.runtime.stream import StreamUpdate, stream_specs
 from repro.runtime.sweep import (
     DEFAULT_SEED,
     ExperimentPoint,
@@ -44,11 +80,22 @@ __all__ = [
     "ExperimentPoint",
     "PointSpec",
     "ResultCache",
+    "StreamUpdate",
     "SweepResult",
     "compute_point",
     "default_cache_dir",
+    "estimated_cost",
+    "merge_sweep_files",
+    "merge_sweep_payloads",
+    "parse_bytes",
+    "parse_shard",
     "point_key",
     "run_specs",
     "run_sweep",
+    "shard_indices",
+    "shard_specs",
+    "stream_specs",
+    "sweep_fingerprint",
+    "sweep_json_payload",
     "sweep_specs",
 ]

@@ -23,6 +23,15 @@ entries are treated as misses and deleted.
 
 The cache directory defaults to ``~/.cache/repro`` and is overridden
 with the ``REPRO_CACHE_DIR`` environment variable.
+
+The cache is managed: every entry's mtime is refreshed on hit, so
+recency order is literal file recency, and an optional byte cap —
+``max_bytes=`` or the ``REPRO_CACHE_MAX_BYTES`` environment variable
+(plain bytes or ``512K`` / ``64M`` / ``2G``) — evicts
+least-recently-used entries after each store.  ``stats()`` reports
+size and session counters; ``prune()`` applies a cap on demand;
+``repro cache stats|prune|clear`` exposes all of it on the command
+line.
 """
 
 from __future__ import annotations
@@ -40,10 +49,17 @@ import repro
 #: Environment variable overriding the cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
+#: Environment variable capping the cache size in bytes (suffixes
+#: ``K``/``M``/``G`` = KiB/MiB/GiB accepted).
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
 #: Bump when the on-disk payload layout changes incompatibly.
-CACHE_FORMAT = 1
+#: Format 2: ExperimentPoint grew an explicit ``mapped`` override.
+CACHE_FORMAT = 2
 
 _SUFFIX = ".pkl"
+
+_BYTE_SUFFIXES = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
 
 
 def default_cache_dir():
@@ -54,17 +70,51 @@ def default_cache_dir():
     return pathlib.Path.home() / ".cache" / "repro"
 
 
-def point_key(spec, version=None):
-    """Content hash identifying one experiment point's result.
+def parse_bytes(text):
+    """``"4096"`` -> 4096, ``"512K"``/``"64M"``/``"2G"`` -> bytes."""
+    given = str(text).strip()
+    digits = given.upper()
+    multiplier = 1
+    if digits and digits[-1] in _BYTE_SUFFIXES:
+        multiplier = _BYTE_SUFFIXES[digits[-1]]
+        digits = digits[:-1]
+    try:
+        value = int(digits) * multiplier
+    except ValueError:
+        raise ValueError(
+            f"not a byte size: {given!r} (expected e.g. 4096, 512K, "
+            f"64M, 2G)") from None
+    if value < 0:
+        raise ValueError(f"byte size must be >= 0, got {value}")
+    return value
 
-    Two specs that describe the same computation hash identically
-    (``options=None`` is resolved to the variant's preset first);
-    any field that could change the outcome perturbs the digest.
+
+def default_max_bytes():
+    """``$REPRO_CACHE_MAX_BYTES`` as an int, or None (unlimited).
+
+    ``0`` follows the common env-var convention and means *no cap* —
+    a standing cap of zero would evict every entry the moment it is
+    written, silently turning the cache into pure wasted I/O.  (An
+    explicit ``prune(0)`` still means "evict everything", which is a
+    deliberate one-shot action.)
+    """
+    override = os.environ.get(ENV_CACHE_MAX_BYTES)
+    if not override:
+        return None
+    return parse_bytes(override) or None
+
+
+def spec_payload(spec):
+    """Canonical JSON-safe dict of a spec's result-determining fields.
+
+    The single definition shared by the cache key and the shard JSON
+    serialisation (:mod:`repro.runtime.shard`): a field added here
+    perturbs cache keys, sweep fingerprints and shard payloads in
+    lockstep, so the three can never silently disagree about what
+    identifies a computation.
     """
     spec = spec.resolve()
-    payload = {
-        "format": CACHE_FORMAT,
-        "version": version if version is not None else repro.__version__,
+    return {
         "kernel": spec.kernel_name,
         "config": spec.config_name,
         "variant": spec.variant,
@@ -73,6 +123,19 @@ def point_key(spec, version=None):
         "cm_depths": (list(spec.cm_depths)
                       if spec.cm_depths is not None else None),
     }
+
+
+def point_key(spec, version=None):
+    """Content hash identifying one experiment point's result.
+
+    Two specs that describe the same computation hash identically
+    (``options=None`` is resolved to the variant's preset first);
+    any field that could change the outcome perturbs the digest.
+    """
+    payload = dict(spec_payload(spec))
+    payload["format"] = CACHE_FORMAT
+    payload["version"] = (version if version is not None
+                          else repro.__version__)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -80,16 +143,30 @@ def point_key(spec, version=None):
 class ResultCache:
     """Directory of pickled experiment points, one file per key.
 
-    Tracks ``hits`` / ``misses`` / ``stores`` for the session so
-    callers can assert "a warm run re-mapped zero points".
+    Tracks ``hits`` / ``misses`` / ``stores`` / ``evictions`` for the
+    session so callers can assert "a warm run re-mapped zero points".
+
+    ``max_bytes`` (default: ``$REPRO_CACHE_MAX_BYTES``, else
+    unlimited) caps the directory's total entry size; after every
+    store, least-recently-used entries (by mtime — refreshed on every
+    hit) are evicted until the cap holds again.
     """
 
-    def __init__(self, directory=None):
+    def __init__(self, directory=None, max_bytes=None):
         self.directory = (pathlib.Path(directory) if directory is not None
                           else default_cache_dir())
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else default_max_bytes())
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        # Running size estimate under a cap: seeded by one full scan,
+        # bumped per store, re-synced against the directory whenever
+        # it crosses the cap.  Overwrites double-count (conservative:
+        # at worst an early re-sync), other processes' writes are
+        # caught by the authoritative rescan inside _evict_to.
+        self._tracked_bytes = None
 
     # ------------------------------------------------------------------
     # Key-level interface
@@ -120,6 +197,7 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(path)
         return payload
 
     def put(self, key, payload):
@@ -137,6 +215,8 @@ class ResultCache:
             self._discard(pathlib.Path(temp_name))
             raise
         self.stores += 1
+        if self.max_bytes is not None:
+            self._account_store(final)
         return final
 
     def invalidate(self, key):
@@ -168,9 +248,93 @@ class ResultCache:
         return sorted(path for path in self.directory.iterdir()
                       if path.suffix == _SUFFIX)
 
+    def size_bytes(self):
+        """Total size of all complete entries, in bytes."""
+        return sum(size for _, _, size in self._inventory())
+
+    def stats(self):
+        """Size accounting plus session counters, as a plain dict."""
+        inventory = self._inventory()
+        return {
+            "directory": str(self.directory),
+            "entries": len(inventory),
+            "total_bytes": sum(size for _, _, size in inventory),
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def prune(self, max_bytes=None):
+        """Evict LRU entries until the cap holds; returns the count.
+
+        ``max_bytes=None`` uses the cache's configured cap; pruning a
+        cache with no cap at all is an error (it would be a no-op the
+        caller almost certainly did not intend).
+        """
+        cap = max_bytes if max_bytes is not None else self.max_bytes
+        if cap is None:
+            raise ValueError(
+                "no byte cap to prune to: pass max_bytes or set "
+                f"${ENV_CACHE_MAX_BYTES}")
+        return self._evict_to(cap)
+
+    def _inventory(self):
+        """``(mtime, path, size)`` of every entry, oldest first.
+
+        Entries that vanish mid-scan (a concurrent clear or another
+        process's eviction) are simply skipped.
+        """
+        rows = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append((stat.st_mtime, path, stat.st_size))
+        rows.sort(key=lambda row: (row[0], row[1].name))
+        return rows
+
+    def _account_store(self, path):
+        """Track one store against the cap without a full rescan."""
+        if self._tracked_bytes is None:
+            self._tracked_bytes = self.size_bytes()  # includes `path`
+        else:
+            try:
+                self._tracked_bytes += path.stat().st_size
+            except OSError:
+                pass
+        if self._tracked_bytes > self.max_bytes:
+            self._evict_to(self.max_bytes)
+
+    def _evict_to(self, cap):
+        """Drop least-recently-used entries until ``total <= cap``."""
+        inventory = self._inventory()
+        total = sum(size for _, _, size in inventory)
+        evicted = 0
+        for _, path, size in inventory:
+            if total <= cap:
+                break
+            self._discard(path)
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        self._tracked_bytes = total  # authoritative re-sync
+        return evicted
+
+    @staticmethod
+    def _touch(path):
+        """Refresh mtime on a hit so recency order is literal."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     def clear(self):
         """Wipe every entry (and stray temp files); returns the count."""
         removed = 0
+        self._tracked_bytes = None
         if not self.directory.is_dir():
             return removed
         for path in self.directory.iterdir():
@@ -188,4 +352,5 @@ class ResultCache:
 
     def __repr__(self):
         return (f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
-                f"misses={self.misses}, stores={self.stores})")
+                f"misses={self.misses}, stores={self.stores}, "
+                f"evictions={self.evictions})")

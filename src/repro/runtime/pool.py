@@ -1,4 +1,4 @@
-"""The parallel experiment engine.
+"""The parallel experiment engine (batch interface).
 
 :func:`run_specs` executes a batch of
 :class:`~repro.runtime.sweep.PointSpec` with three guarantees:
@@ -18,20 +18,22 @@
   inline, with no executor and no pickling, which is what the
   equivalence tests compare the parallel path against.
 
-Workers are plain ``concurrent.futures.ProcessPoolExecutor``
-processes; specs and points cross the boundary by pickling.  The
-mapping flow seeds every random stream from ``FlowOptions.seed``, so
-a point computes identically in any process.
+The batch path is a thin collector over
+:func:`repro.runtime.stream.stream_specs` — the generator owns the
+executor, the cache protocol and the progress callbacks, so the
+streaming and batch interfaces cannot drift apart.  Workers are plain
+``concurrent.futures.ProcessPoolExecutor`` processes; specs and
+points cross the boundary by pickling.  The mapping flow seeds every
+random stream from ``FlowOptions.seed``, so a point computes
+identically in any process.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.runtime.sweep import (
-    DETERMINISTIC_ERRORS,
     ExperimentPoint,
     SweepResult,
     compute_point,
@@ -55,69 +57,47 @@ def _compute_captured(spec):
             error=f"{type(error).__name__}: {error}\n{detail}")
 
 
-def run_specs(specs, workers=1, cache=None):
+def run_specs(specs, workers=1, cache=None, progress=None):
     """Execute a batch of specs; returns ``(points, cache_hits)``.
 
     ``points`` is ordered like ``specs``.  ``cache`` is a
     :class:`~repro.runtime.cache.ResultCache` or None (disabled).
+    ``progress`` is forwarded to the streaming engine: it is called
+    with a :class:`~repro.runtime.stream.StreamUpdate` as each unique
+    point lands, so long batches can report incrementally.
     """
+    from repro.runtime.stream import stream_specs
+
     specs = [spec.resolve() for spec in specs]
-    points = [None] * len(specs)
     positions = {}
     for index, spec in enumerate(specs):
         positions.setdefault(spec, []).append(index)
 
+    points = [None] * len(specs)
     cache_hits = 0
-    pending = []
-    for spec, indices in positions.items():
-        cached = cache.get_point(spec) if cache is not None else None
-        if cached is not None:
-            cache_hits += 1
-            for index in indices:
-                points[index] = cached
-        else:
-            pending.append(spec)
 
-    if pending:
-        if workers <= 1:
-            computed = [(spec, _compute_captured(spec)) for spec in pending]
-        else:
-            computed = _run_pool(pending, workers)
-        for spec, point in computed:
-            if cache is not None and point.error in DETERMINISTIC_ERRORS:
-                cache.store_point(spec, point)
-            for index in positions[spec]:
-                points[index] = point
+    def observe(update):
+        nonlocal cache_hits
+        if update.from_cache:
+            cache_hits += 1
+        if progress is not None:
+            progress(update)
+
+    for spec, point in stream_specs(specs, workers=workers, cache=cache,
+                                    progress=observe):
+        for index in positions[spec]:
+            points[index] = point
     return points, cache_hits
 
 
-def _run_pool(pending, workers):
-    """Fan unique specs out over a process pool."""
-    results = {}
-    with ProcessPoolExecutor(max_workers=min(workers,
-                                             len(pending))) as executor:
-        futures = {executor.submit(_compute_captured, spec): spec
-                   for spec in pending}
-        for future in as_completed(futures):
-            spec = futures[future]
-            try:
-                point = future.result()
-            except Exception as error:  # a worker died outright
-                point = ExperimentPoint(
-                    spec.kernel_name, spec.config_name, spec.variant,
-                    error=f"worker failure: {type(error).__name__}: "
-                          f"{error}")
-            results[spec] = point
-    return [(spec, results[spec]) for spec in pending]
-
-
-def run_sweep(specs=None, workers=1, cache=None):
+def run_sweep(specs=None, workers=1, cache=None, progress=None):
     """Run a batch (default: the full paper sweep) into a SweepResult."""
     if specs is None:
         specs = sweep_specs()
     specs = [spec.resolve() for spec in specs]
     started = time.perf_counter()
-    points, cache_hits = run_specs(specs, workers=workers, cache=cache)
+    points, cache_hits = run_specs(specs, workers=workers, cache=cache,
+                                   progress=progress)
     return SweepResult(specs=specs, points=points, cache_hits=cache_hits,
                        computed=len({s for s in specs}) - cache_hits,
                        elapsed_seconds=time.perf_counter() - started)

@@ -1,0 +1,408 @@
+"""Deterministic sweep sharding and the shard-merge path.
+
+A sweep of *kernels × configs × flow variants* multiplies quickly —
+the DSE ladders multiply it again — and one process pool should not
+own all of it.  This module splits a spec list into ``N`` disjoint
+shards that together are provably the whole list, so independent
+machines (or CI matrix entries) can each run
+``repro sweep --shard i/N``, write a JSON result file, and a final
+merge step reassembles the one :class:`~repro.runtime.sweep.SweepResult`
+the unsharded run would have produced.
+
+**Sharding contract** (tested in ``tests/runtime/test_shard.py``):
+
+- *Partition*: every input position is assigned to exactly one shard,
+  so shards are pairwise disjoint and their union is the input —
+  by construction, not by convention.
+- *Determinism*: assignment is computed from a canonical ordering of
+  the specs (estimated cost, then content hash), never from input
+  positions, so every machine that builds the same spec list carves
+  it identically — and re-ordering the list cannot move a spec to a
+  different shard.
+- *Order stability*: within a shard, specs keep the relative order
+  they had in the full list.
+- *Load balance*: specs are assigned greedily (longest processing
+  time first) to the currently lightest shard, using an estimated
+  cost heuristic — kernel size times a flow-variant weight from the
+  paper's compile-time ratios — so heavy kernels spread across
+  shards instead of piling up in one.
+
+**JSON result files** carry, per point, the position it had in the
+full spec list; the merge validates that the shard files cover every
+position exactly once before rebuilding the sweep, so a missing or
+duplicated shard is a hard error rather than a silently short result.
+Rebuilt points are *summaries*: deterministic fields (cycles, energy,
+error class, compile seconds) round-trip exactly, the heavy mapping
+and activity objects do not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+
+from repro.errors import ReproError
+from repro.mapping.flow import FlowOptions
+from repro.power.energy import EnergyBreakdown
+from repro.runtime.cache import point_key, spec_payload
+from repro.runtime.sweep import ExperimentPoint, PointSpec, SweepResult
+
+#: Bump when the JSON sweep-result payload layout changes.
+SWEEP_JSON_SCHEMA = 1
+
+#: Relative compile-cost weight per flow variant (Fig 9's shape: the
+#: full context-aware flow costs ~1.8x the basic flow).
+_VARIANT_COST = {"basic": 1.0, "weighted": 1.0, "acmap": 1.2,
+                 "ecmap": 1.5, "full": 1.8}
+
+#: Fallback op count for kernels that fail to build (the cost model
+#: must never crash a sweep that would have captured the failure).
+_DEFAULT_KERNEL_OPS = 64
+
+_KERNEL_OPS = {}
+
+
+def _kernel_ops(name):
+    ops = _KERNEL_OPS.get(name)
+    if ops is None:
+        try:
+            from repro.kernels import get_kernel
+            ops = get_kernel(name).cdfg.n_ops
+        except Exception:
+            ops = _DEFAULT_KERNEL_OPS
+        _KERNEL_OPS[name] = ops
+    return ops
+
+
+def estimated_cost(spec):
+    """Relative cost of computing one spec (unitless, deterministic).
+
+    Mapping dominates and scales with the kernel's static op count;
+    the context-aware stages multiply it by a roughly constant factor.
+    Only *relative* accuracy matters — the heuristic spreads heavy
+    kernels across shards, it does not predict seconds.
+    """
+    weight = _VARIANT_COST.get(spec.variant, 1.5)
+    return _kernel_ops(spec.kernel_name) * weight
+
+
+def parse_shard(text):
+    """Parse a ``--shard INDEX/TOTAL`` value into ``(index, total)``."""
+    try:
+        index_text, total_text = text.split("/")
+        index, total = int(index_text), int(total_text)
+    except ValueError:
+        raise ReproError(
+            f"--shard expects INDEX/TOTAL (e.g. 0/4), got {text!r}"
+        ) from None
+    _check_shard(index, total)
+    return index, total
+
+
+def _check_shard(index, total):
+    if total < 1:
+        raise ReproError(f"shard total must be >= 1, got {total}")
+    if not 0 <= index < total:
+        raise ReproError(
+            f"shard index must be in [0, {total}), got {index}")
+
+
+def shard_indices(specs, index, total):
+    """Positions (into ``specs``) owned by shard ``index`` of ``total``.
+
+    The canonical ordering sorts by descending estimated cost with
+    the spec's content hash as tie-break — both are properties of the
+    spec alone, so the assignment is invariant under re-ordering of
+    the input.  Greedy longest-first assignment to the lightest shard
+    (ties to the lowest shard index) balances the load.
+    """
+    _check_shard(index, total)
+    resolved = [spec.resolve() for spec in specs]
+    costs = [estimated_cost(spec) for spec in resolved]
+    order = sorted(range(len(resolved)),
+                   key=lambda i: (-costs[i], point_key(resolved[i])))
+    loads = [(0.0, shard) for shard in range(total)]
+    heapq.heapify(loads)
+    mine = []
+    for i in order:
+        load, shard = heapq.heappop(loads)
+        if shard == index:
+            mine.append(i)
+        heapq.heappush(loads, (load + costs[i], shard))
+    return sorted(mine)
+
+
+def shard_specs(specs, index, total):
+    """Shard ``index`` of ``total``: a disjoint, order-stable slice.
+
+    For any spec list and any ``total``, the ``total`` shards
+    partition the list: pairwise disjoint, union exactly the input.
+    """
+    return [specs[i] for i in shard_indices(specs, index, total)]
+
+
+# ----------------------------------------------------------------------
+# JSON payloads
+# ----------------------------------------------------------------------
+def sweep_fingerprint(specs):
+    """Content hash identifying a full spec list (order included).
+
+    Every shard payload carries the fingerprint of the *full* sweep
+    it was carved from, so the merge can refuse to combine shards of
+    different sweeps — same length and disjoint positions are not
+    enough (two sweeps differing only in ``--seed`` satisfy both).
+    The underlying :func:`~repro.runtime.cache.point_key` embeds the
+    package version, so results from different releases do not merge
+    either.
+    """
+    digest = hashlib.sha256()
+    for spec in specs:
+        digest.update(point_key(spec).encode("ascii"))
+    return digest.hexdigest()
+
+
+def spec_to_json(spec):
+    """JSON-safe dict fully describing one resolved spec.
+
+    Delegates to :func:`~repro.runtime.cache.spec_payload` — the same
+    canonical dict the cache key hashes — so a field added to
+    :class:`PointSpec` can never be persisted by the cache but
+    dropped from shard payloads (or vice versa).
+    """
+    return spec_payload(spec)
+
+
+def spec_from_json(data):
+    """Rebuild a resolved :class:`PointSpec` from its JSON dict."""
+    options = data.get("options")
+    cm_depths = data.get("cm_depths")
+    return PointSpec(
+        data["kernel"], data["config"], data["variant"],
+        options=FlowOptions(**options) if options is not None else None,
+        seed=data["seed"],
+        cm_depths=tuple(cm_depths) if cm_depths is not None else None,
+    ).resolve()
+
+
+def point_to_json(point):
+    """Deterministic summary fields of one experiment point."""
+    return {
+        "kernel": point.kernel_name,
+        "config": point.config_name,
+        "variant": point.variant,
+        "mapped": point.mapped,
+        "cycles": point.cycles,
+        "compile_seconds": point.compile_seconds,
+        "energy_uj": point.energy_uj,
+        "energy_parts_pj": (dict(point.energy.parts)
+                            if point.energy is not None else None),
+        "error": point.error,
+    }
+
+
+def point_from_json(data):
+    """Rebuild a summary :class:`ExperimentPoint` (no mapping object)."""
+    parts = data.get("energy_parts_pj")
+    return ExperimentPoint(
+        data["kernel"], data["config"], data["variant"],
+        compile_seconds=data.get("compile_seconds"),
+        cycles=data.get("cycles"),
+        energy=EnergyBreakdown(parts) if parts is not None else None,
+        error=data.get("error"),
+        mapped=data.get("mapped"))
+
+
+def sweep_json_payload(result, shard=None, positions=None,
+                       spec_total=None, fingerprint=None):
+    """Machine-readable payload for one sweep (whole or one shard).
+
+    ``positions`` maps each point to its index in the *full* spec
+    list (default: the identity — an unsharded sweep); ``spec_total``
+    is the full list's length.  ``shard`` is ``(index, total)`` or
+    None.  ``fingerprint`` is the full sweep's
+    :func:`sweep_fingerprint`; shard producers must pass it (they
+    only hold a slice), unsharded payloads default to their own.
+    """
+    if positions is None:
+        positions = list(range(len(result.specs)))
+    if spec_total is None:
+        spec_total = len(result.specs)
+    if len(positions) != len(result.specs):
+        raise ReproError(
+            f"{len(positions)} positions for {len(result.specs)} specs")
+    if fingerprint is None:
+        if spec_total != len(result.specs):
+            raise ReproError(
+                "a shard payload needs the full sweep's fingerprint")
+        fingerprint = sweep_fingerprint(result.specs)
+    return {
+        "schema": SWEEP_JSON_SCHEMA,
+        "shard": ({"index": shard[0], "total": shard[1]}
+                  if shard is not None else None),
+        "spec_total": spec_total,
+        "fingerprint": fingerprint,
+        "summary": {
+            "points": len(result.points),
+            "mapped": len(result.mapped),
+            "unmapped": len(result.unmapped),
+            "crashed": len(result.crashed),
+            "cache_hits": result.cache_hits,
+            "computed": result.computed,
+            "elapsed_seconds": result.elapsed_seconds,
+        },
+        "points": [
+            {"pos": pos, "spec": spec_to_json(spec),
+             "point": point_to_json(point)}
+            for pos, spec, point in zip(positions, result.specs,
+                                        result.points)
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def _field(mapping, key, context):
+    """Indexing with a diagnosis: malformed payloads are user input
+    (hand-edited, truncated, or simply the wrong file), so a missing
+    field must be a one-line :class:`ReproError`, not a traceback."""
+    try:
+        return mapping[key]
+    except (KeyError, TypeError, IndexError):
+        raise ReproError(
+            f"malformed sweep payload: no {key!r} in {context}"
+        ) from None
+
+
+def merge_sweep_payloads(payloads):
+    """Combine shard payloads back into one :class:`SweepResult`.
+
+    Validates schema compatibility, consistent shard totals and
+    ``spec_total``, no duplicated shard index, and — decisively —
+    that the union of the shards covers every position of the full
+    spec list exactly once.  Counters are combined run-style:
+    ``cache_hits``/``computed`` sum, ``elapsed_seconds`` is the max
+    (shards run concurrently).
+    """
+    if not payloads:
+        raise ReproError("no sweep payloads to merge")
+    records = {}
+    spec_total = None
+    shard_totals = set()
+    seen_shards = set()
+    fingerprints = set()
+    cache_hits = computed = 0
+    elapsed = 0.0
+    for payload in payloads:
+        if not isinstance(payload, dict):
+            raise ReproError(
+                "malformed sweep payload: not a JSON object "
+                "(is this really a sweep/figure --json file?)")
+        schema = payload.get("schema")
+        if schema != SWEEP_JSON_SCHEMA:
+            raise ReproError(
+                f"cannot merge sweep payload with schema {schema!r} "
+                f"(expected {SWEEP_JSON_SCHEMA})")
+        payload_total = _field(payload, "spec_total", "payload")
+        if not isinstance(payload_total, int) \
+                or isinstance(payload_total, bool):
+            raise ReproError(
+                f"malformed sweep payload: spec_total is "
+                f"{payload_total!r}, expected an integer")
+        if spec_total is None:
+            spec_total = payload_total
+        elif payload_total != spec_total:
+            raise ReproError(
+                f"shards disagree on the sweep size: {spec_total} vs "
+                f"{payload_total}")
+        fingerprints.add(_field(payload, "fingerprint", "payload"))
+        if len(fingerprints) > 1:
+            raise ReproError(
+                "shards come from different sweeps (fingerprints "
+                "disagree) — same axes, seed and package version "
+                "are required to merge")
+        shard = payload.get("shard")
+        if shard is not None:
+            index = _field(shard, "index", "shard")
+            total = _field(shard, "total", "shard")
+            if not all(isinstance(v, int) and not isinstance(v, bool)
+                       for v in (index, total)):
+                raise ReproError(
+                    "malformed sweep payload: shard index/total must "
+                    "be integers")
+            shard_totals.add(total)
+            if index in seen_shards:
+                raise ReproError(
+                    f"shard {index} appears more than once")
+            seen_shards.add(index)
+        summary = _field(payload, "summary", "payload")
+        hits = _field(summary, "cache_hits", "summary")
+        ran = _field(summary, "computed", "summary")
+        took = _field(summary, "elapsed_seconds", "summary")
+        if not all(isinstance(v, (int, float))
+                   and not isinstance(v, bool)
+                   for v in (hits, ran, took)):
+            raise ReproError(
+                "malformed sweep payload: summary counters must be "
+                "numbers")
+        cache_hits += hits
+        computed += ran
+        elapsed = max(elapsed, took)
+        for record in _field(payload, "points", "payload"):
+            pos = _field(record, "pos", "point record")
+            if not isinstance(pos, int) or isinstance(pos, bool) \
+                    or not 0 <= pos < spec_total:
+                raise ReproError(
+                    f"point position {pos} outside sweep of "
+                    f"{spec_total}")
+            if pos in records:
+                raise ReproError(
+                    f"position {pos} appears in more than one shard")
+            records[pos] = record
+    if len(shard_totals) > 1:
+        raise ReproError(
+            f"shards disagree on the shard count: "
+            f"{sorted(shard_totals)}")
+    if len(records) != spec_total:
+        missing = [pos for pos in range(spec_total)
+                   if pos not in records]
+        raise ReproError(
+            f"merged shards cover {len(records)}/{spec_total} points; "
+            f"first missing positions: {missing[:8]}")
+    specs = []
+    points = []
+    for pos in range(spec_total):
+        record = records[pos]
+        try:
+            specs.append(spec_from_json(
+                _field(record, "spec", "point record")))
+            points.append(point_from_json(
+                _field(record, "point", "point record")))
+        except (KeyError, TypeError) as error:
+            raise ReproError(
+                f"malformed sweep payload at position {pos}: "
+                f"{error}") from None
+    declared = next(iter(fingerprints))
+    if sweep_fingerprint(specs) != declared:
+        raise ReproError(
+            "merged specs do not match the sweep the shards declare "
+            "(corrupted payload, or a different package version)")
+    return SweepResult(specs=specs, points=points, cache_hits=cache_hits,
+                       computed=computed, elapsed_seconds=elapsed)
+
+
+def load_sweep_payload(path):
+    """Read one sweep JSON file (as written by ``repro sweep --json``)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        raise ReproError(f"cannot read sweep payload {path}: "
+                         f"{error}") from None
+
+
+def merge_sweep_files(paths):
+    """Merge shard JSON files into one :class:`SweepResult`."""
+    return merge_sweep_payloads([load_sweep_payload(path)
+                                 for path in paths])

@@ -1,0 +1,164 @@
+"""Streaming result collection: points as they finish, not at the end.
+
+:func:`stream_specs` is the incremental counterpart of
+:func:`repro.runtime.pool.run_specs`: it yields ``(spec, point)``
+pairs *as workers finish them*, so a consumer — a progress bar, an
+incrementally rendered figure, a shard writer — can act on each
+result while the slowest point is still mapping.  The batch API is a
+thin wrapper over this generator, which is what makes
+streaming-vs-batch equivalence hold by construction rather than by
+luck.
+
+Ordering contract:
+
+- one pair is yielded per *unique resolved* spec (duplicates in the
+  input are computed once, exactly like the batch path; callers that
+  need per-position fan-out keep their own ``spec -> indices`` map);
+- cache hits are yielded first, in input order — they are available
+  immediately and a consumer should not wait behind a cold point for
+  them;
+- computed points follow in completion order, which is
+  non-deterministic under ``workers > 1``.  Consumers that need spec
+  order collect into a dict and re-walk the input (see
+  ``pool.run_specs``).
+
+Every yielded result is also reported to the optional ``progress``
+callback as a :class:`StreamUpdate` carrying running counts, so
+callers that only want a heartbeat never have to do bookkeeping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.runtime.sweep import DETERMINISTIC_ERRORS, ExperimentPoint
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamUpdate:
+    """One progress tick: the point that just landed plus counters."""
+
+    spec: object
+    point: object
+    done: int
+    total: int
+    from_cache: bool
+    elapsed_seconds: float
+
+    def describe(self):
+        """``[done/total] kernel@config/variant status`` one-liner."""
+        if self.point.mapped:
+            status = f"{self.point.cycles} cycles"
+            if self.point.energy_uj is not None:
+                status += f", {self.point.energy_uj:.4f} uJ"
+        else:
+            status = (self.point.error or "error").splitlines()[0]
+        source = "cache" if self.from_cache else "computed"
+        return (f"[{self.done}/{self.total}] {self.spec.describe()}: "
+                f"{status} ({source}, {self.elapsed_seconds:.1f}s)")
+
+
+def stream_specs(specs, workers=1, cache=None, progress=None):
+    """Yield ``(spec, point)`` per unique resolved spec as results land.
+
+    ``cache`` is a :class:`~repro.runtime.cache.ResultCache` or None;
+    hits stream out first and deterministic outcomes are persisted as
+    they complete.  ``progress`` is called with a
+    :class:`StreamUpdate` just before each pair is yielded.
+    ``workers=1`` computes inline (no executor, no pickling) —
+    identical results, serial completion order.
+    """
+    from repro.runtime import pool
+
+    started = time.perf_counter()
+    unique = []
+    seen = set()
+    for spec in specs:
+        spec = spec.resolve()
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+
+    total = len(unique)
+    done = 0
+
+    def ticked(spec, point, from_cache):
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(StreamUpdate(
+                spec=spec, point=point, done=done, total=total,
+                from_cache=from_cache,
+                elapsed_seconds=time.perf_counter() - started))
+        return spec, point
+
+    def finished(spec, point):
+        if cache is not None and point.error in DETERMINISTIC_ERRORS:
+            cache.store_point(spec, point)
+        return ticked(spec, point, False)
+
+    pending = []
+    executor = None
+    futures = {}
+    delivered = set()
+    try:
+        # One pass over the specs: hits are yielded as they are read,
+        # misses start computing immediately (the executor is created
+        # lazily at the first miss), so on a mixed warm/cold sweep
+        # the workers churn through cold points while the remaining
+        # warm payloads are still being unpickled.
+        for spec in unique:
+            cached = (cache.get_point(spec) if cache is not None
+                      else None)
+            if cached is not None:
+                yield ticked(spec, cached, True)
+            elif workers > 1:
+                if executor is None:
+                    executor = ProcessPoolExecutor(max_workers=workers)
+                futures[executor.submit(pool._compute_captured,
+                                        spec)] = spec
+            else:
+                pending.append(spec)
+
+        if workers <= 1:
+            # Attribute lookup on the module keeps the serial path
+            # monkeypatchable, exactly like the old batch engine.
+            for spec in pending:
+                yield finished(spec, pool._compute_captured(spec))
+            return
+
+        for future in as_completed(futures):
+            spec = futures[future]
+            try:
+                point = future.result()
+            except Exception as error:  # a worker died outright
+                point = ExperimentPoint(
+                    spec.kernel_name, spec.config_name, spec.variant,
+                    error=f"worker failure: {type(error).__name__}: "
+                          f"{error}")
+            delivered.add(spec)
+            yield finished(spec, point)
+    finally:
+        if executor is not None:
+            # A consumer that stops iterating early (closes the
+            # generator) must not block behind every queued point:
+            # cancel what hasn't started, wait only for in-flight
+            # work — and persist what those in-flight workers
+            # finished, so the minutes already paid for are not
+            # thrown away.
+            for future in futures:
+                future.cancel()
+            executor.shutdown(wait=True)
+            if cache is not None:
+                for future, spec in futures.items():
+                    if spec in delivered or not future.done() \
+                            or future.cancelled():
+                        continue
+                    try:
+                        point = future.result()
+                    except Exception:
+                        continue
+                    if point.error in DETERMINISTIC_ERRORS:
+                        cache.store_point(spec, point)

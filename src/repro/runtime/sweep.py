@@ -42,11 +42,17 @@ LATENCY_CONFIGS = ("HOM64", "HOM32", "HET1", "HET2")
 
 
 class ExperimentPoint:
-    """One (kernel, config, flow-variant) measurement."""
+    """One (kernel, config, flow-variant) measurement.
+
+    ``mapped`` is normally derived from the presence of the heavy
+    ``mapping`` object; summary points rebuilt from a JSON shard file
+    (:mod:`repro.runtime.shard`) carry the flag explicitly because
+    the mapping itself does not survive serialisation.
+    """
 
     def __init__(self, kernel_name, config_name, variant, mapping=None,
                  compile_seconds=None, cycles=None, activity=None,
-                 energy=None, error=None):
+                 energy=None, error=None, mapped=None):
         self.kernel_name = kernel_name
         self.config_name = config_name
         self.variant = variant
@@ -56,9 +62,12 @@ class ExperimentPoint:
         self.activity = activity
         self.energy = energy
         self.error = error
+        self._mapped = mapped
 
     @property
     def mapped(self):
+        if self._mapped is not None:
+            return self._mapped
         return self.mapping is not None
 
     @property

@@ -1,6 +1,5 @@
 """Assembler tests: stream construction, pnop folding, fit checking."""
 
-import numpy as np
 import pytest
 
 from repro.arch.configs import get_config, make_cgra

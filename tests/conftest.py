@@ -1,0 +1,22 @@
+"""Suite-wide isolation from the user's environment.
+
+The runtime honours ``REPRO_CACHE_DIR`` and ``REPRO_CACHE_MAX_BYTES``
+from the environment; a developer who has either exported (as the
+README suggests for real use) must not see spurious failures, and no
+test may ever read or write the real ``~/.cache/repro`` — so the
+cache directory is *redirected* to a per-test temporary directory
+(deleting the variable would send default-dir code paths, e.g. CLI
+commands run without ``--cache-dir``, straight to the real cache).
+Tests that exercise the env-var behaviour itself override via their
+own monkeypatch.
+"""
+
+import pytest
+
+from repro.runtime.cache import ENV_CACHE_DIR, ENV_CACHE_MAX_BYTES
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cache_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "repro-cache"))
+    monkeypatch.delenv(ENV_CACHE_MAX_BYTES, raising=False)

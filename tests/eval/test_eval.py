@@ -1,6 +1,5 @@
 """Experiment-driver tests (small kernels, fast paths)."""
 
-import pytest
 
 from repro.eval import normalize
 from repro.eval.experiments import (

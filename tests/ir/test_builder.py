@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.errors import IRError, ValidationError
+from repro.errors import IRError
 from repro.ir.builder import KernelBuilder
-from repro.ir.cdfg import Branch, Exit, Jump
+from repro.ir.cdfg import Branch
 from repro.ir.interp import Interpreter
 
 

@@ -1,7 +1,6 @@
 """Unit tests for ACMAP, ECMAP, stochastic pruning and CAB."""
 
 import numpy as np
-import pytest
 
 from repro.arch.configs import make_cgra
 from repro.mapping.blacklist import full_tiles, update_blacklist

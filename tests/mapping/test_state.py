@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch.configs import get_config, make_cgra
+from repro.arch.configs import get_config
 from repro.errors import MappingError
 from repro.mapping.state import (
     CommittedState,

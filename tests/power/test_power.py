@@ -1,6 +1,5 @@
 """Energy and area model tests: arithmetic and paper anchors."""
 
-import numpy as np
 import pytest
 
 from repro.arch.configs import CGRA_CONFIGS, get_config

@@ -1,12 +1,11 @@
 """Property-based tests on core data structures and invariants."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.arch.configs import get_config
 from repro.arch.interconnect import TorusInterconnect
 from repro.ir import opcodes
 from repro.ir.opcodes import Opcode
-from repro.kernels.util import tree_sum
 from repro.mapping.state import (
     CommittedState,
     PartialMapping,

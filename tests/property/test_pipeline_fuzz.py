@@ -13,16 +13,16 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-#: End-to-end fuzzing is the heaviest part of the suite; the fast CI
-#: lane (`pytest -m "not slow"`) skips it.
-pytestmark = pytest.mark.slow
-
 from repro.arch.configs import get_config
 from repro.codegen.assembler import assemble
 from repro.ir.builder import KernelBuilder
 from repro.ir.interp import Interpreter
 from repro.mapping.flow import FlowOptions, map_kernel
 from repro.sim.cgra import CGRASimulator
+
+#: End-to-end fuzzing is the heaviest part of the suite; the fast CI
+#: lane (`pytest -m "not slow"`) skips it.
+pytestmark = pytest.mark.slow
 
 MEM = 16
 

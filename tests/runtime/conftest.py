@@ -1,0 +1,36 @@
+"""Shared helpers for the runtime test suite."""
+
+import pytest
+
+
+@pytest.fixture
+def point_fields():
+    """Every deterministic field of a point (compile time excluded).
+
+    The one definition both equivalence suites compare against —
+    serial vs parallel (``test_pool``) and stream vs batch
+    (``test_stream``).  When :class:`ExperimentPoint` grows a
+    deterministic field, adding it here extends every equivalence
+    check at once.
+    """
+
+    def _fields(point):
+        fields = {
+            "kernel": point.kernel_name,
+            "config": point.config_name,
+            "variant": point.variant,
+            "mapped": point.mapped,
+            "cycles": point.cycles,
+            "error": point.error and point.error.splitlines()[0],
+            "energy_uj": point.energy_uj,
+            "energy_parts": (dict(point.energy.parts)
+                             if point.energy else None),
+        }
+        if point.mapping is not None:
+            fields["movs"] = point.mapping.total_movs
+            fields["pnops"] = point.mapping.total_pnops
+            fields["tile_words"] = point.mapping.tile_words()
+            fields["activity_cycles"] = point.activity.cycles
+        return fields
+
+    return _fields

@@ -4,6 +4,7 @@ Everything runs against ``tmp_path``-scoped cache directories — the
 suite never touches the user's real ``~/.cache/repro``.
 """
 
+import os
 import pickle
 
 import pytest
@@ -11,8 +12,11 @@ import pytest
 from repro.mapping.flow import FlowOptions
 from repro.runtime.cache import (
     ENV_CACHE_DIR,
+    ENV_CACHE_MAX_BYTES,
     ResultCache,
     default_cache_dir,
+    default_max_bytes,
+    parse_bytes,
     point_key,
 )
 from repro.runtime.sweep import ExperimentPoint, PointSpec
@@ -155,6 +159,124 @@ class TestAtomicWrites:
         cache.store_point(SPEC, make_point())
         assert cache.clear() == 2
         assert list(tmp_path.iterdir()) == []
+
+
+def spec_for(seed):
+    return PointSpec("dc_filter", "HOM64", "basic", seed=seed)
+
+
+def fill(cache, count):
+    """Store ``count`` distinct entries with strictly older mtimes
+    for lower seeds, so LRU order is unambiguous."""
+    for seed in range(count):
+        path = cache.store_point(spec_for(seed), make_point(seed))
+        os.utime(path, (1000 + seed, 1000 + seed))
+    return [cache.path_for(point_key(spec_for(seed)))
+            for seed in range(count)]
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize("text,expected", [
+        ("4096", 4096), ("0", 0), (" 512K ", 512 * 1024),
+        ("64M", 64 * 1024 ** 2), ("2G", 2 * 1024 ** 3),
+        ("2g", 2 * 1024 ** 3),
+    ])
+    def test_accepted(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "K", "12X", "1.5M", "-4"])
+    def test_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_bytes(text)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_MAX_BYTES, "64K")
+        assert default_max_bytes() == 64 * 1024
+        monkeypatch.delenv(ENV_CACHE_MAX_BYTES)
+        assert default_max_bytes() is None
+
+    def test_env_zero_means_unlimited(self, monkeypatch):
+        # The common env convention — a standing cap of 0 would evict
+        # every entry the moment it is written.
+        monkeypatch.setenv(ENV_CACHE_MAX_BYTES, "0")
+        assert default_max_bytes() is None
+
+    def test_cache_picks_up_env_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_MAX_BYTES, "4096")
+        assert ResultCache(tmp_path).max_bytes == 4096
+
+
+class TestEviction:
+    def test_stores_respect_the_byte_cap(self, tmp_path):
+        probe = ResultCache(tmp_path)
+        probe.store_point(spec_for(0), make_point())
+        entry_size = probe.size_bytes()
+        probe.clear()
+
+        cache = ResultCache(tmp_path, max_bytes=3 * entry_size)
+        fill(cache, 6)
+        assert cache.size_bytes() <= 3 * entry_size
+        assert len(cache.entries()) == 3
+        assert cache.evictions == 3
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, 4)
+        entry_size = cache.size_bytes() // 4
+        evicted = cache.prune(2 * entry_size)
+        assert evicted == 2
+        # The two oldest (lowest mtime) are gone, the newest remain.
+        assert [path.exists() for path in paths] \
+            == [False, False, True, True]
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, 3)
+        entry_size = cache.size_bytes() // 3
+        # Touch the oldest entry via a hit; now the middle one is LRU.
+        assert cache.get_point(spec_for(0)) is not None
+        cache.prune(2 * entry_size)
+        assert paths[0].exists()
+        assert not paths[1].exists()
+
+    def test_prune_without_any_cap_is_an_error(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune()
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fill(cache, 3)
+        assert cache.prune(0) == 3
+        assert cache.entries() == []
+
+    def test_uncapped_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fill(cache, 5)
+        assert cache.evictions == 0
+        assert len(cache.entries()) == 5
+
+
+class TestStats:
+    def test_stats_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10 ** 9)
+        fill(cache, 2)
+        cache.get_point(spec_for(0))
+        cache.get_point(spec_for(99))  # miss
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == cache.size_bytes()
+        assert stats["total_bytes"] > 0
+        assert stats["max_bytes"] == 10 ** 9
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 2
+        assert stats["evictions"] == 0
+        assert stats["directory"] == str(tmp_path)
+
+    def test_stats_on_missing_directory(self, tmp_path):
+        stats = ResultCache(tmp_path / "nowhere").stats()
+        assert stats["entries"] == 0
+        assert stats["total_bytes"] == 0
 
 
 class TestCacheDir:

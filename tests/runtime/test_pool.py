@@ -7,7 +7,6 @@ a point's result is a pure function of its spec no matter which
 process computes it.
 """
 
-import pytest
 
 from repro.mapping.flow import FlowOptions
 from repro.runtime import pool
@@ -29,27 +28,8 @@ FIGURE_SPECS = [
 ]
 
 
-def point_fields(point):
-    """Every deterministic field of a point (compile time excluded)."""
-    fields = {
-        "kernel": point.kernel_name,
-        "config": point.config_name,
-        "variant": point.variant,
-        "cycles": point.cycles,
-        "error": point.error and point.error.splitlines()[0],
-        "energy_uj": point.energy_uj,
-        "energy_parts": dict(point.energy.parts) if point.energy else None,
-    }
-    if point.mapped:
-        fields["movs"] = point.mapping.total_movs
-        fields["pnops"] = point.mapping.total_pnops
-        fields["tile_words"] = point.mapping.tile_words()
-        fields["activity_cycles"] = point.activity.cycles
-    return fields
-
-
 class TestEquivalence:
-    def test_parallel_matches_serial_field_by_field(self):
+    def test_parallel_matches_serial_field_by_field(self, point_fields):
         serial, _ = run_specs(FIGURE_SPECS, workers=1)
         parallel, _ = run_specs(FIGURE_SPECS, workers=4)
         assert len(serial) == len(parallel) == len(FIGURE_SPECS)
@@ -114,7 +94,8 @@ class TestOrderingAndDedup:
 
 
 class TestCacheIntegration:
-    def test_warm_run_computes_nothing(self, tmp_path, monkeypatch):
+    def test_warm_run_computes_nothing(self, tmp_path, monkeypatch,
+                                       point_fields):
         specs = FIGURE_SPECS[:3]
         cold = ResultCache(tmp_path)
         cold_points, hits = run_specs(specs, workers=1, cache=cold)

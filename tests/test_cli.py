@@ -1,8 +1,21 @@
 """CLI smoke tests (small but real end-to-end paths)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+#: A tiny but real sweep: two dc_filter points.
+SWEEP_ARGS = ["sweep", "--kernels", "dc_filter", "--configs", "HOM64",
+              "--variants", "basic,full"]
+
+
+def run_json(capsys, argv):
+    """Run the CLI, parse the stdout payload."""
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, json.loads(out)
 
 
 class TestCli:
@@ -39,3 +52,120 @@ class TestCli:
     def test_bad_kernel_rejected(self):
         with pytest.raises(SystemExit):
             main(["map", "unknown_kernel"])
+
+
+class TestSweepJson:
+    def test_cold_then_warm_computed_counts(self, tmp_path, capsys):
+        argv = SWEEP_ARGS + ["--json", "--cache-dir", str(tmp_path)]
+        code, cold = run_json(capsys, argv)
+        assert code == 0
+        assert cold["summary"]["computed"] == 2
+        assert cold["summary"]["crashed"] == 0
+        code, warm = run_json(capsys, argv)
+        assert code == 0
+        # The machine-checkable warm-cache assertion CI relies on.
+        assert warm["summary"]["computed"] == 0
+        assert warm["summary"]["cache_hits"] == 2
+        assert [p["point"] for p in warm["points"]] \
+            == [p["point"] for p in cold["points"]]
+
+    def test_shards_merge_back_to_the_full_sweep(self, tmp_path,
+                                                 capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        _, full = run_json(capsys, SWEEP_ARGS + ["--json"] + cache)
+        files = []
+        for index in range(2):
+            argv = SWEEP_ARGS + ["--json", "--shard", f"{index}/2"] \
+                + cache
+            code, payload = run_json(capsys, argv)
+            assert code == 0
+            assert payload["shard"] == {"index": index, "total": 2}
+            path = tmp_path / f"shard-{index}.json"
+            path.write_text(json.dumps(payload))
+            files.append(str(path))
+        code, merged = run_json(capsys, ["merge", "--json"] + files)
+        assert code == 0
+        assert merged["points"] == full["points"]
+
+    def test_merge_rejects_incomplete_shards(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        _, payload = run_json(
+            capsys, SWEEP_ARGS + ["--json", "--shard", "0/2"] + cache)
+        path = tmp_path / "only.json"
+        path.write_text(json.dumps(payload))
+        assert main(["merge", str(path)]) == 1
+        assert "cover" in capsys.readouterr().err
+
+    def test_bad_shard_rejected(self, capsys):
+        assert main(SWEEP_ARGS + ["--shard", "4/2"]) == 1
+        assert "shard index" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_prune_clear_cycle(self, tmp_path, capsys):
+        cache_dir = ["--cache-dir", str(tmp_path)]
+        assert main(SWEEP_ARGS + cache_dir) == 0
+        capsys.readouterr()
+
+        code, stats = run_json(capsys,
+                               ["cache", "stats", "--json"] + cache_dir)
+        assert code == 0
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+
+        assert main(["cache", "prune", "--max-bytes", "0"]
+                    + cache_dir) == 0
+        assert "evicted 2" in capsys.readouterr().out
+
+        assert main(SWEEP_ARGS + cache_dir) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"] + cache_dir) == 0
+        assert "cleared 2" in capsys.readouterr().out
+        _, stats = run_json(capsys,
+                            ["cache", "stats", "--json"] + cache_dir)
+        assert stats["entries"] == 0
+
+    def test_human_stats(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "byte cap" in out
+
+    def test_prune_without_cap_errors(self, tmp_path, capsys,
+                                      monkeypatch):
+        from repro.runtime.cache import ENV_CACHE_MAX_BYTES
+        monkeypatch.delenv(ENV_CACHE_MAX_BYTES, raising=False)
+        assert main(["cache", "prune", "--cache-dir",
+                     str(tmp_path)]) == 1
+        assert "no byte cap" in capsys.readouterr().err
+
+
+class TestFigureFlags:
+    def test_figure_shard_json_is_a_partial_sweep(self, tmp_path,
+                                                  capsys):
+        # 1/8 of fig10's 21 points = 2-3 dc-filter-sized mappings.
+        code, payload = run_json(capsys, [
+            "figure", "fig10", "--shard", "0/8", "--json",
+            "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert payload["shard"] == {"index": 0, "total": 8}
+        assert payload["spec_total"] == 21
+        assert 0 < len(payload["points"]) < 21
+
+    def test_unshardable_figure_errors(self, capsys):
+        assert main(["figure", "fig9", "--shard", "0/2"]) == 1
+        assert "no prewarmable" in capsys.readouterr().err
+
+    def test_shard_without_cache_or_json_rejected(self, capsys):
+        assert main(SWEEP_ARGS + ["--shard", "0/2", "--no-cache"]) == 1
+        assert "discards all results" in capsys.readouterr().err
+        assert main(["figure", "fig10", "--shard", "0/2",
+                     "--no-cache"]) == 1
+        assert "discards all results" in capsys.readouterr().err
+
+    def test_figure_json_data(self, capsys):
+        code, data = run_json(capsys, ["figure", "fig11", "--json"])
+        assert code == 0
+        assert data["CPU"]["ratio"] == 1.0
+        assert "HOM64" in data
