@@ -21,16 +21,24 @@ Commands mirror the user journeys of the examples:
   (``stats`` / ``prune`` / ``clear``);
 - ``figure NAME``   — regenerate one paper figure/table; the
   mapping-bound ones accept ``--workers``, ``--shard`` (distributed
-  prewarm) and ``--json``.
+  prewarm) and ``--json``;
+- ``serve``         — expose sweeps over HTTP (``--port``,
+  ``--workers``): submission, status, NDJSON point streaming, cache
+  stats (see :mod:`repro.serve`);
+- ``submit``        — dispatch a sweep to one ``repro serve``
+  instance — or, with ``--shard-across``, shard it across several
+  and merge the streamed results locally.
 
 Sweeps and figure prewarms stream one progress line per landed point
-to stderr, so stdout stays clean for tables and JSON.
+to stderr, so stdout stays clean for tables and JSON; ``--quiet`` (or
+``REPRO_QUIET=1``) silences those lines.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -67,6 +75,11 @@ def _parser():
                        help="cache directory (default ~/.cache/repro "
                             "or $REPRO_CACHE_DIR)")
 
+    def add_quiet(p):
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines on "
+                            "stderr (also $REPRO_QUIET=1)")
+
     add_common(sub.add_parser("map", help="map a kernel, show usage"))
     add_common(sub.add_parser("run", help="map + simulate + verify"))
     energy = sub.add_parser("energy", help="energy breakdown row")
@@ -97,6 +110,7 @@ def _parser():
                        help="emit a machine-readable result payload "
                             "on stdout instead of the table")
     add_cache_flags(sweep)
+    add_quiet(sweep)
 
     merge = sub.add_parser(
         "merge", help="combine shard JSON result files into one sweep")
@@ -117,6 +131,9 @@ def _parser():
     cache.add_argument("--json", action="store_true",
                        help="machine-readable stats")
 
+    # Mirrors experiments.FIGURE_NAMES (cross-checked by a test);
+    # kept literal so building the parser never imports the whole
+    # eval/experiments stack for commands that don't touch figures.
     figure = sub.add_parser(
         "figure", help="regenerate one paper figure/table")
     figure.add_argument("name", choices=(
@@ -133,12 +150,75 @@ def _parser():
                         help="emit the figure data (or the shard "
                              "payload) as JSON")
     add_cache_flags(figure)
+    add_quiet(figure)
+
+    serve = sub.add_parser(
+        "serve", help="expose sweeps over HTTP (see repro.serve)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 = ephemeral; default 8000)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes per sweep job")
+    add_cache_flags(serve)
+    add_quiet(serve)
+
+    submit = sub.add_parser(
+        "submit", help="dispatch a sweep to repro serve instance(s)")
+    submit.add_argument("--server", required=True, metavar="URL[,URL]",
+                        help="server URL; several (comma-separated) "
+                             "with --shard-across")
+    submit.add_argument("--kernels", default=None,
+                        help="comma-separated kernels (default: all)")
+    submit.add_argument("--configs", default=None,
+                        help="comma-separated configs (default: "
+                             "HOM64,HOM32,HET1,HET2)")
+    submit.add_argument("--variants", default=None,
+                        help="comma-separated flow variants "
+                             "(default: all)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="input seed (default: the server's)")
+    submit.add_argument("--figure", default=None, metavar="NAME",
+                        help="submit a figure's prewarm points "
+                             "instead of sweep axes")
+    submit.add_argument("--shard", default=None, metavar="I/N",
+                        help="have the server compute only shard I "
+                             "of N (payload merges with the others)")
+    submit.add_argument("--shard-across", action="store_true",
+                        help="split the sweep across all given "
+                             "servers (one shard per URL) and merge "
+                             "the results locally")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="per-request timeout in seconds (must "
+                             "exceed the server's 5s stream "
+                             "keepalive)")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the result payload as JSON")
+    add_quiet(submit)
     return parser
+
+
+#: Environment variable silencing per-point progress (any value but
+#: ``0``/``false``/``no``/empty counts as on).
+ENV_QUIET = "REPRO_QUIET"
 
 
 def _stderr_progress(update):
     """Narrate a streaming sweep on stderr, one line per point."""
     print(update.describe(), file=sys.stderr, flush=True)
+
+
+def _quiet_requested(args):
+    """``--quiet`` or ``$REPRO_QUIET`` — either silences progress."""
+    if getattr(args, "quiet", False):
+        return True
+    value = os.environ.get(ENV_QUIET, "")
+    return value.strip().lower() not in ("", "0", "false", "no")
+
+
+def _progress(args):
+    """The progress callback honouring ``--quiet``/``$REPRO_QUIET``."""
+    return None if _quiet_requested(args) else _stderr_progress
 
 
 def _check_shard_output(args):
@@ -166,7 +246,7 @@ def _run_shard(args, cache, specs, shard, label=""):
     positions = shard_indices(specs, *shard)
     result = run_sweep([specs[i] for i in positions],
                        workers=args.workers, cache=cache,
-                       progress=_stderr_progress)
+                       progress=_progress(args))
     if args.json:
         print(json.dumps(sweep_json_payload(
             result, shard=shard, positions=positions,
@@ -247,33 +327,22 @@ def _area(_args):
     return 0
 
 
+def _split_axis(value):
+    """Comma-separated CLI axis -> tuple, or None (use the default)."""
+    return tuple(value.split(",")) if value else None
+
+
 def _sweep(args):
     from repro.eval.reporting import render_sweep
-    from repro.mapping.flow import VARIANTS as FLOW_VARIANTS
-    from repro.runtime.sweep import LATENCY_CONFIGS, sweep_specs
+    from repro.runtime.sweep import validated_sweep_specs
 
-    def split(value, default):
-        return tuple(value.split(",")) if value else tuple(default)
-
-    # Compute each axis once; validate every axis before any
-    # destructive action — a typo must not cost the user their whole
-    # accumulated cache.
-    from repro.kernels import KERNEL_NAMES
-    kernels = split(args.kernels, PAPER_KERNEL_ORDER)
-    configs = tuple(c.upper() for c in
-                    split(args.configs, LATENCY_CONFIGS))
-    variants = split(args.variants, FLOW_VARIANTS)
-    for label, given, valid in (("kernels", kernels, set(KERNEL_NAMES)),
-                                ("configs", configs, set(CGRA_CONFIGS)),
-                                ("variants", variants,
-                                 set(FLOW_VARIANTS))):
-        unknown = set(given) - valid
-        if unknown:
-            raise ReproError(f"unknown {label} {sorted(unknown)}; "
-                             f"choose from {sorted(valid)}")
-    # Like the axes above, the shard string must be validated before
-    # any destructive action — a typo must not cost the user their
+    # Every axis — and the shard string below — is validated before
+    # any destructive action: a typo must not cost the user their
     # whole accumulated cache.
+    specs = validated_sweep_specs(kernels=_split_axis(args.kernels),
+                                  configs=_split_axis(args.configs),
+                                  variants=_split_axis(args.variants),
+                                  seed=args.seed)
     shard = None
     if args.shard:
         from repro.runtime.shard import parse_shard
@@ -291,13 +360,11 @@ def _sweep(args):
         # hold nothing but the payload.
         print(f"cleared {removed} cache entries from {target.directory}",
               file=sys.stderr if args.json else sys.stdout)
-    specs = sweep_specs(kernels=kernels, configs=configs,
-                        variants=variants, seed=args.seed)
     if shard is not None:
         return _run_shard(args, cache, specs, shard)
     from repro.runtime.pool import run_sweep
     result = run_sweep(specs, workers=args.workers, cache=cache,
-                       progress=_stderr_progress)
+                       progress=_progress(args))
     if args.json:
         from repro.runtime.shard import sweep_json_payload
         print(json.dumps(sweep_json_payload(result), indent=2))
@@ -396,7 +463,7 @@ def _figure(args):
         variant = experiments.FIGURE_VARIANTS[args.name]
         data = experiments.latency_figure_data(
             variant, workers=workers, cache=cache,
-            progress=_stderr_progress)
+            progress=_progress(args))
 
         def render(chart):
             return reporting.render_latency_figure(
@@ -409,14 +476,14 @@ def _figure(args):
         render = reporting.render_fig9
     elif args.name == "fig10":
         data = experiments.fig10_data(workers=workers, cache=cache,
-                                      progress=_stderr_progress)
+                                      progress=_progress(args))
         render = reporting.render_fig10
     elif args.name == "fig11":
         data = experiments.fig11_data()
         render = reporting.render_fig11
     else:
         data = experiments.table2_data(workers=workers, cache=cache,
-                                       progress=_stderr_progress)
+                                       progress=_progress(args))
         render = reporting.render_table2
     print(json.dumps(data, indent=2) if args.json else render(data))
     return 0
@@ -431,11 +498,116 @@ def _kernels(_args):
     return 0
 
 
+def _serve(args):
+    from repro.serve.server import make_server
+
+    cache = _cache_from(args)
+    try:
+        server = make_server(host=args.host, port=args.port,
+                             workers=args.workers, cache=cache,
+                             quiet=_quiet_requested(args))
+    except (OSError, OverflowError) as error:
+        # Port in use / privileged / out of range / bad address: a
+        # one-line diagnosis, not a traceback.  (bind() reports an
+        # out-of-range port as OverflowError, not OSError.)
+        raise ReproError(f"cannot bind {args.host}:{args.port}: "
+                         f"{error}") from None
+    host, port = server.server_address[:2]
+    where = cache.directory if cache is not None else "disabled"
+    print(f"repro serve: http://{host}:{port} "
+          f"(workers={args.workers}, cache={where})",
+          file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _submit_request(args):
+    """Build the POST body from the submit axes/figure flags."""
+    request = {}
+    if args.figure:
+        if args.kernels or args.configs or args.variants:
+            raise ReproError(
+                "--figure and the kernels/configs/variants axes are "
+                "exclusive")
+        request["figure"] = args.figure
+    else:
+        for key, value in (("kernels", args.kernels),
+                           ("configs", args.configs),
+                           ("variants", args.variants)):
+            if value:
+                request[key] = value.split(",")
+    if args.seed is not None:
+        request["seed"] = args.seed
+    return request
+
+
+def _submit(args):
+    from repro.eval.reporting import render_sweep
+    from repro.runtime.shard import (
+        sweep_json_payload, sweep_result_from_payload)
+    from repro.serve.client import (
+        SweepClient, describe_record, run_distributed)
+
+    servers = [url.strip() for url in args.server.split(",")
+               if url.strip()]
+    if not servers:
+        raise ReproError("no server URLs given")
+    request = _submit_request(args)
+    quiet = _quiet_requested(args)
+
+    if args.shard_across:
+        if args.shard:
+            raise ReproError(
+                "--shard picks one slice by hand; --shard-across "
+                "shards over the servers — use one or the other")
+
+        def narrate(record, done, total, url):
+            print(describe_record(record, done, total, origin=url),
+                  file=sys.stderr, flush=True)
+
+        result, _ = run_distributed(
+            servers, request, timeout=args.timeout,
+            progress=None if quiet else narrate)
+        if args.json:
+            print(json.dumps(sweep_json_payload(result), indent=2))
+        else:
+            print(render_sweep(result))
+        return 1 if result.crashed else 0
+
+    if len(servers) > 1:
+        raise ReproError(
+            "several --server URLs only make sense with "
+            "--shard-across; pick one URL otherwise")
+    if args.shard:
+        from repro.runtime.shard import parse_shard
+        request["shard"] = list(parse_shard(args.shard))
+
+    def narrate_one(record, done, total):
+        print(describe_record(record, done, total),
+              file=sys.stderr, flush=True)
+
+    client = SweepClient(servers[0], timeout=args.timeout)
+    payload = client.run(request,
+                         progress=None if quiet else narrate_one)
+    result = sweep_result_from_payload(payload)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_sweep(result))
+    return 1 if result.crashed else 0
+
+
 def main(argv=None):
     args = _parser().parse_args(argv)
     handlers = {"map": _map, "run": _run, "energy": _energy,
                 "area": _area, "kernels": _kernels, "sweep": _sweep,
-                "merge": _merge, "cache": _cache, "figure": _figure}
+                "merge": _merge, "cache": _cache, "figure": _figure,
+                "serve": _serve, "submit": _submit}
     try:
         return handlers[args.command](args)
     except UnmappableError as error:

@@ -48,6 +48,7 @@ __all__ = [
     "clear_cache", "compile_point", "execute_point", "execute_spec",
     "figure_specs", "figure_point_specs", "latency_specs",
     "cpu_comparison_specs", "prefetch_points",
+    "FIGURE_NAMES", "FIGURE_VARIANTS", "servable_figures",
     "cpu_point", "fig5_data", "latency_figure_data",
     "fig9_data", "fig10_data", "fig11_data", "table2_data",
 ]
@@ -145,6 +146,25 @@ def figure_specs(kernels=PAPER_KERNEL_ORDER, configs=LATENCY_CONFIGS):
 
 #: Flow variant each latency figure sweeps.
 FIGURE_VARIANTS = {"fig6": "acmap", "fig7": "ecmap", "fig8": "full"}
+
+#: Every figure/table the CLI can render, in paper order — the single
+#: list ``repro figure`` and the serve API validate names against.
+FIGURE_NAMES = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                "fig11", "table2")
+
+
+def servable_figures():
+    """``{figure name: prewarmable point count}`` for every figure.
+
+    The over-the-wire listing behind ``GET /v1/figures``: a client
+    deciding what to dispatch learns both the servable names and how
+    many experiment points each one costs.  A count of zero marks the
+    render-only figures (fig5/fig9/fig11 time compilation or price
+    area locally) — submitting those is rejected, and this listing is
+    how a caller finds out without trying.
+    """
+    return {name: len(figure_point_specs(name))
+            for name in FIGURE_NAMES}
 
 
 def latency_specs(variant, kernels=PAPER_KERNEL_ORDER,

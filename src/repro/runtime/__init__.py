@@ -57,13 +57,19 @@ from repro.runtime.cache import (
 from repro.runtime.pool import run_specs, run_sweep
 from repro.runtime.shard import (
     estimated_cost,
+    load_sweep_payload,
     merge_sweep_files,
     merge_sweep_payloads,
     parse_shard,
+    point_from_json,
+    point_to_json,
     shard_indices,
     shard_specs,
+    spec_from_json,
+    spec_to_json,
     sweep_fingerprint,
     sweep_json_payload,
+    sweep_result_from_payload,
 )
 from repro.runtime.stream import StreamUpdate, stream_specs
 from repro.runtime.sweep import (
@@ -73,6 +79,7 @@ from repro.runtime.sweep import (
     SweepResult,
     compute_point,
     sweep_specs,
+    validated_sweep_specs,
 )
 
 __all__ = [
@@ -85,17 +92,24 @@ __all__ = [
     "compute_point",
     "default_cache_dir",
     "estimated_cost",
+    "load_sweep_payload",
     "merge_sweep_files",
     "merge_sweep_payloads",
     "parse_bytes",
     "parse_shard",
+    "point_from_json",
     "point_key",
+    "point_to_json",
     "run_specs",
     "run_sweep",
     "shard_indices",
     "shard_specs",
+    "spec_from_json",
+    "spec_to_json",
     "stream_specs",
     "sweep_fingerprint",
     "sweep_json_payload",
+    "sweep_result_from_payload",
     "sweep_specs",
+    "validated_sweep_specs",
 ]

@@ -260,6 +260,33 @@ def sweep_json_payload(result, shard=None, positions=None,
     }
 
 
+def sweep_result_from_payload(payload):
+    """Rebuild one payload's (possibly partial) :class:`SweepResult`.
+
+    No completeness validation — rendering a single shard's table or
+    a remote job's result is legitimate on its own.  *Combining*
+    payloads still goes through :func:`merge_sweep_payloads`, which
+    does validate.
+    """
+    specs = []
+    points = []
+    for record in _field(payload, "points", "payload"):
+        try:
+            specs.append(spec_from_json(
+                _field(record, "spec", "point record")))
+            points.append(point_from_json(
+                _field(record, "point", "point record")))
+        except (KeyError, TypeError) as error:
+            raise ReproError(
+                f"malformed sweep payload record: {error}") from None
+    summary = _field(payload, "summary", "payload")
+    return SweepResult(
+        specs=specs, points=points,
+        cache_hits=_field(summary, "cache_hits", "summary"),
+        computed=_field(summary, "computed", "summary"),
+        elapsed_seconds=_field(summary, "elapsed_seconds", "summary"))
+
+
 # ----------------------------------------------------------------------
 # Merge
 # ----------------------------------------------------------------------
@@ -275,7 +302,50 @@ def _field(mapping, key, context):
         ) from None
 
 
-def merge_sweep_payloads(payloads):
+def _first_missing(present, total, limit=8):
+    """First ``limit`` integers in ``[0, total)`` absent from
+    ``present`` — by gap-scanning the (small) present set, never by
+    materialising ``range(total)``: ``total`` comes from an
+    untrusted payload, and a corrupt trillion-value total must still
+    produce a prompt diagnostic rather than an out-of-memory hang.
+    """
+    missing = []
+    expect = 0
+    for value in sorted(present):
+        if not 0 <= value < total:
+            continue
+        while expect < value and len(missing) < limit:
+            missing.append(expect)
+            expect += 1
+        if len(missing) >= limit:
+            return missing
+        expect = value + 1
+    while expect < total and len(missing) < limit:
+        missing.append(expect)
+        expect += 1
+    return missing
+
+
+def _payload_labels(payloads, sources):
+    """Human-readable origin of each payload, for diagnostics.
+
+    ``sources`` (file paths, server URLs) is optional: a bad merge
+    must name the offending *shard file* when there is one, because
+    "position 17 is duplicated" is useless across forty files while
+    "… in shard-3.json" is actionable.
+    """
+    if sources is None:
+        return [f"payload {i + 1}" for i in range(len(payloads))]
+    sources = [str(source) for source in sources]
+    if len(sources) != len(payloads):
+        raise ReproError(
+            f"{len(sources)} source labels for {len(payloads)} "
+            f"payloads")
+    return [f"payload {i + 1} ({source})"
+            for i, source in enumerate(sources)]
+
+
+def merge_sweep_payloads(payloads, sources=None):
     """Combine shard payloads back into one :class:`SweepResult`.
 
     Validates schema compatibility, consistent shard totals and
@@ -283,106 +353,136 @@ def merge_sweep_payloads(payloads):
     that the union of the shards covers every position of the full
     spec list exactly once.  Counters are combined run-style:
     ``cache_hits``/``computed`` sum, ``elapsed_seconds`` is the max
-    (shards run concurrently).
+    (shards run concurrently).  ``sources`` optionally labels each
+    payload (file path, server URL); every diagnostic then names the
+    offending shard indices *and* where they came from.
     """
     if not payloads:
         raise ReproError("no sweep payloads to merge")
+    labels = _payload_labels(payloads, sources)
     records = {}
+    record_sources = {}
     spec_total = None
-    shard_totals = set()
-    seen_shards = set()
-    fingerprints = set()
+    spec_total_source = None
+    shard_totals = {}
+    seen_shards = {}
+    fingerprints = {}
     cache_hits = computed = 0
     elapsed = 0.0
-    for payload in payloads:
+    for label, payload in zip(labels, payloads):
         if not isinstance(payload, dict):
             raise ReproError(
-                "malformed sweep payload: not a JSON object "
-                "(is this really a sweep/figure --json file?)")
+                f"malformed sweep payload: {label} is not a JSON "
+                f"object (is this really a sweep/figure --json "
+                f"file?)")
         schema = payload.get("schema")
         if schema != SWEEP_JSON_SCHEMA:
             raise ReproError(
-                f"cannot merge sweep payload with schema {schema!r} "
+                f"cannot merge {label} with schema {schema!r} "
                 f"(expected {SWEEP_JSON_SCHEMA})")
-        payload_total = _field(payload, "spec_total", "payload")
+        payload_total = _field(payload, "spec_total", label)
         if not isinstance(payload_total, int) \
                 or isinstance(payload_total, bool):
             raise ReproError(
-                f"malformed sweep payload: spec_total is "
+                f"malformed sweep payload: spec_total of {label} is "
                 f"{payload_total!r}, expected an integer")
         if spec_total is None:
-            spec_total = payload_total
+            spec_total, spec_total_source = payload_total, label
         elif payload_total != spec_total:
             raise ReproError(
-                f"shards disagree on the sweep size: {spec_total} vs "
-                f"{payload_total}")
-        fingerprints.add(_field(payload, "fingerprint", "payload"))
-        if len(fingerprints) > 1:
+                f"shards disagree on the sweep size: {spec_total} "
+                f"({spec_total_source}) vs {payload_total} ({label})")
+        fingerprint = _field(payload, "fingerprint", label)
+        if not isinstance(fingerprint, str):
             raise ReproError(
-                "shards come from different sweeps (fingerprints "
-                "disagree) — same axes, seed and package version "
-                "are required to merge")
+                f"malformed sweep payload: fingerprint of {label} "
+                f"is {fingerprint!r}, expected a string")
+        fingerprints.setdefault(fingerprint, label)
+        if len(fingerprints) > 1:
+            listing = ", ".join(
+                f"{value[:12]}… from {origin}"
+                for value, origin in fingerprints.items())
+            raise ReproError(
+                f"shards come from different sweeps (fingerprints "
+                f"disagree: {listing}) — same axes, seed and package "
+                f"version are required to merge")
         shard = payload.get("shard")
         if shard is not None:
-            index = _field(shard, "index", "shard")
-            total = _field(shard, "total", "shard")
+            index = _field(shard, "index", f"shard of {label}")
+            total = _field(shard, "total", f"shard of {label}")
             if not all(isinstance(v, int) and not isinstance(v, bool)
                        for v in (index, total)):
                 raise ReproError(
-                    "malformed sweep payload: shard index/total must "
-                    "be integers")
-            shard_totals.add(total)
+                    f"malformed sweep payload: shard index/total of "
+                    f"{label} must be integers")
+            shard_totals.setdefault(total, label)
             if index in seen_shards:
                 raise ReproError(
-                    f"shard {index} appears more than once")
-            seen_shards.add(index)
-        summary = _field(payload, "summary", "payload")
-        hits = _field(summary, "cache_hits", "summary")
-        ran = _field(summary, "computed", "summary")
-        took = _field(summary, "elapsed_seconds", "summary")
+                    f"shard {index} appears more than once "
+                    f"({seen_shards[index]} and {label})")
+            seen_shards[index] = label
+        summary = _field(payload, "summary", label)
+        hits = _field(summary, "cache_hits", f"summary of {label}")
+        ran = _field(summary, "computed", f"summary of {label}")
+        took = _field(summary, "elapsed_seconds",
+                      f"summary of {label}")
         if not all(isinstance(v, (int, float))
                    and not isinstance(v, bool)
                    for v in (hits, ran, took)):
             raise ReproError(
-                "malformed sweep payload: summary counters must be "
-                "numbers")
+                f"malformed sweep payload: summary counters of "
+                f"{label} must be numbers")
         cache_hits += hits
         computed += ran
         elapsed = max(elapsed, took)
-        for record in _field(payload, "points", "payload"):
-            pos = _field(record, "pos", "point record")
+        for record in _field(payload, "points", label):
+            pos = _field(record, "pos", f"point record of {label}")
             if not isinstance(pos, int) or isinstance(pos, bool) \
                     or not 0 <= pos < spec_total:
                 raise ReproError(
-                    f"point position {pos} outside sweep of "
-                    f"{spec_total}")
+                    f"point position {pos} of {label} outside sweep "
+                    f"of {spec_total}")
             if pos in records:
                 raise ReproError(
-                    f"position {pos} appears in more than one shard")
+                    f"position {pos} appears in more than one shard "
+                    f"({record_sources[pos]} and {label})")
             records[pos] = record
+            record_sources[pos] = label
     if len(shard_totals) > 1:
+        listing = ", ".join(f"{total} ({origin})"
+                            for total, origin
+                            in sorted(shard_totals.items()))
         raise ReproError(
-            f"shards disagree on the shard count: "
-            f"{sorted(shard_totals)}")
+            f"shards disagree on the shard count: {listing}")
     if len(records) != spec_total:
-        missing = [pos for pos in range(spec_total)
-                   if pos not in records]
+        missing = _first_missing(records, spec_total)
+        detail = ""
+        if len(shard_totals) == 1:
+            declared_total = next(iter(shard_totals))
+            absent = _first_missing(seen_shards, declared_total)
+            if absent:
+                have = ", ".join(
+                    f"{index} from {seen_shards[index]}"
+                    for index in sorted(seen_shards))
+                detail = (f"; missing shard indices {absent} of "
+                          f"{declared_total} (have {have})")
         raise ReproError(
-            f"merged shards cover {len(records)}/{spec_total} points; "
-            f"first missing positions: {missing[:8]}")
+            f"merged shards cover {len(records)}/{spec_total} points"
+            f"{detail}; first missing positions: {missing}")
     specs = []
     points = []
     for pos in range(spec_total):
         record = records[pos]
+        context = f"point record of {record_sources[pos]}"
         try:
             specs.append(spec_from_json(
-                _field(record, "spec", "point record")))
+                _field(record, "spec", context)))
             points.append(point_from_json(
-                _field(record, "point", "point record")))
+                _field(record, "point", context)))
         except (KeyError, TypeError) as error:
             raise ReproError(
-                f"malformed sweep payload at position {pos}: "
-                f"{error}") from None
+                f"malformed sweep payload at position {pos} "
+                f"({record_sources[pos]}): {error}") from None
     declared = next(iter(fingerprints))
     if sweep_fingerprint(specs) != declared:
         raise ReproError(
@@ -403,6 +503,13 @@ def load_sweep_payload(path):
 
 
 def merge_sweep_files(paths):
-    """Merge shard JSON files into one :class:`SweepResult`."""
-    return merge_sweep_payloads([load_sweep_payload(path)
-                                 for path in paths])
+    """Merge shard JSON files into one :class:`SweepResult`.
+
+    File paths become the payload source labels, so every merge
+    diagnostic — duplicate shard, foreign fingerprint, bad record —
+    names the offending file, not just an index into the argument
+    list.
+    """
+    return merge_sweep_payloads(
+        [load_sweep_payload(path) for path in paths],
+        sources=[str(path) for path in paths])

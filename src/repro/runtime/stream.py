@@ -36,6 +36,21 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from repro.runtime.sweep import DETERMINISTIC_ERRORS, ExperimentPoint
 
 
+def point_status(point):
+    """One-phrase outcome of a landed point.
+
+    The single definition of the ``N cycles, X uJ`` / first-error-
+    line rendering, shared by local progress (:class:`StreamUpdate`)
+    and the serve client's remote narration — the two can not drift.
+    """
+    if point.mapped:
+        status = f"{point.cycles} cycles"
+        if point.energy_uj is not None:
+            status += f", {point.energy_uj:.4f} uJ"
+        return status
+    return (point.error or "error").splitlines()[0]
+
+
 @dataclasses.dataclass(frozen=True)
 class StreamUpdate:
     """One progress tick: the point that just landed plus counters."""
@@ -49,18 +64,14 @@ class StreamUpdate:
 
     def describe(self):
         """``[done/total] kernel@config/variant status`` one-liner."""
-        if self.point.mapped:
-            status = f"{self.point.cycles} cycles"
-            if self.point.energy_uj is not None:
-                status += f", {self.point.energy_uj:.4f} uJ"
-        else:
-            status = (self.point.error or "error").splitlines()[0]
         source = "cache" if self.from_cache else "computed"
         return (f"[{self.done}/{self.total}] {self.spec.describe()}: "
-                f"{status} ({source}, {self.elapsed_seconds:.1f}s)")
+                f"{point_status(self.point)} "
+                f"({source}, {self.elapsed_seconds:.1f}s)")
 
 
-def stream_specs(specs, workers=1, cache=None, progress=None):
+def stream_specs(specs, workers=1, cache=None, progress=None,
+                 mp_context=None):
     """Yield ``(spec, point)`` per unique resolved spec as results land.
 
     ``cache`` is a :class:`~repro.runtime.cache.ResultCache` or None;
@@ -68,7 +79,11 @@ def stream_specs(specs, workers=1, cache=None, progress=None):
     they complete.  ``progress`` is called with a
     :class:`StreamUpdate` just before each pair is yielded.
     ``workers=1`` computes inline (no executor, no pickling) —
-    identical results, serial completion order.
+    identical results, serial completion order.  ``mp_context`` is
+    an optional :mod:`multiprocessing` context for the executor:
+    multithreaded callers (the HTTP service) must pass a non-fork
+    context, because forking a process with live threads can leave a
+    worker child holding an inherited lock forever.
     """
     from repro.runtime import pool
 
@@ -116,7 +131,8 @@ def stream_specs(specs, workers=1, cache=None, progress=None):
                 yield ticked(spec, cached, True)
             elif workers > 1:
                 if executor is None:
-                    executor = ProcessPoolExecutor(max_workers=workers)
+                    executor = ProcessPoolExecutor(
+                        max_workers=workers, mp_context=mp_context)
                 futures[executor.submit(pool._compute_captured,
                                         spec)] = spec
             else:

@@ -147,6 +147,43 @@ def sweep_specs(kernels=PAPER_KERNEL_ORDER, configs=LATENCY_CONFIGS,
             for variant in variants]
 
 
+def validated_sweep_specs(kernels=None, configs=None, variants=None,
+                          seed=None):
+    """:func:`sweep_specs` with axis validation (None = the default).
+
+    Unknown axis names become a one-line :class:`ReproError` listing
+    the valid set.  Shared by ``repro sweep``/``repro submit`` and
+    the HTTP service's ``POST /v1/sweeps``, so a typo fails with the
+    same diagnostic whichever door it came through — and every axis
+    is checked before any work (or any destructive cache action)
+    starts.  Config names are case-normalised here, matching
+    :meth:`PointSpec.resolve`.
+    """
+    from repro.arch.configs import CGRA_CONFIGS
+    from repro.kernels import KERNEL_NAMES
+
+    # `is not None`, not truthiness: an explicitly empty axis means
+    # "zero specs" (the caller decides that is an error), never a
+    # silent widening to the full default sweep.
+    kernels = (tuple(kernels) if kernels is not None
+               else tuple(PAPER_KERNEL_ORDER))
+    configs = (tuple(config.upper() for config in configs)
+               if configs is not None else LATENCY_CONFIGS)
+    variants = (tuple(variants) if variants is not None
+                else tuple(VARIANTS))
+    for label, given, valid in (
+            ("kernels", kernels, set(KERNEL_NAMES)),
+            ("configs", configs, set(CGRA_CONFIGS)),
+            ("variants", variants, set(VARIANTS))):
+        unknown = set(given) - valid
+        if unknown:
+            raise ReproError(f"unknown {label} {sorted(unknown)}; "
+                             f"choose from {sorted(valid)}")
+    return sweep_specs(kernels=kernels, configs=configs,
+                       variants=variants,
+                       seed=DEFAULT_SEED if seed is None else seed)
+
+
 def compute_point(spec):
     """Execute one spec: map, assemble, simulate, verify, price."""
     spec = spec.resolve()

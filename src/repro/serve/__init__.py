@@ -1,0 +1,63 @@
+"""``repro.serve`` — sweeps as a service.
+
+The runtime (:mod:`repro.runtime`) made experiment points batchable,
+cacheable, shardable and streamable; this package puts that engine
+behind a stdlib HTTP boundary so sweeps can be dispatched to other
+machines:
+
+- :mod:`repro.serve.jobs` — :class:`JobManager` executes submitted
+  sweeps FIFO through ``stream_specs`` with an in-order record log
+  per job (what ``/stream`` replays);
+- :mod:`repro.serve.server` — :func:`make_server` builds the
+  :class:`ThreadingHTTPServer` behind ``repro serve``
+  (``POST /v1/sweeps``, status, NDJSON streaming, cache stats,
+  health);
+- :mod:`repro.serve.client` — :class:`SweepClient` for one server
+  and :func:`run_distributed`, which shards one sweep across N
+  servers and merges the payloads locally with the same
+  ``merge_sweep_payloads`` that merges shard files.
+
+Quickstart (one process per box)::
+
+    # server: repro serve --port 8000 --workers 4
+    from repro.serve import SweepClient, run_distributed
+
+    client = SweepClient("http://127.0.0.1:8000")
+    payload = client.run({"kernels": ["fir"]})
+
+    result, _ = run_distributed(
+        ["http://box-a:8000", "http://box-b:8000"],
+        {"variants": ["basic", "full"]})
+    print(result.summary())
+"""
+
+from repro.serve.client import (
+    ServeClientError,
+    SweepClient,
+    describe_record,
+    run_distributed,
+)
+from repro.serve.jobs import (
+    JobManager,
+    RequestError,
+    SweepJob,
+    SweepRequest,
+    UnknownJobError,
+    resolve_request,
+)
+from repro.serve.server import SweepServer, make_server
+
+__all__ = [
+    "JobManager",
+    "RequestError",
+    "ServeClientError",
+    "SweepClient",
+    "SweepJob",
+    "SweepRequest",
+    "SweepServer",
+    "UnknownJobError",
+    "describe_record",
+    "make_server",
+    "resolve_request",
+    "run_distributed",
+]

@@ -1,0 +1,276 @@
+"""Client for ``repro serve``: submit, stream, and fan out shards.
+
+:class:`SweepClient` speaks to one server with nothing but
+``urllib`` — submit a sweep, follow its NDJSON stream point by
+point, fetch the final mergeable payload.
+
+:func:`run_distributed` is the distributed dispatch the runtime was
+built toward: given *N* server URLs it submits ``shard i/N`` of the
+same sweep to server *i* (the servers never talk to each other),
+streams all shards concurrently, and reassembles the payloads
+locally with :func:`repro.runtime.shard.merge_sweep_payloads` — the
+exact function that merges ``--json`` shard *files*.  Distribution
+is therefore pure composition of the PR 2 contract: a server is just
+a machine that happens to produce its shard payload over a socket
+instead of a filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+from repro.runtime.shard import merge_sweep_payloads
+
+
+class ServeClientError(ReproError):
+    """Transport or protocol failure talking to a sweep server."""
+
+
+def describe_record(record, done, total, origin=""):
+    """One ``[done/total] kernel@config/variant ...`` progress line.
+
+    Rebuilds the streamed record's point and renders it through the
+    same :func:`~repro.runtime.stream.point_status` the local
+    progress lines use, so a remote sweep narrates exactly like a
+    local one; ``origin`` names the server when several stream at
+    once.
+    """
+    from repro.runtime.shard import point_from_json
+    from repro.runtime.stream import point_status
+
+    spec = record.get("spec", {})
+    try:
+        status = point_status(point_from_json(record.get("point")
+                                              or {}))
+    except (KeyError, TypeError):
+        status = "error"  # a record we cannot parse is still a line
+    source = "cache" if record.get("from_cache") else "computed"
+    where = f" @ {origin}" if origin else ""
+    return (f"[{done}/{total}] {spec.get('kernel')}"
+            f"@{spec.get('config')}/{spec.get('variant')}: {status} "
+            f"({source}{where})")
+
+
+class SweepClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, base_url, timeout=600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _open(self, path, body=None):
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data,
+                                         headers=headers)
+        try:
+            return urllib.request.urlopen(request,
+                                          timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+                detail = payload.get("error", "")
+            except Exception:
+                pass
+            raise ServeClientError(
+                f"{url}: HTTP {error.code}"
+                + (f": {detail}" if detail else "")) from None
+        except (urllib.error.URLError, OSError,
+                TimeoutError) as error:
+            raise ServeClientError(
+                f"cannot reach sweep server at {url}: "
+                f"{error}") from None
+
+    def _json(self, path, body=None):
+        try:
+            with self._open(path, body=body) as response:
+                raw = response.read().decode("utf-8")
+        except OSError as error:
+            raise ServeClientError(
+                f"{self.base_url}{path}: connection lost "
+                f"({error})") from None
+        try:
+            return json.loads(raw)
+        except ValueError as error:
+            raise ServeClientError(
+                f"{self.base_url}{path}: not JSON "
+                f"({error})") from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self):
+        return self._json("/healthz")
+
+    def cache_stats(self):
+        return self._json("/v1/cache/stats")
+
+    def figures(self):
+        return self._json("/v1/figures")["figures"]
+
+    def jobs(self):
+        return self._json("/v1/sweeps")["jobs"]
+
+    def submit(self, request):
+        """POST one sweep request; returns the submission receipt."""
+        return self._json("/v1/sweeps", body=request)
+
+    def status(self, job_id):
+        return self._json(f"/v1/sweeps/{job_id}")
+
+    def stream(self, job_id):
+        """Yield the job's point records as the server lands them.
+
+        A socket timeout or reset mid-stream surfaces as a
+        :class:`ServeClientError` (naming the server), never a bare
+        ``TimeoutError``/``OSError`` — callers and the distributed
+        dispatcher handle one exception family.
+        """
+        path = f"/v1/sweeps/{job_id}/stream"
+        try:
+            with self._open(path) as response:
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError as error:
+                        raise ServeClientError(
+                            f"{self.base_url}{path}: bad NDJSON "
+                            f"line ({error})") from None
+        except OSError as error:
+            raise ServeClientError(
+                f"{self.base_url}{path}: connection lost "
+                f"mid-stream ({error})") from None
+
+    def follow(self, receipt, progress=None):
+        """Stream a submitted job to completion; return its payload.
+
+        ``progress`` is called with ``(record, done, total)`` per
+        landed point.  Completion is detected by the stream closing;
+        a job that *failed* (rather than finishing short-handed — a
+        crashed point is still a point) raises with the server-side
+        error.  The single copy of the submit-side protocol: both
+        :meth:`run` and the distributed dispatcher go through here.
+        """
+        total = receipt["points"]
+        done = 0
+        for record in self.stream(receipt["id"]):
+            done += 1
+            if progress is not None:
+                progress(record, done, total)
+        status = self.status(receipt["id"])
+        if status["status"] != "done":
+            raise ServeClientError(
+                f"{self.base_url}: job {receipt['id']} "
+                f"{status['status']}: {status.get('error')}")
+        return status["payload"]
+
+    def run(self, request, progress=None):
+        """Submit, follow the stream, return the final payload."""
+        return self.follow(self.submit(request), progress=progress)
+
+
+def run_distributed(servers, request, progress=None, timeout=600.0):
+    """Shard one sweep across ``servers``; merge the results locally.
+
+    Server *i* of *N* receives the same request plus
+    ``shard = [i, N]``, so the union of what the servers compute is
+    provably the whole sweep (the sharding contract) and the merge
+    validates completeness and fingerprints exactly as it does for
+    shard files.  Returns ``(SweepResult, payloads)``.  Any server
+    failing fails the whole dispatch — a silent partial merge would
+    be worse — and ``progress`` (called with
+    ``(record, done, total, server_url)``) may interleave across
+    servers.
+    """
+    servers = list(servers)
+    if not servers:
+        raise ServeClientError("no sweep servers given")
+    if "shard" in (request or {}):
+        raise ServeClientError(
+            "'shard' is chosen by the dispatcher; submit the "
+            "unsharded request")
+    total_shards = len(servers)
+    payloads = [None] * total_shards
+    failures = [None] * total_shards
+    counter_lock = threading.Lock()
+    counters = {"done": 0}
+
+    def report(problems):
+        detail = "; ".join(f"shard {index} @ {servers[index]}: "
+                           f"{error}" for index, error in problems)
+        raise ServeClientError(
+            f"{len(problems)}/{total_shards} shard dispatches "
+            f"failed — {detail}")
+
+    # Phase 1 — submit every shard before streaming any, so the
+    # combined total is known up front (progress never shows a
+    # falsely complete "[4/4]" while another server's shard is still
+    # pending) and a rejected submission fails the dispatch before
+    # minutes of streaming.
+    clients = [SweepClient(url, timeout=timeout) for url in servers]
+    receipts = [None] * total_shards
+    for index, client in enumerate(clients):
+        shard_request = dict(request or {})
+        shard_request["shard"] = [index, total_shards]
+        try:
+            receipts[index] = client.submit(shard_request)
+        except Exception as error:  # noqa: BLE001 — gather, report
+            failures[index] = error
+    problems = [(index, error)
+                for index, error in enumerate(failures)
+                if error is not None]
+    if problems:
+        report(problems)
+    total_points = sum(receipt["points"] for receipt in receipts)
+
+    def narrate(url, record):
+        with counter_lock:
+            counters["done"] += 1
+            done = counters["done"]
+        if progress is not None:
+            progress(record, done, total_points, url)
+
+    # Phase 2 — follow all the streams concurrently.
+    def dispatch(index, url):
+        try:
+            payloads[index] = clients[index].follow(
+                receipts[index],
+                progress=lambda record, _done, _total:
+                narrate(url, record))
+        except Exception as error:  # noqa: BLE001 — any dispatch
+            # failure must surface in the combined report, not kill
+            # the thread and masquerade as a malformed merge later.
+            failures[index] = error
+
+    threads = [threading.Thread(target=dispatch, args=(index, url),
+                                name=f"repro-submit-{index}",
+                                daemon=True)
+               for index, url in enumerate(servers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    problems = [(index, error)
+                for index, error in enumerate(failures)
+                if error is not None]
+    if problems:
+        report(problems)
+    result = merge_sweep_payloads(
+        payloads, sources=[f"shard {i} @ {url}"
+                           for i, url in enumerate(servers)])
+    return result, payloads

@@ -1,0 +1,471 @@
+"""Sweep jobs: the unit of work behind the HTTP service.
+
+A :class:`SweepJob` is one submitted sweep (whole, one shard of a
+larger sweep, or a figure's prewarm set) moving through
+``queued -> running -> done/failed``.  While it runs, every landed
+point is appended to an in-order record log — the same
+``{"pos", "spec", "point"}`` record the shard JSON payload of
+:mod:`repro.runtime.shard` carries, plus ``from_cache`` — which is
+what the ``/stream`` endpoint replays line by line: a reader attached
+at any moment first drains everything already landed, then blocks on
+a condition variable until the next point (or the end of the job).
+
+The :class:`JobManager` owns one worker thread that executes jobs
+FIFO through :func:`repro.runtime.stream.stream_specs`, so the
+service inherits the runtime's whole contract for free: cache hits
+stream out first, crashes are captured per point, deterministic
+outcomes persist to the shared :class:`ResultCache`.  A finished
+job's ``payload`` is exactly a ``sweep/figure --json`` payload, so
+anything the service computes can be merged offline with
+``repro merge`` — the service is a transport, not a new format.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+
+from repro.errors import ReproError
+from repro.runtime.shard import (
+    parse_shard,
+    point_to_json,
+    shard_indices,
+    spec_from_json,
+    spec_to_json,
+    sweep_fingerprint,
+    sweep_json_payload,
+)
+from repro.runtime.sweep import SweepResult, validated_sweep_specs
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+#: States a job can never leave.
+TERMINAL = (DONE, FAILED)
+
+
+class RequestError(ReproError):
+    """A malformed or invalid sweep submission (HTTP 400)."""
+
+
+class UnknownJobError(ReproError):
+    """A job id the manager has never issued (HTTP 404)."""
+
+
+class SweepRequest:
+    """A validated submission: the specs to run and their identity.
+
+    ``full_specs`` is the complete sweep the request was carved from;
+    ``positions``/``specs`` are the slice this job actually computes
+    (the identity when unsharded).  Carrying both lets the finished
+    job emit a payload that merges with the sibling shards computed
+    by *other* servers — the distributed-dispatch contract.
+    """
+
+    def __init__(self, full_specs, shard=None, label="sweep"):
+        if not full_specs:
+            raise RequestError("request resolves to zero specs")
+        self.full_specs = [spec.resolve() for spec in full_specs]
+        self.shard = shard
+        self.label = label
+        if shard is not None:
+            self.positions = shard_indices(self.full_specs, *shard)
+        else:
+            self.positions = list(range(len(self.full_specs)))
+        self.specs = [self.full_specs[i] for i in self.positions]
+        self.fingerprint = sweep_fingerprint(self.full_specs)
+
+    @property
+    def spec_total(self):
+        return len(self.full_specs)
+
+
+def _string_list(body, key):
+    """An optional list-of-strings field, strictly typed."""
+    value = body.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) \
+            or not all(isinstance(item, str) for item in value):
+        raise RequestError(
+            f"{key!r} must be a list of strings, got {value!r}")
+    return tuple(value)
+
+
+def resolve_request(body):
+    """Parse one ``POST /v1/sweeps`` JSON body into a request.
+
+    Three submission shapes, mutually exclusive:
+
+    - ``{"figure": "fig6"}`` — the named figure's prewarm specs;
+    - ``{"specs": [{...}, ...]}`` — explicit spec dicts in the shard
+      JSON encoding (what ``spec_to_json`` emits);
+    - axes — ``kernels``/``configs``/``variants``/``seed``, each
+      optional, exactly like ``repro sweep``.
+
+    ``"shard": [i, N]`` (or ``"i/N"``) restricts the job to one
+    deterministic slice of the resolved sweep.
+    """
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    unknown = set(body) - {"figure", "specs", "kernels", "configs",
+                           "variants", "seed", "shard"}
+    if unknown:
+        # A typo'd key ({"kernals": ...}) must 400, not silently
+        # widen to the full default sweep.
+        raise RequestError(
+            f"unknown request keys {sorted(unknown)}; expected "
+            f"figure, specs, kernels, configs, variants, seed, "
+            f"shard")
+    # Presence, not truthiness: {"specs": []} must mean "zero specs"
+    # (a hard error) — never silently fall through to the full
+    # default sweep and burn hours of unrequested mapping.
+    modes = [key for key in ("figure", "specs")
+             if body.get(key) is not None]
+    axes = [key for key in ("kernels", "configs", "variants")
+            if body.get(key) is not None]
+    if len(modes) > 1 or (modes and axes):
+        raise RequestError(
+            "pick one of 'figure', 'specs' or the "
+            "kernels/configs/variants axes — they are exclusive")
+    if modes and body.get("seed") is not None:
+        raise RequestError(
+            f"'seed' only applies to axes sweeps; {modes[0]!r} "
+            f"submissions pin their own specs")
+    shard = body.get("shard")
+    if shard is not None:
+        try:
+            if isinstance(shard, str):
+                shard = parse_shard(shard)
+            elif (isinstance(shard, (list, tuple)) and len(shard) == 2
+                    and all(isinstance(v, int)
+                            and not isinstance(v, bool)
+                            for v in shard)):
+                shard = parse_shard(f"{shard[0]}/{shard[1]}")
+            else:
+                raise RequestError(
+                    f"'shard' must be [index, total] or \"i/N\", "
+                    f"got {shard!r}")
+        except RequestError:
+            raise
+        except ReproError as error:
+            raise RequestError(str(error)) from None
+    try:
+        if "figure" in modes:
+            name = body["figure"]
+            from repro.eval.experiments import (
+                FIGURE_NAMES, figure_point_specs)
+            if not isinstance(name, str):
+                raise RequestError(f"'figure' must be a string, "
+                                   f"got {name!r}")
+            if name not in FIGURE_NAMES:
+                # Distinct from the render-only case below: a typo
+                # for a servable figure deserves "unknown", not "has
+                # no prewarmable points".
+                raise RequestError(
+                    f"unknown figure {name!r}; choose from "
+                    f"{', '.join(FIGURE_NAMES)}")
+            specs = figure_point_specs(name)
+            if not specs:
+                raise RequestError(
+                    f"figure {name!r} has no prewarmable experiment "
+                    f"points; see GET /v1/figures for the servable "
+                    f"set")
+            return SweepRequest(specs, shard=shard, label=name)
+        if "specs" in modes:
+            raw = body["specs"]
+            if not isinstance(raw, list):
+                raise RequestError("'specs' must be a list of spec "
+                                   "objects")
+            try:
+                specs = [spec_from_json(item) for item in raw]
+            except (AttributeError, KeyError, TypeError,
+                    ValueError) as error:
+                raise RequestError(
+                    f"malformed spec in 'specs': {error}") from None
+            return SweepRequest(specs, shard=shard, label="specs")
+        seed = body.get("seed")
+        if seed is not None and (not isinstance(seed, int)
+                                 or isinstance(seed, bool)):
+            raise RequestError(f"'seed' must be an integer, "
+                               f"got {seed!r}")
+        specs = validated_sweep_specs(
+            kernels=_string_list(body, "kernels"),
+            configs=_string_list(body, "configs"),
+            variants=_string_list(body, "variants"),
+            seed=seed)
+        return SweepRequest(specs, shard=shard, label="sweep")
+    except RequestError:
+        raise
+    except ReproError as error:
+        # Axis typos, bad shard maths: user input, hence 400.
+        raise RequestError(str(error)) from None
+
+
+class SweepJob:
+    """One submitted sweep and its incrementally landing results."""
+
+    def __init__(self, job_id, request):
+        self.id = job_id
+        self.request = request
+        self.status = QUEUED
+        self.error = None
+        self.created = time.time()
+        self.started = None
+        self.finished = None
+        self.cache_hits = 0
+        self.computed = 0
+        self.records = []
+        # Only the JSON payload is retained after completion: the
+        # SweepResult's points carry heavy mapping/activity graphs
+        # that no endpoint serves, and jobs live for the server's
+        # lifetime — keeping them would leak memory per sweep.
+        self.payload = None
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called by the manager's runner thread)
+    # ------------------------------------------------------------------
+    def mark_running(self):
+        with self._cond:
+            self.status = RUNNING
+            self.started = time.time()
+            self._cond.notify_all()
+
+    def add_update(self, update, positions):
+        """Record one landed point at each of its full-sweep positions."""
+        spec_json = spec_to_json(update.spec)
+        point_json = point_to_json(update.point)
+        with self._cond:
+            if update.from_cache:
+                self.cache_hits += 1
+            else:
+                self.computed += 1
+            for pos in positions:
+                self.records.append({
+                    "pos": pos,
+                    "spec": spec_json,
+                    "point": point_json,
+                    "from_cache": update.from_cache,
+                })
+            self._cond.notify_all()
+
+    def finish(self, payload):
+        with self._cond:
+            self.payload = payload
+            self.status = DONE
+            self.finished = time.time()
+            self._cond.notify_all()
+
+    def fail(self, message):
+        with self._cond:
+            self.error = message
+            self.status = FAILED
+            self.finished = time.time()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @property
+    def is_terminal(self):
+        return self.status in TERMINAL
+
+    def snapshot(self):
+        """Status dict for ``GET /v1/sweeps/{id}`` (payload excluded)."""
+        with self._cond:
+            elapsed = None
+            if self.started is not None:
+                end = self.finished if self.finished is not None \
+                    else time.time()
+                elapsed = end - self.started
+            return {
+                "id": self.id,
+                "status": self.status,
+                "label": self.request.label,
+                "shard": ({"index": self.request.shard[0],
+                           "total": self.request.shard[1]}
+                          if self.request.shard is not None else None),
+                "points": len(self.request.specs),
+                "spec_total": self.request.spec_total,
+                "landed": len(self.records),
+                "cache_hits": self.cache_hits,
+                "computed": self.computed,
+                "elapsed_seconds": elapsed,
+                "error": self.error,
+            }
+
+    def iter_records(self, heartbeat=None):
+        """Yield records in landing order; block until the job ends.
+
+        Records already landed replay immediately, then the iterator
+        waits on the job's condition for each new point.  Because
+        records are only appended before the job turns terminal, an
+        empty remainder after a terminal snapshot means the stream is
+        complete.
+
+        ``heartbeat`` (seconds) makes the iterator yield ``None``
+        whenever that long passes with nothing landing — a queued job
+        behind a long sweep, or one very slow point, would otherwise
+        leave a network reader staring at a silent socket until its
+        read timeout kills a perfectly healthy dispatch.  The
+        ``/stream`` endpoint turns each ``None`` into a blank
+        keepalive line.
+        """
+        index = 0
+        last_yield = time.monotonic()
+        while True:
+            idle = False
+            with self._cond:
+                while index >= len(self.records) \
+                        and not self.is_terminal:
+                    if heartbeat is not None and \
+                            time.monotonic() - last_yield >= heartbeat:
+                        idle = True
+                        break
+                    self._cond.wait(timeout=0.5)
+                batch = self.records[index:]
+                terminal = self.is_terminal
+            if idle and not batch and not terminal:
+                last_yield = time.monotonic()
+                yield None
+                continue
+            yield from batch
+            index += len(batch)
+            last_yield = time.monotonic()
+            if terminal and not batch:
+                return
+
+
+class JobManager:
+    """FIFO executor of sweep jobs over one shared runtime cache.
+
+    One daemon runner thread drains the queue so concurrent HTTP
+    submissions serialise cleanly instead of contending for the
+    process pool — "queued" in a status response is literal.
+    """
+
+    def __init__(self, workers=1, cache=None):
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        # The server is multithreaded (HTTP handlers + this runner),
+        # so worker processes must never plain-fork: a child forked
+        # while another thread holds a lock inherits it locked and
+        # hangs, wedging the FIFO queue forever.  forkserver forks
+        # workers from a clean single-threaded helper; spawn is the
+        # fallback where it does not exist.
+        self._mp_context = None
+        if self.workers > 1:
+            import multiprocessing
+            try:
+                self._mp_context = multiprocessing.get_context(
+                    "forkserver")
+            except ValueError:
+                self._mp_context = multiprocessing.get_context(
+                    "spawn")
+        self.jobs = {}  # insertion-ordered; entries never evicted
+        self._queue = deque()
+        self._lock = threading.Condition()
+        self._closed = False
+        self._ids = itertools.count(1)
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-jobs", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission / lookup
+    # ------------------------------------------------------------------
+    def submit_request(self, body):
+        """Validate one POST body and enqueue its job."""
+        return self.submit(resolve_request(body))
+
+    def submit(self, request):
+        job_id = f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}"
+        job = SweepJob(job_id, request)
+        with self._lock:
+            if self._closed:
+                raise ReproError("job manager is shut down")
+            self.jobs[job_id] = job
+            self._queue.append(job)
+            self._lock.notify_all()
+        return job
+
+    def get(self, job_id):
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"no such sweep job: {job_id!r}")
+        return job
+
+    def list_jobs(self):
+        """Snapshots in submission order (oldest first)."""
+        return [job.snapshot() for job in list(self.jobs.values())]
+
+    def counts(self):
+        """``{status: count}`` over every job ever submitted."""
+        totals = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for job in list(self.jobs.values()):
+            totals[job.status] += 1
+        return totals
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._lock.wait()
+                if self._closed:
+                    return
+                job = self._queue.popleft()
+            self._execute(job)
+
+    def _execute(self, job):
+        from repro.runtime.stream import stream_specs
+
+        job.mark_running()
+        request = job.request
+        try:
+            fanout = {}
+            for local, spec in enumerate(request.specs):
+                fanout.setdefault(spec, []).append(local)
+            landed = {}
+
+            def observe(update):
+                landed[update.spec] = update.point
+                job.add_update(update,
+                               [request.positions[i]
+                                for i in fanout[update.spec]])
+
+            started = time.perf_counter()
+            for _ in stream_specs(request.specs, workers=self.workers,
+                                  cache=self.cache, progress=observe,
+                                  mp_context=self._mp_context):
+                pass
+            result = SweepResult(
+                specs=request.specs,
+                points=[landed[spec] for spec in request.specs],
+                cache_hits=job.cache_hits, computed=job.computed,
+                elapsed_seconds=time.perf_counter() - started)
+            job.finish(sweep_json_payload(
+                result, shard=request.shard,
+                positions=request.positions,
+                spec_total=request.spec_total,
+                fingerprint=request.fingerprint))
+        except Exception as error:  # noqa: BLE001 — a job must never
+            # kill the runner thread; the failure is the job's result.
+            job.fail(f"{type(error).__name__}: {error}")
+
+    def close(self):
+        """Stop the runner; fail whatever never got to run."""
+        with self._lock:
+            self._closed = True
+            pending = list(self._queue)
+            self._queue.clear()
+            self._lock.notify_all()
+        for job in pending:
+            job.fail("job manager shut down before the job ran")
+        self._thread.join(timeout=5.0)

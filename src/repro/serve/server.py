@@ -1,0 +1,256 @@
+"""The ``repro serve`` HTTP front end (stdlib only).
+
+A :class:`ThreadingHTTPServer` exposing the sweep runtime:
+
+- ``POST /v1/sweeps`` — submit a sweep (axes, explicit specs, a
+  figure name, optionally one ``shard i/N`` slice); returns ``202``
+  with the job id and its stream URL.
+- ``GET /v1/sweeps`` — every job's status snapshot.
+- ``GET /v1/sweeps/{id}`` — one job: queued/running/done/failed,
+  points landed, cache hits — plus the full mergeable JSON payload
+  once done.
+- ``GET /v1/sweeps/{id}/stream`` — NDJSON, one landed point per line
+  (``pos``/``spec``/``point``/``from_cache``) as workers finish,
+  cache hits first; the connection closes when the job ends.
+- ``GET /v1/cache/stats`` — the shared :class:`ResultCache` counters.
+- ``GET /v1/figures`` — servable figure names with point counts.
+- ``GET /healthz`` — liveness plus job-state totals.
+
+Responses are JSON; errors are ``{"error": ...}`` with the matching
+status code (400 bad submission, 404 unknown job/route).  The server
+binds ``127.0.0.1`` by default — it trusts its callers exactly as
+much as the CLI trusts its user, no more authentication than that —
+and every sweep it computes lands in the same persistent cache the
+CLI uses, so serving and local runs warm each other.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.serve.jobs import JobManager, RequestError, UnknownJobError
+
+#: Largest accepted request body; a spec list is small, so anything
+#: bigger is a mistake (or not a sweep submission at all).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Blank keepalive line on ``/stream`` after this many silent
+#: seconds, so client read timeouts never fire on a healthy but
+#: queued (or slowly computing) job.  Kept well under any sane
+#: client timeout — a client whose read timeout is below this value
+#: would drop healthy streams (``repro submit --timeout`` must
+#: exceed it).
+STREAM_KEEPALIVE_SECONDS = 5.0
+
+
+class SweepServer(ThreadingHTTPServer):
+    """HTTP server owning one :class:`JobManager`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, manager, quiet=False):
+        self.manager = manager
+        self.quiet = quiet
+        super().__init__(address, SweepHandler)
+
+    def server_close(self):
+        super().server_close()
+        self.manager.close()
+
+
+def make_server(host="127.0.0.1", port=0, workers=1, cache=None,
+                quiet=False):
+    """Build a ready-to-serve :class:`SweepServer`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — what the tests and any
+    port-allocating supervisor use.
+    """
+    manager = JobManager(workers=workers, cache=cache)
+    try:
+        return SweepServer((host, port), manager, quiet=quiet)
+    except BaseException:
+        # Bind failures must not leak the manager's runner thread
+        # (callers probing ports in a loop would pile them up).
+        manager.close()
+        raise
+
+
+class SweepHandler(BaseHTTPRequestHandler):
+    """Routes requests to the job manager; JSON in, JSON out."""
+
+    server_version = "repro-serve"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        if not self.server.quiet:
+            sys.stderr.write("serve: %s - %s\n"
+                             % (self.address_string(), format % args))
+
+    def _send_json(self, body, status=200):
+        data = (json.dumps(body, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status, message):
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self):
+        if self.headers.get("Transfer-Encoding") is not None:
+            # http.server never dechunks; reading Content-Length 0
+            # here would silently drop the body — and an empty body
+            # resolves to the full default sweep.
+            raise RequestError(
+                "chunked request bodies are not supported; send "
+                "Content-Length")
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise RequestError(
+                "POST requires a Content-Length header (an absent "
+                "body would silently submit the default sweep)")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise RequestError("bad Content-Length header") from None
+        if length < 0:
+            # read(-1) would mean "until EOF" — a handler thread
+            # parked on a held-open socket, not a 400.
+            raise RequestError("bad Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        raw = self.rfile.read(length) if length else b""
+        if not raw.strip():
+            # Content-Length: 0 (a forgotten body) must not resolve
+            # to {} and silently submit the full default sweep —
+            # requesting it takes an explicit `{}`.
+            raise RequestError(
+                "empty request body; send a JSON object ({} "
+                "explicitly requests the full default sweep)")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise RequestError(
+                f"request body is not JSON: {error}") from None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self):
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                return self._get_health()
+            if path == "/v1/cache/stats":
+                return self._get_cache_stats()
+            if path == "/v1/figures":
+                return self._get_figures()
+            if path == "/v1/sweeps":
+                return self._send_json(
+                    {"jobs": self.server.manager.list_jobs()})
+            parts = path.split("/")
+            if len(parts) == 4 and parts[1:3] == ["v1", "sweeps"]:
+                return self._get_job(parts[3])
+            if len(parts) == 5 and parts[1:3] == ["v1", "sweeps"] \
+                    and parts[4] == "stream":
+                return self._stream_job(parts[3])
+            return self._send_error_json(
+                404, f"no such endpoint: GET {path}")
+        except UnknownJobError as error:
+            return self._send_error_json(404, str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away mid-response; nothing to do
+        except Exception as error:  # noqa: BLE001 — last resort:
+            # an unexpected bug must answer 500, not silently drop
+            # the connection (which reads as a transport failure).
+            return self._send_internal_error(error)
+
+    def do_POST(self):
+        path = urlsplit(self.path).path.rstrip("/")
+        try:
+            if path == "/v1/sweeps":
+                return self._post_sweep()
+            return self._send_error_json(
+                404, f"no such endpoint: POST {path}")
+        except RequestError as error:
+            return self._send_error_json(400, str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            return
+        except Exception as error:  # noqa: BLE001 — see do_GET
+            return self._send_internal_error(error)
+
+    def _send_internal_error(self, error):
+        try:
+            self._send_error_json(
+                500, f"internal error: {type(error).__name__}: "
+                     f"{error}")
+        except OSError:
+            pass  # response already underway or socket gone
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _get_health(self):
+        manager = self.server.manager
+        self._send_json({
+            "status": "ok",
+            "workers": manager.workers,
+            "cache": manager.cache is not None,
+            "jobs": manager.counts(),
+        })
+
+    def _get_cache_stats(self):
+        cache = self.server.manager.cache
+        if cache is None:
+            return self._send_json({"enabled": False})
+        self._send_json({"enabled": True, **cache.stats()})
+
+    def _get_figures(self):
+        from repro.eval.experiments import servable_figures
+        self._send_json({"figures": servable_figures()})
+
+    def _post_sweep(self):
+        job = self.server.manager.submit_request(self._read_body())
+        # The receipt IS a status snapshot (plus navigation), so the
+        # 202 body and GET /v1/sweeps/{id} can never drift apart.
+        self._send_json({
+            **job.snapshot(),
+            "url": f"/v1/sweeps/{job.id}",
+            "stream": f"/v1/sweeps/{job.id}/stream",
+        }, status=202)
+
+    def _get_job(self, job_id):
+        job = self.server.manager.get(job_id)
+        snapshot = job.snapshot()
+        if snapshot["status"] == "done":
+            snapshot["payload"] = job.payload
+        self._send_json(snapshot)
+
+    def _stream_job(self, job_id):
+        """NDJSON replay of the job's records, then live tail."""
+        job = self.server.manager.get(job_id)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for record in job.iter_records(
+                    heartbeat=STREAM_KEEPALIVE_SECONDS):
+                if record is None:  # idle tick -> blank keepalive
+                    self.wfile.write(b"\n")
+                else:
+                    line = json.dumps(record, separators=(",", ":"))
+                    self.wfile.write(line.encode("utf-8") + b"\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            return  # the reader hung up; the job carries on

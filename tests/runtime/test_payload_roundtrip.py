@@ -1,0 +1,114 @@
+"""Property test: JSON shard round-trips reproduce the full sweep.
+
+For *arbitrary* synthetic sweep results — any mix of mapped,
+unmapped and custom-option points, any shard count — serialising
+each shard to real JSON text, parsing it back and merging must
+reproduce the unsharded :class:`SweepResult`'s deterministic fields
+exactly.  This is the contract both ``repro merge`` and the serve
+subsystem's distributed dispatch stand on: a payload that survives
+this property can cross any file, socket or machine boundary.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.flow import VARIANTS
+from repro.power.energy import EnergyBreakdown
+from repro.runtime.shard import (
+    merge_sweep_payloads,
+    shard_indices,
+    sweep_fingerprint,
+    sweep_json_payload,
+    sweep_result_from_payload,
+)
+from repro.runtime.sweep import (
+    ExperimentPoint,
+    PointSpec,
+    SweepResult,
+)
+
+SPECS = st.builds(
+    PointSpec,
+    kernel_name=st.sampled_from(("fir", "fft", "dc_filter",
+                                 "matmul")),
+    config_name=st.sampled_from(("HOM64", "HOM32", "HET1", "HET2")),
+    variant=st.sampled_from(tuple(VARIANTS)),
+    seed=st.integers(0, 3),
+)
+
+ENERGIES = st.dictionaries(
+    st.sampled_from(("alu", "cm", "rf", "interconnect", "leakage")),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=5)
+
+
+@st.composite
+def sweep_results(draw):
+    """An arbitrary synthetic sweep: specs plus matching points."""
+    specs = draw(st.lists(SPECS, min_size=1, max_size=24))
+    points = []
+    for spec in specs:
+        spec = spec.resolve()
+        if draw(st.booleans()):
+            points.append(ExperimentPoint(
+                spec.kernel_name, spec.config_name, spec.variant,
+                compile_seconds=draw(st.floats(
+                    0.0, 1e3, allow_nan=False, allow_infinity=False)),
+                cycles=draw(st.integers(1, 10**6)),
+                energy=EnergyBreakdown(draw(ENERGIES)),
+                mapped=True))
+        else:
+            points.append(ExperimentPoint(
+                spec.kernel_name, spec.config_name, spec.variant,
+                error=draw(st.sampled_from(("unmappable",
+                                            "context overflow")))))
+    return SweepResult(specs=[spec.resolve() for spec in specs],
+                       points=points, cache_hits=0,
+                       computed=len(specs), elapsed_seconds=1.0)
+
+
+def through_json(payload):
+    """Real serialisation — text, not dict identity."""
+    return json.loads(json.dumps(payload))
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(full=sweep_results(), total=st.integers(1, 5))
+    def test_serialise_parse_merge_reproduces_the_sweep(self, full,
+                                                        total):
+        fingerprint = sweep_fingerprint(full.specs)
+        payloads = []
+        for index in range(total):
+            positions = shard_indices(full.specs, index, total)
+            part = SweepResult(
+                specs=[full.specs[p] for p in positions],
+                points=[full.points[p] for p in positions],
+                cache_hits=0, computed=len(positions),
+                elapsed_seconds=full.elapsed_seconds)
+            payloads.append(through_json(sweep_json_payload(
+                part, shard=(index, total), positions=positions,
+                spec_total=len(full.specs),
+                fingerprint=fingerprint)))
+        merged = merge_sweep_payloads(payloads)
+        assert sweep_json_payload(merged)["points"] \
+            == through_json(sweep_json_payload(full))["points"]
+        assert merged.computed == len(full.specs)
+        assert merged.cache_hits == 0
+        assert [spec.resolve() for spec in merged.specs] \
+            == full.specs
+        assert sweep_fingerprint(merged.specs) == fingerprint
+
+    @settings(max_examples=60, deadline=None)
+    @given(full=sweep_results())
+    def test_single_payload_result_round_trip(self, full):
+        rebuilt = sweep_result_from_payload(
+            through_json(sweep_json_payload(full)))
+        assert sweep_json_payload(rebuilt)["points"] \
+            == through_json(sweep_json_payload(full))["points"]
+        assert len(rebuilt.mapped) == len(full.mapped)
+        assert len(rebuilt.unmapped) == len(full.unmapped)
+        assert not rebuilt.crashed

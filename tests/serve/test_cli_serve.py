@@ -1,0 +1,223 @@
+"""``repro submit`` end-to-end against live in-process servers."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runtime.cache import ResultCache
+from repro.runtime.sweep import sweep_specs
+
+AXIS_ARGS = ["--kernels", "fir,fft", "--configs", "HOM64",
+             "--variants", "basic,full"]
+N_POINTS = len(sweep_specs(kernels=("fir", "fft"),
+                           configs=("HOM64",),
+                           variants=("basic", "full")))
+
+
+def run_json(capsys, argv):
+    code = main(argv)
+    return code, json.loads(capsys.readouterr().out)
+
+
+class TestSubmitCli:
+    def test_single_server_table(self, fake_compute, server_url,
+                                 capsys):
+        assert main(["submit", "--server", server_url]
+                    + AXIS_ARGS) == 0
+        out, err = capsys.readouterr()
+        assert "fir" in out.lower() and "fft" in out.lower()
+        # One stderr progress line per landed point.
+        progress = [line for line in err.splitlines()
+                    if line.startswith("[")]
+        assert len(progress) == N_POINTS
+        assert f"[{N_POINTS}/{N_POINTS}]" in progress[-1]
+
+    def test_single_server_json_payload(self, fake_compute,
+                                        server_url, capsys):
+        code, payload = run_json(
+            capsys, ["submit", "--server", server_url, "--json",
+                     "--quiet"] + AXIS_ARGS)
+        assert code == 0
+        assert payload["summary"]["points"] == N_POINTS
+        assert payload["summary"]["crashed"] == 0
+
+    def test_quiet_flag_silences_progress(self, fake_compute,
+                                          server_url, capsys):
+        assert main(["submit", "--server", server_url, "--quiet"]
+                    + AXIS_ARGS) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_quiet_env_var(self, fake_compute, server_url, capsys,
+                           monkeypatch):
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        assert main(["submit", "--server", server_url]
+                    + AXIS_ARGS) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_sharded_submission_emits_a_mergeable_payload(
+            self, fake_compute, server_url, tmp_path, capsys):
+        files = []
+        for index in range(2):
+            code, payload = run_json(
+                capsys, ["submit", "--server", server_url, "--json",
+                         "--quiet", "--shard", f"{index}/2"]
+                + AXIS_ARGS)
+            assert code == 0
+            assert payload["shard"] == {"index": index, "total": 2}
+            path = tmp_path / f"shard-{index}.json"
+            path.write_text(json.dumps(payload))
+            files.append(str(path))
+        code, merged = run_json(
+            capsys, ["merge", "--json"] + files)
+        assert code == 0
+        assert len(merged["points"]) == N_POINTS
+
+    def test_shard_across_two_servers(self, fake_compute,
+                                      start_server, capsys):
+        urls = [start_server()[0] for _ in range(2)]
+        code, payload = run_json(
+            capsys, ["submit", "--server", ",".join(urls),
+                     "--shard-across", "--json", "--quiet"]
+            + AXIS_ARGS)
+        assert code == 0
+        assert payload["summary"]["points"] == N_POINTS
+        assert payload["summary"]["computed"] == N_POINTS
+
+    def test_shard_across_progress_names_the_server(
+            self, fake_compute, start_server, capsys):
+        urls = [start_server()[0] for _ in range(2)]
+        assert main(["submit", "--server", ",".join(urls),
+                     "--shard-across"] + AXIS_ARGS) == 0
+        _, err = capsys.readouterr()
+        for url in urls:
+            assert url in err
+
+    def test_figure_submission(self, fake_compute, server_url,
+                               capsys):
+        from repro.eval.experiments import figure_point_specs
+        code, payload = run_json(
+            capsys, ["submit", "--server", server_url,
+                     "--figure", "fig10", "--json", "--quiet"])
+        assert code == 0
+        assert payload["summary"]["points"] \
+            == len(figure_point_specs("fig10"))
+
+    def test_submit_warms_the_server_cache(self, fake_compute,
+                                           start_server, tmp_path,
+                                           capsys):
+        url, _ = start_server(cache=ResultCache(tmp_path))
+        args = ["submit", "--server", url, "--json", "--quiet"] \
+            + AXIS_ARGS
+        code, cold = run_json(capsys, args)
+        assert code == 0
+        assert cold["summary"]["computed"] == N_POINTS
+        code, warm = run_json(capsys, args)
+        assert code == 0
+        assert warm["summary"]["computed"] == 0
+        assert warm["summary"]["cache_hits"] == N_POINTS
+        assert [p["point"] for p in warm["points"]] \
+            == [p["point"] for p in cold["points"]]
+
+    def test_several_servers_need_shard_across(self, fake_compute,
+                                               capsys):
+        assert main(["submit", "--server", "http://a,http://b"]
+                    + AXIS_ARGS) == 1
+        assert "--shard-across" in capsys.readouterr().err
+
+    def test_shard_and_shard_across_conflict(self, fake_compute,
+                                             server_url, capsys):
+        assert main(["submit", "--server", server_url,
+                     "--shard", "0/2", "--shard-across"]
+                    + AXIS_ARGS) == 1
+        assert "one or the other" in capsys.readouterr().err
+
+    def test_figure_and_axes_conflict(self, fake_compute,
+                                      server_url, capsys):
+        assert main(["submit", "--server", server_url,
+                     "--figure", "fig10", "--kernels", "fir"]) == 1
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_serve_port_in_use_is_a_clean_error(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 1
+            err = capsys.readouterr().err
+            assert "cannot bind" in err
+            assert "Traceback" not in err
+        finally:
+            blocker.close()
+
+    def test_serve_out_of_range_port_is_a_clean_error(self, capsys):
+        # bind() reports port 99999 as OverflowError, not OSError.
+        assert main(["serve", "--port", "99999"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot bind" in err
+        assert "Traceback" not in err
+
+    def test_unreachable_server_is_a_clean_error(self, capsys):
+        assert main(["submit", "--server", "http://127.0.0.1:9",
+                     "--timeout", "2"] + AXIS_ARGS) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_server_side_validation_reaches_the_user(
+            self, fake_compute, server_url, capsys):
+        assert main(["submit", "--server", server_url,
+                     "--kernels", "warp_drive"]) == 1
+        assert "unknown kernels" in capsys.readouterr().err
+
+    def test_crashed_points_exit_nonzero(self, fake_compute,
+                                         server_url, capsys,
+                                         monkeypatch):
+        import traceback
+
+        from repro.runtime import pool
+        from repro.runtime.sweep import ExperimentPoint
+
+        def crashing(spec):
+            spec = spec.resolve()
+            try:
+                raise RuntimeError("boom")
+            except RuntimeError as error:
+                return ExperimentPoint(
+                    spec.kernel_name, spec.config_name, spec.variant,
+                    error=f"RuntimeError: {error}\n"
+                          f"{traceback.format_exc(limit=2)}")
+
+        monkeypatch.setattr(pool, "_compute_captured", crashing)
+        code, payload = run_json(
+            capsys, ["submit", "--server", server_url, "--json",
+                     "--quiet"] + AXIS_ARGS)
+        assert code == 1
+        assert payload["summary"]["crashed"] == N_POINTS
+
+
+@pytest.mark.parametrize("argv", [
+    ["sweep", "--kernels", "dc_filter", "--configs", "HOM64",
+     "--variants", "basic", "--quiet"],
+    ["figure", "fig10", "--shard", "0/8", "--quiet"],
+])
+class TestQuietFlag:
+    """--quiet / $REPRO_QUIET on the local sweep/figure paths."""
+
+    def test_flag_silences_progress(self, argv, tmp_path, capsys):
+        assert main(argv + ["--cache-dir", str(tmp_path)]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_env_silences_progress(self, argv, tmp_path, capsys,
+                                   monkeypatch):
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        assert main(argv[:-1] + ["--cache-dir", str(tmp_path)]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_default_still_narrates(self, argv, tmp_path, capsys,
+                                    monkeypatch):
+        monkeypatch.delenv("REPRO_QUIET", raising=False)
+        assert main(argv[:-1] + ["--cache-dir", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "[1/" in err

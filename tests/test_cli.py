@@ -94,11 +94,93 @@ class TestSweepJson:
         path = tmp_path / "only.json"
         path.write_text(json.dumps(payload))
         assert main(["merge", str(path)]) == 1
-        assert "cover" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "cover" in err
+        # The diagnostic names the absent shard index and which file
+        # supplied the one that *is* there.
+        assert "missing shard indices [1] of 2" in err
+        assert "only.json" in err
 
     def test_bad_shard_rejected(self, capsys):
         assert main(SWEEP_ARGS + ["--shard", "4/2"]) == 1
         assert "shard index" in capsys.readouterr().err
+
+
+class TestMergeDiagnostics:
+    """`repro merge` failures are one-line diagnoses naming the
+    offending shard indices and files — never bare tracebacks."""
+
+    def shard_file(self, capsys, tmp_path, index, total=2, seed=None):
+        argv = list(SWEEP_ARGS) + ["--json", "--shard",
+                                   f"{index}/{total}", "--cache-dir",
+                                   str(tmp_path / "cache")]
+        if seed is not None:
+            argv += ["--seed", str(seed)]
+        _, payload = run_json(capsys, argv)
+        path = tmp_path / f"shard-{index}-{seed}.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        ghost = tmp_path / "ghost.json"
+        assert main(["merge", str(ghost)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "ghost.json" in err
+
+    def test_duplicate_shard_names_both_files(self, tmp_path,
+                                              capsys):
+        original = self.shard_file(capsys, tmp_path, 0)
+        twin = tmp_path / "twin.json"
+        twin.write_text(original.read_text())
+        assert main(["merge", str(original), str(twin)]) == 1
+        err = capsys.readouterr().err
+        assert "shard 0 appears more than once" in err
+        assert original.name in err
+        assert twin.name in err
+
+    def test_fingerprint_mismatch_names_both_files(self, tmp_path,
+                                                   capsys):
+        ours = self.shard_file(capsys, tmp_path, 0)
+        theirs = self.shard_file(capsys, tmp_path, 1, seed=99)
+        assert main(["merge", str(ours), str(theirs)]) == 1
+        err = capsys.readouterr().err
+        assert "different sweeps" in err
+        assert ours.name in err
+        assert theirs.name in err
+
+    def test_missing_shard_lists_absent_indices(self, tmp_path,
+                                                capsys):
+        have = [self.shard_file(capsys, tmp_path, index, total=4)
+                for index in (0, 2)]
+        assert main(["merge", str(have[0]), str(have[1])]) == 1
+        err = capsys.readouterr().err
+        assert "missing shard indices [1, 3] of 4" in err
+        assert have[0].name in err and have[1].name in err
+
+    def test_record_without_a_point_names_the_file(self, tmp_path,
+                                                   capsys):
+        path = self.shard_file(capsys, tmp_path, 0, total=1)
+        payload = json.loads(path.read_text())
+        del payload["points"][0]["point"]
+        path.write_text(json.dumps(payload))
+        assert main(["merge", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "no 'point'" in err
+        assert path.name in err
+
+    def test_corrupt_huge_shard_total_diagnoses_promptly(
+            self, tmp_path, capsys):
+        # A hand-edited total of 10**12 must produce the coverage
+        # diagnostic, not materialise a trillion-element range.
+        path = self.shard_file(capsys, tmp_path, 0, total=2)
+        payload = json.loads(path.read_text())
+        payload["shard"]["total"] = 10**12
+        path.write_text(json.dumps(payload))
+        assert main(["merge", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "cover" in err
+        assert "of 1000000000000" in err
 
 
 class TestCacheCommand:
@@ -169,3 +251,20 @@ class TestFigureFlags:
         assert code == 0
         assert data["CPU"]["ratio"] == 1.0
         assert "HOM64" in data
+
+    def test_figure_choices_match_the_canonical_listing(self):
+        # The parser keeps a literal copy of FIGURE_NAMES so that
+        # building it never imports the eval/experiments stack; this
+        # pins the two against drift.
+        import argparse
+
+        from repro.cli import _parser
+        from repro.eval.experiments import FIGURE_NAMES
+        parser = _parser()
+        commands = next(action for action in parser._actions
+                        if isinstance(action,
+                                      argparse._SubParsersAction))
+        name = next(action
+                    for action in commands.choices["figure"]._actions
+                    if action.dest == "name")
+        assert tuple(name.choices) == tuple(FIGURE_NAMES)
