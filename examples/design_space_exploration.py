@@ -7,44 +7,39 @@ This script sweeps homogeneous CM depths for each paper kernel, finds
 the smallest depth the context-aware flow can still map, and prints
 the area saved versus the HOM64 baseline.
 
-The exploration runs depth by depth through the parallel runtime
-engine: each round batches all still-unresolved kernels at the next
-depth (``--workers N`` fans them out over N processes) and a kernel
-drops out at its first mappable depth, so no work is spent on depths
-above a kernel's answer.  Each round *streams*: a one-line verdict is
-printed the moment a kernel's attempt lands, rather than after the
-round's slowest mapping.  Completed points persist in the result
-cache (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``), so re-running
-the exploration only maps new points.  ``--shard i/N`` prewarms one
-deterministic slice of the full depth grid into a shared cache
-directory; after all N shards have run, an unsharded re-run answers
-entirely from cache.
+It is a thin client of the :mod:`repro.dse` subsystem: the depth
+ladder, the per-rung specs and the early-exit minimum-depth search
+all live there (``repro.dse.space`` / ``repro.dse.runner``), and the
+general tool — Pareto frontiers over heterogeneous spaces, pluggable
+search strategies — is ``python -m repro explore``.  What this
+example keeps is the paper-shaped narrative: one table, smallest
+mappable depth per kernel, area versus HOM64.
+
+Rounds run through the parallel runtime (``--workers N``) and
+*stream*: a one-line verdict is printed the moment a kernel's attempt
+lands.  Completed points persist in the result cache
+(``~/.cache/repro`` or ``$REPRO_CACHE_DIR``), so re-running only maps
+new points.  ``--shard i/N`` prewarms one deterministic slice of the
+full depth grid into a shared cache directory; after all N shards
+have run, an unsharded re-run answers entirely from cache.
 """
 
 import argparse
 import sys
 
 from repro.arch.configs import make_cgra
+from repro.dse.runner import minimum_ladder_depths
+from repro.dse.space import DEPTH_LADDER, ladder_grid_specs
 from repro.errors import ReproError
 from repro.kernels import PAPER_KERNEL_ORDER
-from repro.mapping.flow import FlowOptions
 from repro.power.area import AreaModel
 from repro.runtime import (
-    PointSpec,
     ResultCache,
     parse_shard,
     run_sweep,
     shard_specs,
 )
 from repro.runtime.sweep import DETERMINISTIC_ERRORS
-
-DEPTHS = (8, 16, 24, 32, 48, 64)
-
-
-def depth_spec(kernel, depth):
-    return PointSpec(kernel, f"HOM{depth}", "full",
-                     options=FlowOptions.aware(max_attempts=10),
-                     cm_depths=(depth,) * 16)
 
 
 def stream_progress(update):
@@ -62,8 +57,10 @@ def prewarm_shard(workers, cache, shard):
     grid into the shared cache; once every shard has run, an
     unsharded re-run resolves the ladder entirely from cache hits.
     """
-    grid = [depth_spec(kernel, depth)
-            for depth in DEPTHS for kernel in PAPER_KERNEL_ORDER]
+    grid = ladder_grid_specs(PAPER_KERNEL_ORDER, DEPTH_LADDER)
+    # Plain (cache-blind) sharding on purpose: shards may run at
+    # different times, and cache-aware assignment is only coherent
+    # when every producer sees the same cache state.
     specs = shard_specs(grid, *shard)
     result = run_sweep(specs, workers=workers, cache=cache,
                        progress=stream_progress)
@@ -76,33 +73,6 @@ def prewarm_shard(workers, cache, shard):
     print(f"shard {shard[0]}/{shard[1]}: {result.summary()}")
     print("prewarm only — re-run without --shard once every shard "
           "has finished to get the minimum-depth table.")
-
-
-def minimum_depths(workers, cache):
-    """Per kernel: (smallest mappable depth, its point).
-
-    Ascends the depth ladder in parallel rounds; kernels that map
-    leave the pool, exactly like the classic serial early-exit search
-    but with every round's attempts running concurrently.
-    """
-    remaining = list(PAPER_KERNEL_ORDER)
-    smallest = {}
-    for depth in DEPTHS:
-        if not remaining:
-            break
-        specs = [depth_spec(k, depth) for k in remaining]
-        result = run_sweep(specs, workers=workers, cache=cache,
-                           progress=stream_progress)
-        print(f"depth {depth:2d}: {result.summary()}")
-        for spec, point in zip(result.specs, result.points):
-            if point.error not in DETERMINISTIC_ERRORS:
-                # "Does not map at this depth" is an answer; a crash
-                # (e.g. a soundness mismatch) is not — fail loudly.
-                raise ReproError(f"{spec.describe()}: {point.error}")
-            if point.mapped:
-                smallest[spec.kernel_name] = (depth, point)
-        remaining = [k for k in remaining if k not in smallest]
-    return smallest
 
 
 def main(argv=None):
@@ -126,7 +96,14 @@ def main(argv=None):
     if args.shard:
         prewarm_shard(args.workers, cache, parse_shard(args.shard))
         return
-    smallest = minimum_depths(args.workers, cache)
+
+    def round_report(depth, result):
+        print(f"depth {depth:2d}: {result.summary()}")
+
+    smallest = minimum_ladder_depths(
+        PAPER_KERNEL_ORDER, DEPTH_LADDER, workers=args.workers,
+        cache=cache, progress=stream_progress,
+        round_report=round_report)
     print()
     model = AreaModel()
     baseline = model.cgra_total(make_cgra("HOM64", cm_depths=[64] * 16))

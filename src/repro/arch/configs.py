@@ -85,6 +85,16 @@ def get_config(name):
             f"choose from {sorted(CGRA_CONFIGS)}") from None
 
 
+def default_lsu_tiles(rows=ROWS, cols=COLS):
+    """Load-store tiles for an arbitrary array shape.
+
+    The paper's convention generalised: the top two rows carry the
+    LSUs (arrays shorter than two rows make every tile an LSU tile).
+    For the 4x4 default this is exactly :data:`LSU_TILES`.
+    """
+    return tuple(range(min(2, rows) * cols))
+
+
 def make_cgra(name="custom", rows=ROWS, cols=COLS, cm_depths=None,
               lsu_tiles=LSU_TILES, data_memory_words=8192):
     """Build a custom CGRA (e.g. for design-space exploration)."""

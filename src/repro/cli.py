@@ -22,9 +22,17 @@ Commands mirror the user journeys of the examples:
 - ``figure NAME``   — regenerate one paper figure/table; the
   mapping-bound ones accept ``--workers``, ``--shard`` (distributed
   prewarm) and ``--json``;
-- ``serve``         — expose sweeps over HTTP (``--port``,
-  ``--workers``): submission, status, NDJSON point streaming, cache
-  stats (see :mod:`repro.serve`);
+- ``explore``       — design-space exploration (see
+  :mod:`repro.dse`): search homogeneous ladders, Table I, banded and
+  per-tile heterogeneous CM assignments with a pluggable strategy
+  (``--strategy exhaustive|random|adaptive``, ``--budget``,
+  ``--objectives``) and report the Pareto frontier; ``--shard i/N``
+  prewarms one slice of the exhaustive grid, ``--json`` emits the
+  exploration document;
+- ``serve``         — expose sweeps and explorations over HTTP
+  (``--port``, ``--workers``, job retention via
+  ``--max-finished-jobs``/``--job-ttl``): submission, status, NDJSON
+  point streaming, cache stats (see :mod:`repro.serve`);
 - ``submit``        — dispatch a sweep to one ``repro serve``
   instance — or, with ``--shard-across``, shard it across several
   and merge the streamed results locally.
@@ -106,6 +114,10 @@ def _parser():
     sweep.add_argument("--shard", default=None, metavar="I/N",
                        help="run only shard I of N (deterministic, "
                             "disjoint, cost-balanced slices)")
+    sweep.add_argument("--cache-balanced", action="store_true",
+                       help="balance shards by residual (uncached) "
+                            "cost — every shard producer must see "
+                            "the same shared cache")
     sweep.add_argument("--json", action="store_true",
                        help="emit a machine-readable result payload "
                             "on stdout instead of the table")
@@ -146,11 +158,69 @@ def _parser():
                         help="compute only shard I of N of this "
                              "figure's points (distributed prewarm); "
                              "emits the partial sweep, not the figure")
+    figure.add_argument("--cache-balanced", action="store_true",
+                        help="balance shards by residual (uncached) "
+                             "cost — every shard producer must see "
+                             "the same shared cache")
     figure.add_argument("--json", action="store_true",
                         help="emit the figure data (or the shard "
                              "payload) as JSON")
     add_cache_flags(figure)
     add_quiet(figure)
+
+    explore = sub.add_parser(
+        "explore", help="design-space exploration (see repro.dse)")
+    explore.add_argument("--space", default="ladder,table1",
+                         help="comma-separated design generators: "
+                              "ladder,table1,rowband,colband,tiles "
+                              "(default ladder,table1)")
+    explore.add_argument("--depths", default=None,
+                         help="comma-separated CM depths for the "
+                              "ladder/banded/tiles spaces "
+                              "(default 8,16,24,32,48,64)")
+    explore.add_argument("--samples", type=int, default=None,
+                         help="sampled per-tile designs for the "
+                              "'tiles' space (default 8)")
+    explore.add_argument("--kernels", default=None,
+                         help="comma-separated kernels (default: all)")
+    explore.add_argument("--variant", default=None,
+                         help="flow variant to evaluate under "
+                              "(default full)")
+    explore.add_argument("--strategy", default=None,
+                         help="search strategy: exhaustive, random "
+                              "or adaptive (default exhaustive)")
+    explore.add_argument("--budget", type=int, default=None,
+                         help="max evaluated (design, kernel) points "
+                              "(default unlimited)")
+    explore.add_argument("--objectives", default=None,
+                         help="comma-separated subset of "
+                              "energy,latency,cm_area,mappability "
+                              "(default all four)")
+    explore.add_argument("--seed", type=int, default=None,
+                         help="input seed; also drives the random "
+                              "strategy's sampling")
+    explore.add_argument("--rows", type=int, default=None,
+                         help="array rows for generated designs "
+                              "(default 4)")
+    explore.add_argument("--cols", type=int, default=None,
+                         help="array columns for generated designs "
+                              "(default 4)")
+    explore.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial)")
+    explore.add_argument("--shard", default=None, metavar="I/N",
+                         help="prewarm only shard I of N of the "
+                              "exhaustive design x kernel grid into "
+                              "the shared cache (emits the partial "
+                              "sweep, not the frontier)")
+    explore.add_argument("--cache-balanced", action="store_true",
+                         help="balance shards by residual (uncached) "
+                              "cost — every shard producer must see "
+                              "the same shared cache")
+    explore.add_argument("--json", action="store_true",
+                         help="emit the exploration document (or the "
+                              "shard payload) as JSON")
+    add_cache_flags(explore)
+    add_quiet(explore)
 
     serve = sub.add_parser(
         "serve", help="expose sweeps over HTTP (see repro.serve)")
@@ -160,6 +230,13 @@ def _parser():
                        help="TCP port (0 = ephemeral; default 8000)")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes per sweep job")
+    serve.add_argument("--max-finished-jobs", type=int, default=None,
+                       help="finished jobs retained before eviction "
+                            "(default 64)")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="age after which finished jobs evict "
+                            "(default 21600 = 6h)")
     add_cache_flags(serve)
     add_quiet(serve)
 
@@ -236,14 +313,24 @@ def _check_shard_output(args):
 
 def _run_shard(args, cache, specs, shard, label=""):
     """Run one shard of ``specs``; emits a mergeable ``--json``
-    payload or a partial-sweep table.  Shared by ``sweep --shard``
-    and ``figure --shard`` so their payloads cannot drift apart."""
+    payload or a partial-sweep table.  Shared by ``sweep --shard``,
+    ``figure --shard`` and ``explore --shard`` so their payloads
+    cannot drift apart.  ``--cache-balanced`` charges already-cached
+    specs ~zero cost when carving the shard, so warm re-runs split
+    the residual work evenly — coherent only while every cooperating
+    producer sees the same shared cache."""
     from repro.eval.reporting import render_sweep
     from repro.runtime.pool import run_sweep
     from repro.runtime.shard import (
         shard_indices, sweep_fingerprint, sweep_json_payload)
 
-    positions = shard_indices(specs, *shard)
+    balance_cache = cache if getattr(args, "cache_balanced", False) \
+        else None
+    if getattr(args, "cache_balanced", False) and cache is None:
+        raise ReproError(
+            "--cache-balanced balances against the shared cache; "
+            "drop --no-cache")
+    positions = shard_indices(specs, *shard, cache=balance_cache)
     result = run_sweep([specs[i] for i in positions],
                        workers=args.workers, cache=cache,
                        progress=_progress(args))
@@ -489,6 +576,53 @@ def _figure(args):
     return 0
 
 
+def _explore(args):
+    from repro.dse.runner import (
+        exploration_grid_specs,
+        run_exploration,
+        validated_exploration_config,
+    )
+    from repro.eval.reporting import render_exploration
+
+    depths = None
+    if args.depths:
+        try:
+            depths = [int(d) for d in args.depths.split(",")]
+        except ValueError:
+            raise ReproError(
+                f"--depths expects comma-separated integers "
+                f"(e.g. 8,16,32), got {args.depths!r}") from None
+    config = validated_exploration_config(
+        space=_split_axis(args.space),
+        depths=depths,
+        samples=args.samples,
+        kernels=_split_axis(args.kernels),
+        variant=args.variant,
+        strategy=args.strategy,
+        budget=args.budget,
+        seed=args.seed,
+        objectives=_split_axis(args.objectives),
+        rows=args.rows, cols=args.cols)
+    cache = _cache_from(args)
+    if args.shard:
+        from repro.runtime.shard import parse_shard
+        shard = parse_shard(args.shard)
+        _check_shard_output(args)
+        # The prewarm unit is the exhaustive grid: shards fill the
+        # shared cache; any strategy run afterwards resolves its
+        # requests from hits.
+        return _run_shard(args, cache, exploration_grid_specs(config),
+                          shard, label="explore ")
+    result = run_exploration(config, workers=args.workers,
+                             cache=cache, progress=_progress(args))
+    payload = result.payload()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_exploration(payload))
+    return 0
+
+
 def _kernels(_args):
     for name in PAPER_KERNEL_ORDER:
         kernel = get_kernel(name)
@@ -505,7 +639,9 @@ def _serve(args):
     try:
         server = make_server(host=args.host, port=args.port,
                              workers=args.workers, cache=cache,
-                             quiet=_quiet_requested(args))
+                             quiet=_quiet_requested(args),
+                             max_finished_jobs=args.max_finished_jobs,
+                             finished_ttl_seconds=args.job_ttl)
     except (OSError, OverflowError) as error:
         # Port in use / privileged / out of range / bad address: a
         # one-line diagnosis, not a traceback.  (bind() reports an
@@ -607,7 +743,8 @@ def main(argv=None):
     handlers = {"map": _map, "run": _run, "energy": _energy,
                 "area": _area, "kernels": _kernels, "sweep": _sweep,
                 "merge": _merge, "cache": _cache, "figure": _figure,
-                "serve": _serve, "submit": _submit}
+                "explore": _explore, "serve": _serve,
+                "submit": _submit}
     try:
         return handlers[args.command](args)
     except UnmappableError as error:

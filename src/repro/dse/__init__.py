@@ -1,0 +1,117 @@
+"""Design-space exploration: search the architecture space the paper
+only samples.
+
+The paper's Table I hand-picks four context-memory provisionings and
+shows the heterogeneous ones win on energy and area.  This package
+turns that observation into a search problem: generate candidate
+designs (homogeneous ladders, row/column-banded and per-tile
+heterogeneous assignments, the Table I configs themselves —
+:mod:`repro.dse.space`), evaluate each against a kernel set through
+the parallel/cached runtime (:mod:`repro.dse.runner`), aggregate
+per-design objectives — energy, latency, CM area, mappability
+(:mod:`repro.dse.objectives`) — and report the Pareto frontier with
+its hypervolume (:mod:`repro.dse.pareto`).  Which points get paid for
+is a pluggable strategy (:mod:`repro.dse.strategies`): the exhaustive
+grid, seeded random sampling, or an adaptive successive-halving
+search that prunes with free capacity bounds and a cheap probe kernel
+before buying full evaluations.
+
+Entry points: ``repro explore`` on the command line,
+``POST /v1/explorations`` on a ``repro serve`` instance, and
+:func:`run_exploration` as a library.  Every evaluated point lands in
+the same persistent :class:`~repro.runtime.cache.ResultCache` sweeps
+use, so explorations are resumable, shardable
+(``repro explore --shard i/N`` prewarms slices of the grid) and warm
+each other across strategies.
+
+Quickstart::
+
+    from repro.dse import run_exploration, validated_exploration_config
+
+    config = validated_exploration_config(
+        space=("ladder", "table1"), kernels=("fir", "fft"),
+        strategy="adaptive")
+    result = run_exploration(config, workers=4)
+    print(result.frontier, result.hypervolume)
+"""
+
+from repro.dse.objectives import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVE_NAMES,
+    design_metrics,
+    metrics_vector,
+    parse_objectives,
+)
+from repro.dse.pareto import (
+    dominates,
+    hypervolume,
+    pareto_front,
+    pareto_indices,
+    reference_point,
+)
+from repro.dse.runner import (
+    DSE_JSON_SCHEMA,
+    EvaluationContext,
+    ExplorationConfig,
+    ExplorationResult,
+    exploration_grid_specs,
+    minimum_ladder_depths,
+    run_exploration,
+    validated_exploration_config,
+)
+from repro.dse.space import (
+    DEPTH_LADDER,
+    SPACE_KINDS,
+    Design,
+    build_space,
+    canonical_depths,
+    column_banded_designs,
+    dedupe_designs,
+    homogeneous_designs,
+    kernel_demand,
+    ladder_grid_specs,
+    ladder_spec,
+    row_banded_designs,
+    sampled_tile_designs,
+    static_unmappable,
+    table1_designs,
+)
+from repro.dse.strategies import STRATEGIES, make_strategy
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "DEPTH_LADDER",
+    "DSE_JSON_SCHEMA",
+    "Design",
+    "EvaluationContext",
+    "ExplorationConfig",
+    "ExplorationResult",
+    "OBJECTIVE_NAMES",
+    "SPACE_KINDS",
+    "STRATEGIES",
+    "build_space",
+    "canonical_depths",
+    "column_banded_designs",
+    "dedupe_designs",
+    "design_metrics",
+    "dominates",
+    "exploration_grid_specs",
+    "homogeneous_designs",
+    "hypervolume",
+    "kernel_demand",
+    "ladder_grid_specs",
+    "ladder_spec",
+    "make_strategy",
+    "metrics_vector",
+    "minimum_ladder_depths",
+    "pareto_front",
+    "pareto_indices",
+    "parse_objectives",
+    "reference_point",
+    "row_banded_designs",
+    "run_exploration",
+    "sampled_tile_designs",
+    "static_unmappable",
+    "table1_designs",
+    "validated_exploration_config",
+]

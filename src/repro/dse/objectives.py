@@ -1,0 +1,114 @@
+"""Per-design objectives: aggregate metrics from experiment points.
+
+The exploration engine ranks :class:`~repro.dse.space.Design`
+candidates on four axes, each computable from the
+:class:`~repro.runtime.sweep.ExperimentPoint` results of the design's
+kernel set plus the :class:`~repro.power.area.AreaModel`:
+
+- ``energy`` — mean energy per kernel execution (uJ) over the
+  kernels that mapped; lower is better.
+- ``latency`` — mean cycle count over the kernels that mapped.
+- ``cm_area`` — context-memory area (mm^2), the component the paper
+  argues should shrink; a pure function of the design, no execution
+  needed.
+- ``mappability`` — fraction of the kernel set that mapped; *higher*
+  is better (the paper's zero bars are mappability losses).
+
+:func:`metrics_vector` folds a metrics dict into a minimisation
+vector for :mod:`repro.dse.pareto` — maximised objectives are
+flipped (``1 - mappability``), so dominance is uniformly
+"coordinate-wise <=".
+
+A pair that was never evaluated (static prune, exhausted budget,
+adaptive skip) counts as *unmapped* here: pessimistic for pruned
+designs, exact for pairs :func:`~repro.dse.space.static_unmappable`
+proved infeasible.  Designs where nothing mapped get infinite
+energy/latency — dominated on those axes by anything that ran.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+from repro.errors import ReproError
+from repro.power.area import AreaModel
+
+#: Objective names in canonical order; ``repro explore --objectives``
+#: and ``POST /v1/explorations`` validate against this.
+OBJECTIVE_NAMES = ("energy", "latency", "cm_area", "mappability")
+
+#: Objectives where bigger is better (flipped in the vector).
+MAXIMISED = frozenset({"mappability"})
+
+DEFAULT_OBJECTIVES = OBJECTIVE_NAMES
+
+
+def parse_objectives(names):
+    """Validate an objective subset; ``None`` means all four."""
+    if names is None:
+        return DEFAULT_OBJECTIVES
+    names = tuple(names)
+    unknown = set(names) - set(OBJECTIVE_NAMES)
+    if unknown:
+        raise ReproError(
+            f"unknown objectives {sorted(unknown)}; choose from "
+            f"{', '.join(OBJECTIVE_NAMES)}")
+    if len(set(names)) != len(names):
+        raise ReproError(f"duplicate objectives in {list(names)}")
+    if len(names) < 2:
+        raise ReproError(
+            "a Pareto frontier needs at least two objectives")
+    # Canonical order, so 'latency,energy' and 'energy,latency'
+    # produce identical vectors, payloads and hypervolumes.
+    return tuple(n for n in OBJECTIVE_NAMES if n in names)
+
+
+@functools.lru_cache(maxsize=4096)
+def design_cm_area(design):
+    """Context-memory area (mm^2) of one design, memoised.
+
+    A pure function of the (frozen, hashable) design — the adaptive
+    strategy recomputes partial metrics every halving round, and
+    rebuilding the CGRA and area model each time would be
+    O(designs x rounds) wasted work.
+    """
+    return AreaModel().cgra_breakdown(
+        design.build_cgra())["context_memory"]
+
+
+def design_metrics(design, points, kernels):
+    """Aggregate one design's metrics over its kernel results.
+
+    ``points`` maps kernel name to an ``ExperimentPoint`` or ``None``
+    (not evaluated — treated as unmapped).  Every metric is computed
+    even if the caller only ranks on a subset; the payload reports
+    them all.
+    """
+    kernels = list(kernels)
+    if not kernels:
+        raise ReproError("design_metrics needs a non-empty kernel set")
+    mapped = [points.get(kernel) for kernel in kernels]
+    mapped = [point for point in mapped
+              if point is not None and point.mapped]
+    energy = (sum(point.energy_uj for point in mapped) / len(mapped)
+              if mapped else math.inf)
+    latency = (sum(point.cycles for point in mapped) / len(mapped)
+               if mapped else math.inf)
+    return {
+        "energy": energy,
+        "latency": latency,
+        "cm_area": design_cm_area(design),
+        "mappability": len(mapped) / len(kernels),
+    }
+
+
+def metrics_vector(metrics, objectives=DEFAULT_OBJECTIVES):
+    """Minimisation vector over the chosen objectives."""
+    vector = []
+    for name in objectives:
+        value = metrics[name]
+        if name in MAXIMISED:
+            value = 1.0 - value
+        vector.append(value)
+    return tuple(vector)

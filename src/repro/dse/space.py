@@ -1,0 +1,362 @@
+"""The architecture search space: designs, symmetry, generators.
+
+A :class:`Design` is one candidate context-memory provisioning — an
+array shape plus a per-tile depth assignment.  It is the unit the
+exploration engine enumerates, evaluates and ranks; the bridge to the
+runtime is :meth:`Design.spec`, which wraps a (design, kernel) pair
+into the :class:`~repro.runtime.sweep.PointSpec` the cache, the shard
+payloads and the process pool already understand.
+
+**Symmetry.**  The torus interconnect has automorphisms that preserve
+the load-store tile set (the top two rows): any rotation or
+reflection of the *columns*, and the row reflection ``r -> 1 - r``
+(which swaps the two LSU rows and mirrors the rest of the ring).
+Two depth assignments related by such a transform describe the same
+machine up to tile relabelling, so enumerating both would pay twice
+for one answer.  :func:`canonical_depths` picks the lexicographically
+smallest equivalent assignment; the generators dedupe through it.
+
+**Static feasibility.**  Two necessary conditions for a kernel to map
+cost nothing to check: every op occupies at least one context word
+somewhere (so ``total capacity >= n_ops``), and every LOAD/STORE
+occupies a word on a load-store tile (so ``LSU capacity >= memory
+ops``).  :func:`static_unmappable` is the free "mappability probe"
+the adaptive search strategy uses to skip full evaluations it can
+prove would report *context overflow* or *unmappable*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+
+from repro.arch.configs import (
+    CGRA_CONFIGS,
+    COLS as DEFAULT_COLS,
+    ROWS as DEFAULT_ROWS,
+    default_lsu_tiles,
+    make_cgra,
+)
+from repro.errors import ReproError
+from repro.mapping.flow import FlowOptions
+from repro.runtime.sweep import DEFAULT_SEED, PointSpec
+
+#: The homogeneous depth ladder the DSE example has always swept.
+DEPTH_LADDER = (8, 16, 24, 32, 48, 64)
+
+#: Space generator names accepted by :func:`build_space` (and hence
+#: ``repro explore --space`` and ``POST /v1/explorations``).
+SPACE_KINDS = ("table1", "ladder", "rowband", "colband", "tiles")
+
+
+@dataclasses.dataclass(frozen=True)
+class Design:
+    """One candidate architecture: a named CM depth assignment."""
+
+    name: str
+    cm_depths: tuple
+    rows: int = DEFAULT_ROWS
+    cols: int = DEFAULT_COLS
+
+    def __post_init__(self):
+        if len(self.cm_depths) != self.rows * self.cols:
+            raise ReproError(
+                f"design {self.name!r}: {self.rows}x{self.cols} array "
+                f"needs {self.rows * self.cols} CM depths, got "
+                f"{len(self.cm_depths)}")
+
+    @property
+    def n_tiles(self):
+        return self.rows * self.cols
+
+    @property
+    def total_words(self):
+        """Total CM capacity (the Table I 'Total' column)."""
+        return sum(self.cm_depths)
+
+    @property
+    def lsu_words(self):
+        """CM capacity on the load-store tiles."""
+        lsu = default_lsu_tiles(self.rows, self.cols)
+        return sum(self.cm_depths[i] for i in lsu)
+
+    def canonical_key(self):
+        """Identity under the LSU-preserving torus automorphisms."""
+        return (self.rows, self.cols,
+                canonical_depths(self.cm_depths, self.rows, self.cols))
+
+    def build_cgra(self):
+        return make_cgra(self.name, rows=self.rows, cols=self.cols,
+                         cm_depths=list(self.cm_depths),
+                         lsu_tiles=default_lsu_tiles(self.rows,
+                                                     self.cols))
+
+    def spec(self, kernel_name, variant="full", options=None,
+             seed=DEFAULT_SEED):
+        """The :class:`PointSpec` evaluating this design on a kernel."""
+        return PointSpec(kernel_name, self.name, variant,
+                         options=options, seed=seed,
+                         cm_depths=self.cm_depths,
+                         rows=self.rows, cols=self.cols)
+
+    def to_json(self):
+        return {"name": self.name, "cm_depths": list(self.cm_depths),
+                "rows": self.rows, "cols": self.cols}
+
+    def __repr__(self):
+        return (f"Design({self.name}: {self.rows}x{self.cols}, "
+                f"CM total {self.total_words})")
+
+
+# ----------------------------------------------------------------------
+# Symmetry
+# ----------------------------------------------------------------------
+def _transforms(rows, cols):
+    """Index permutations of the LSU-preserving automorphism group.
+
+    Column rotations and reflections (the dihedral group of the
+    column ring) composed with the row reflection ``r -> 1 - r`` —
+    every one fixes the "top two rows" LSU set, so two assignments
+    related by one are the same machine with the tiles renumbered.
+    """
+    maps = []
+    for flip_rows in (False, True):
+        for shift in range(cols):
+            for mirror in (False, True):
+                mapping = []
+                for index in range(rows * cols):
+                    row, col = divmod(index, cols)
+                    if flip_rows:
+                        row = (1 - row) % rows
+                    col = (col + shift) % cols
+                    if mirror:
+                        col = cols - 1 - col
+                    mapping.append(row * cols + col)
+                maps.append(tuple(mapping))
+    return sorted(set(maps))
+
+
+def canonical_depths(depths, rows=DEFAULT_ROWS, cols=DEFAULT_COLS):
+    """Lexicographically smallest symmetric image of ``depths``."""
+    depths = tuple(depths)
+    return min(tuple(depths[i] for i in mapping)
+               for mapping in _transforms(rows, cols))
+
+
+def dedupe_designs(designs):
+    """First-wins dedup by canonical key (symmetry-aware)."""
+    seen = set()
+    unique = []
+    for design in designs:
+        key = design.canonical_key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(design)
+    return unique
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def _sorted_depths(depths):
+    try:
+        cleaned = sorted(set(int(d) for d in depths))
+    except (TypeError, ValueError):
+        raise ReproError(f"CM depths must be positive integers, "
+                         f"got {list(depths)!r}") from None
+    if not cleaned or any(d < 1 for d in cleaned):
+        raise ReproError(f"CM depths must be positive integers, "
+                         f"got {list(depths)!r}")
+    return tuple(cleaned)
+
+
+def _shape_tag(rows, cols):
+    """Name suffix for non-default array shapes.
+
+    A 2x2 ``hom64`` and the paper's 4x4 ``hom64`` are different
+    machines; results are keyed by design name, so the names must
+    differ too (mixing ``--rows/--cols`` generators with ``table1``
+    would otherwise silently alias them).
+    """
+    if (rows, cols) == (DEFAULT_ROWS, DEFAULT_COLS):
+        return ""
+    return f"@{rows}x{cols}"
+
+
+def homogeneous_designs(depths=DEPTH_LADDER, rows=DEFAULT_ROWS,
+                        cols=DEFAULT_COLS):
+    """The HOM ladder: every tile at the same depth, one per rung."""
+    tag = _shape_tag(rows, cols)
+    return [Design(f"hom{depth}{tag}", (depth,) * (rows * cols),
+                   rows, cols)
+            for depth in _sorted_depths(depths)]
+
+
+def table1_designs():
+    """The paper's Table I configurations as first-class designs."""
+    return [Design(name.lower(),
+                   tuple(pe.cm_depth for pe in cgra.tiles))
+            for name, cgra in CGRA_CONFIGS.items()]
+
+
+def row_banded_designs(depths=DEPTH_LADDER, rows=DEFAULT_ROWS,
+                       cols=DEFAULT_COLS):
+    """Every per-row depth assignment, deduped by symmetry.
+
+    Rows are *not* interchangeable (the top two carry the LSUs), so
+    this space is nearly the full ``|depths| ** rows`` product — only
+    the row reflection folds assignments together.
+    """
+    depths = _sorted_depths(depths)
+    tag = _shape_tag(rows, cols)
+    designs = []
+    for bands in itertools.product(depths, repeat=rows):
+        flat = tuple(depth for depth in bands for _ in range(cols))
+        name = "row" + "-".join(str(d) for d in bands) + tag
+        designs.append(Design(name, flat, rows, cols))
+    return dedupe_designs(designs)
+
+
+def column_banded_designs(depths=DEPTH_LADDER, rows=DEFAULT_ROWS,
+                          cols=DEFAULT_COLS):
+    """Every per-column depth assignment, deduped by symmetry.
+
+    Columns of the torus *are* interchangeable, so the dihedral
+    symmetry collapses the product hard (necklace counting): the
+    generator enumerates ``|depths| ** cols`` tuples but returns one
+    design per equivalence class.
+    """
+    depths = _sorted_depths(depths)
+    tag = _shape_tag(rows, cols)
+    designs = []
+    for bands in itertools.product(depths, repeat=cols):
+        flat = tuple(bands[index % cols]
+                     for index in range(rows * cols))
+        name = "col" + "-".join(str(d) for d in bands) + tag
+        designs.append(Design(name, flat, rows, cols))
+    return dedupe_designs(designs)
+
+
+def sampled_tile_designs(depths=DEPTH_LADDER, samples=8, seed=0,
+                         rows=DEFAULT_ROWS, cols=DEFAULT_COLS):
+    """Seeded random *per-tile* assignments (the space is too big to
+    enumerate: ``|depths| ** 16`` for the 4x4).  Deterministic for a
+    given ``(depths, samples, seed)``; symmetric duplicates are
+    deduped, so fewer than ``samples`` designs may come back.
+    """
+    depths = _sorted_depths(depths)
+    tag = _shape_tag(rows, cols)
+    rng = random.Random(seed)
+    designs = []
+    for index in range(max(0, int(samples))):
+        flat = tuple(rng.choice(depths) for _ in range(rows * cols))
+        designs.append(Design(f"tile{index}{tag}", flat, rows, cols))
+    return dedupe_designs(designs)
+
+
+def build_space(kinds=("ladder", "table1"), depths=None, samples=8,
+                sample_seed=0, rows=None, cols=None):
+    """Materialise one candidate list from named generators.
+
+    ``kinds`` is any subset of :data:`SPACE_KINDS`; the result is the
+    concatenation in the order given, deduped by symmetry across
+    generators (first occurrence keeps its name — include ``table1``
+    first if the paper names matter to you).  ``depths`` feeds the
+    ladder/banded/tiles generators (default :data:`DEPTH_LADDER`);
+    ``rows``/``cols`` scale the array for everything but ``table1``
+    (which is 4x4 by definition).
+    """
+    depths = _sorted_depths(depths) if depths is not None \
+        else DEPTH_LADDER
+    rows = int(rows) if rows is not None else DEFAULT_ROWS
+    cols = int(cols) if cols is not None else DEFAULT_COLS
+    if rows < 1 or cols < 1:
+        raise ReproError(f"array shape must be at least 1x1, "
+                         f"got {rows}x{cols}")
+    designs = []
+    for kind in kinds:
+        if kind == "ladder":
+            designs += homogeneous_designs(depths, rows, cols)
+        elif kind == "table1":
+            designs += table1_designs()
+        elif kind == "rowband":
+            designs += row_banded_designs(depths, rows, cols)
+        elif kind == "colband":
+            designs += column_banded_designs(depths, rows, cols)
+        elif kind == "tiles":
+            designs += sampled_tile_designs(depths, samples,
+                                            sample_seed, rows, cols)
+        else:
+            raise ReproError(
+                f"unknown design space {kind!r}; choose from "
+                f"{', '.join(SPACE_KINDS)}")
+    if not designs:
+        raise ReproError("the design space is empty (no generators)")
+    designs = dedupe_designs(designs)
+    # Results are keyed by design name downstream; two symmetric-ally
+    # distinct designs sharing one would silently alias.  The shape
+    # tags make this unreachable for the built-in generators — this
+    # guards hand-rolled ones.
+    names = [design.name for design in designs]
+    duplicates = sorted({name for name in names
+                         if names.count(name) > 1})
+    if duplicates:
+        raise ReproError(f"duplicate design names in the space: "
+                         f"{duplicates}")
+    return designs
+
+
+# ----------------------------------------------------------------------
+# Static feasibility (the free mappability probe)
+# ----------------------------------------------------------------------
+_KERNEL_DEMAND = {}
+
+
+def kernel_demand(kernel_name):
+    """``(total ops, memory ops)`` of one kernel, memoised."""
+    demand = _KERNEL_DEMAND.get(kernel_name)
+    if demand is None:
+        from repro.ir.opcodes import is_memory
+        from repro.kernels import get_kernel
+
+        kernel = get_kernel(kernel_name)
+        memory_ops = sum(1 for block in kernel.cdfg.blocks.values()
+                         for op in block.dfg.ops
+                         if is_memory(op.opcode))
+        demand = (kernel.cdfg.n_ops, memory_ops)
+        _KERNEL_DEMAND[kernel_name] = demand
+    return demand
+
+
+def static_unmappable(design, kernel_name):
+    """True when ``kernel`` provably cannot map onto ``design``.
+
+    Necessary-condition check only: every op needs a context word
+    somewhere, every LOAD/STORE needs one on an LSU tile.  A False
+    answer promises nothing — the mapper may still fail — but a True
+    answer is sound, so a search strategy may record the pair as
+    unmapped without paying for the attempt.
+    """
+    ops, memory_ops = kernel_demand(kernel_name)
+    return design.total_words < ops or design.lsu_words < memory_ops
+
+
+# ----------------------------------------------------------------------
+# The minimum-depth ladder (what the DSE example sweeps)
+# ----------------------------------------------------------------------
+def ladder_spec(kernel_name, depth, rows=DEFAULT_ROWS,
+                cols=DEFAULT_COLS):
+    """One rung of the minimum-depth ladder, exactly as the example
+    has always built it: homogeneous depth, full flow, a slightly
+    shortened attempt budget (the ladder asks "does it map at all",
+    not "find the best mapping ever")."""
+    return PointSpec(kernel_name, f"HOM{depth}", "full",
+                     options=FlowOptions.aware(max_attempts=10),
+                     cm_depths=(depth,) * (rows * cols))
+
+
+def ladder_grid_specs(kernels, depths=DEPTH_LADDER):
+    """The full depth x kernel grid (the shardable prewarm unit)."""
+    return [ladder_spec(kernel, depth)
+            for depth in depths for kernel in kernels]

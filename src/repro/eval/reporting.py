@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.kernels.suite import display_name
 
 
@@ -155,3 +157,48 @@ def render_table2(table):
         f"aware vs CPU:   avg {avg_cpu:.1f}x gain "
         f"(paper: 14x avg, 23x max, 5x min)")
     return f"Table II — energy consumption in uJ\n{table_text}\n{summary}"
+
+
+def render_exploration(payload):
+    """Human-readable view of one exploration document.
+
+    Renders from the JSON payload (not the live result object), so
+    the CLI table and a remotely fetched ``POST /v1/explorations``
+    result print identically.
+    """
+    objectives = payload["objectives"]
+    summary = payload["summary"]
+    rows = []
+    for design in payload["designs"]:
+        metrics = design["metrics"]
+        cells = [design["name"], str(design["total_words"])]
+        for objective in objectives:
+            value = metrics[objective]
+            if not math.isfinite(value):
+                cells.append("-")
+            elif objective == "mappability":
+                cells.append(f"{value:.0%}")
+            elif objective == "latency":
+                cells.append(f"{value:.0f}")
+            else:
+                cells.append(f"{value:.4f}")
+        marks = []
+        if design["frontier"]:
+            marks.append("frontier")
+        elif not design["complete"]:
+            marks.append("pruned")
+        cells.append(" ".join(marks))
+        rows.append(cells)
+    table = render_table(
+        ["design", "CM words"] + list(objectives) + [""], rows)
+    head = (f"Exploration — {summary['designs']} designs x "
+            f"{len(payload['kernels'])} kernels "
+            f"({payload['strategy']} strategy): "
+            f"{summary['evaluated_pairs']} points evaluated "
+            f"({summary['cache_hits']} cached, "
+            f"{summary['computed']} computed) in "
+            f"{summary['elapsed_seconds']:.1f}s")
+    front = ", ".join(payload["frontier"]) or "(empty)"
+    tail = (f"frontier ({summary['frontier_size']}): {front}\n"
+            f"hypervolume: {summary['hypervolume']:.6f}")
+    return f"{head}\n{table}\n{tail}"

@@ -55,7 +55,9 @@ ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 
 #: Bump when the on-disk payload layout changes incompatibly.
 #: Format 2: ExperimentPoint grew an explicit ``mapped`` override.
-CACHE_FORMAT = 2
+#: Format 3: PointSpec grew ``rows``/``cols`` (array-shape scaling
+#: for design-space exploration) — the fields join the key payload.
+CACHE_FORMAT = 3
 
 _SUFFIX = ".pkl"
 
@@ -122,6 +124,8 @@ def spec_payload(spec):
         "seed": spec.seed,
         "cm_depths": (list(spec.cm_depths)
                       if spec.cm_depths is not None else None),
+        "rows": spec.rows,
+        "cols": spec.cols,
     }
 
 
@@ -231,6 +235,15 @@ class ResultCache:
     # ------------------------------------------------------------------
     def get_point(self, spec):
         return self.get(point_key(spec))
+
+    def has_point(self, spec):
+        """Whether a completed entry exists for ``spec``.
+
+        A bare existence check (one ``stat``, no unpickling, no
+        hit/miss accounting) — cheap enough to probe thousands of
+        specs, which is what cache-aware shard balancing does.
+        """
+        return self.path_for(point_key(spec)).exists()
 
     def store_point(self, spec, point):
         return self.put(point_key(spec), point)

@@ -49,7 +49,14 @@ from repro.runtime.cache import point_key, spec_payload
 from repro.runtime.sweep import ExperimentPoint, PointSpec, SweepResult
 
 #: Bump when the JSON sweep-result payload layout changes.
-SWEEP_JSON_SCHEMA = 1
+#: Schema 2: spec dicts carry ``rows``/``cols`` (array-shape scaling).
+SWEEP_JSON_SCHEMA = 2
+
+#: Cost multiplier for already-cached specs under cache-aware
+#: balancing: near zero (a hit is one unpickle), but not exactly zero
+#: so warm specs still spread across shards instead of all landing on
+#: whichever shard the greedy heap happens to favour.
+CACHED_COST_SCALE = 1e-6
 
 #: Relative compile-cost weight per flow variant (Fig 9's shape: the
 #: full context-aware flow costs ~1.8x the basic flow).
@@ -108,7 +115,7 @@ def _check_shard(index, total):
             f"shard index must be in [0, {total}), got {index}")
 
 
-def shard_indices(specs, index, total):
+def shard_indices(specs, index, total, cache=None):
     """Positions (into ``specs``) owned by shard ``index`` of ``total``.
 
     The canonical ordering sorts by descending estimated cost with
@@ -116,10 +123,25 @@ def shard_indices(specs, index, total):
     spec alone, so the assignment is invariant under re-ordering of
     the input.  Greedy longest-first assignment to the lightest shard
     (ties to the lowest shard index) balances the load.
+
+    ``cache`` (a :class:`~repro.runtime.cache.ResultCache`) makes the
+    balancing *cache-aware*: specs whose result is already cached are
+    charged :data:`CACHED_COST_SCALE` of their cost, so on a warm
+    re-run the *residual* (uncached) work splits evenly instead of
+    some shards drawing all the cache hits and others all the cold
+    mapping.  The partition contract is unchanged — shards stay
+    disjoint and union-complete — but the assignment is now a
+    function of (spec multiset, cache state): every cooperating shard
+    producer must see the same cache (the shared ``$REPRO_CACHE_DIR``
+    this mode exists for), or their shards may overlap or leave gaps.
     """
     _check_shard(index, total)
     resolved = [spec.resolve() for spec in specs]
     costs = [estimated_cost(spec) for spec in resolved]
+    if cache is not None:
+        costs = [cost * CACHED_COST_SCALE
+                 if cache.has_point(spec) else cost
+                 for spec, cost in zip(resolved, costs)]
     order = sorted(range(len(resolved)),
                    key=lambda i: (-costs[i], point_key(resolved[i])))
     loads = [(0.0, shard) for shard in range(total)]
@@ -133,13 +155,16 @@ def shard_indices(specs, index, total):
     return sorted(mine)
 
 
-def shard_specs(specs, index, total):
+def shard_specs(specs, index, total, cache=None):
     """Shard ``index`` of ``total``: a disjoint, order-stable slice.
 
     For any spec list and any ``total``, the ``total`` shards
     partition the list: pairwise disjoint, union exactly the input.
+    ``cache`` opts in to cache-aware balancing (see
+    :func:`shard_indices`).
     """
-    return [specs[i] for i in shard_indices(specs, index, total)]
+    return [specs[i]
+            for i in shard_indices(specs, index, total, cache=cache)]
 
 
 # ----------------------------------------------------------------------
@@ -182,6 +207,7 @@ def spec_from_json(data):
         options=FlowOptions(**options) if options is not None else None,
         seed=data["seed"],
         cm_depths=tuple(cm_depths) if cm_depths is not None else None,
+        rows=data.get("rows"), cols=data.get("cols"),
     ).resolve()
 
 

@@ -26,7 +26,13 @@ import time
 
 import numpy as np
 
-from repro.arch.configs import get_config, make_cgra
+from repro.arch.configs import (
+    COLS as DEFAULT_COLS,
+    ROWS as DEFAULT_ROWS,
+    default_lsu_tiles,
+    get_config,
+    make_cgra,
+)
 from repro.codegen.assembler import assemble
 from repro.errors import ReproError, UnmappableError
 from repro.kernels import PAPER_KERNEL_ORDER, get_kernel
@@ -96,7 +102,10 @@ class PointSpec:
     custom homogeneous/heterogeneous array via
     :func:`~repro.arch.configs.make_cgra` instead of looking the
     configuration name up in Table I — the design-space-exploration
-    path.
+    path.  ``rows``/``cols`` scale the array shape along with it
+    (``None`` means the paper's 4x4); load-store tiles follow the
+    paper's convention — the top (up to) two rows — via
+    :func:`~repro.arch.configs.default_lsu_tiles`.
     """
 
     kernel_name: str
@@ -105,6 +114,8 @@ class PointSpec:
     options: FlowOptions = None
     seed: int = DEFAULT_SEED
     cm_depths: tuple = None
+    rows: int = None
+    cols: int = None
 
     def resolve(self):
         """Canonical spec: concrete FlowOptions, upper-case config.
@@ -126,12 +137,34 @@ class PointSpec:
             # but would make the frozen spec unhashable.
             resolved = dataclasses.replace(
                 resolved, cm_depths=tuple(resolved.cm_depths))
+        if resolved.cm_depths is not None:
+            # Pin the array shape so "rows left at the default" and
+            # "rows=4 written out" hash to the same computation.
+            rows = (resolved.rows if resolved.rows is not None
+                    else DEFAULT_ROWS)
+            cols = (resolved.cols if resolved.cols is not None
+                    else DEFAULT_COLS)
+            if rows * cols != len(resolved.cm_depths):
+                raise ReproError(
+                    f"{self.describe()}: {rows}x{cols} array needs "
+                    f"{rows * cols} CM depths, got "
+                    f"{len(resolved.cm_depths)}")
+            if (rows, cols) != (resolved.rows, resolved.cols):
+                resolved = dataclasses.replace(resolved, rows=rows,
+                                               cols=cols)
+        elif resolved.rows is not None or resolved.cols is not None:
+            raise ReproError(
+                f"{self.describe()}: rows/cols scaling requires "
+                f"cm_depths (Table I configs are 4x4 by definition)")
         return resolved
 
     def build_cgra(self):
         if self.cm_depths is not None:
-            return make_cgra(self.config_name,
-                             cm_depths=list(self.cm_depths))
+            rows = self.rows if self.rows is not None else DEFAULT_ROWS
+            cols = self.cols if self.cols is not None else DEFAULT_COLS
+            return make_cgra(self.config_name, rows=rows, cols=cols,
+                             cm_depths=list(self.cm_depths),
+                             lsu_tiles=default_lsu_tiles(rows, cols))
         return get_config(self.config_name)
 
     def describe(self):

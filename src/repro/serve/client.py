@@ -127,6 +127,24 @@ class SweepClient:
         """POST one sweep request; returns the submission receipt."""
         return self._json("/v1/sweeps", body=request)
 
+    def submit_exploration(self, request):
+        """POST one exploration request (see ``repro.dse``)."""
+        return self._json("/v1/explorations", body=request)
+
+    def explorations(self):
+        return self._json("/v1/explorations")["jobs"]
+
+    def run_exploration(self, request, progress=None):
+        """Submit an exploration, stream it, return its document.
+
+        Rides :meth:`follow` unchanged — exploration jobs stream
+        through the same record log as sweeps; the receipt's
+        ``points`` is the exhaustive-grid upper bound, so the stream
+        may (deliberately) end before ``done == total``.
+        """
+        return self.follow(self.submit_exploration(request),
+                           progress=progress)
+
     def status(self, job_id):
         return self._json(f"/v1/sweeps/{job_id}")
 

@@ -18,6 +18,21 @@ outcomes persist to the shared :class:`ResultCache`.  A finished
 job's ``payload`` is exactly a ``sweep/figure --json`` payload, so
 anything the service computes can be merged offline with
 ``repro merge`` — the service is a transport, not a new format.
+
+Two kinds of job share that machinery.  A *sweep* job
+(:class:`SweepRequest`) is a fixed spec list; an *exploration* job
+(:class:`ExplorationRequest`, ``POST /v1/explorations``) runs a
+:mod:`repro.dse` search whose strategy decides point by point what to
+evaluate — its record stream carries the points in evaluation order,
+and its final payload is the exploration document
+(:meth:`~repro.dse.runner.ExplorationResult.payload`) instead of a
+mergeable sweep payload.
+
+The manager is bounded for long-lived servers: finished jobs beyond
+``max_finished_jobs``, or older than ``finished_ttl_seconds``, are
+evicted (oldest-finished first) on every submission and listing;
+the listing endpoints report how many were dropped.  Queued and
+running jobs are never evicted.
 """
 
 from __future__ import annotations
@@ -46,6 +61,12 @@ QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
 #: States a job can never leave.
 TERMINAL = (DONE, FAILED)
 
+#: Default retention of finished jobs (count and age).  Bounded by
+#: default: an unbounded job table on a long-lived server is a slow
+#: memory leak, one payload per sweep ever submitted.
+DEFAULT_MAX_FINISHED_JOBS = 64
+DEFAULT_FINISHED_TTL_SECONDS = 6 * 3600.0
+
 
 class RequestError(ReproError):
     """A malformed or invalid sweep submission (HTTP 400)."""
@@ -65,6 +86,8 @@ class SweepRequest:
     by *other* servers — the distributed-dispatch contract.
     """
 
+    kind = "sweep"
+
     def __init__(self, full_specs, shard=None, label="sweep"):
         if not full_specs:
             raise RequestError("request resolves to zero specs")
@@ -81,6 +104,89 @@ class SweepRequest:
     @property
     def spec_total(self):
         return len(self.full_specs)
+
+
+class ExplorationRequest:
+    """A validated ``POST /v1/explorations`` submission.
+
+    Wraps one :class:`~repro.dse.runner.ExplorationConfig`.  The
+    ``specs`` it advertises are the exhaustive design x kernel grid —
+    an *upper bound* on what the strategy will actually evaluate, so
+    status snapshots and stream consumers know the most points they
+    could see; streams simply end earlier when the strategy prunes
+    (completion is "the stream closed", exactly as for sweeps).
+    """
+
+    kind = "exploration"
+
+    def __init__(self, config):
+        from repro.dse.runner import exploration_grid_specs
+
+        self.config = config
+        self.full_specs = [spec.resolve()
+                           for spec in exploration_grid_specs(config)]
+        if not self.full_specs:
+            raise RequestError("exploration resolves to zero points")
+        self.shard = None
+        self.label = f"explore:{config.strategy}"
+        self.positions = list(range(len(self.full_specs)))
+        self.specs = self.full_specs
+        self.fingerprint = sweep_fingerprint(self.full_specs)
+
+    @property
+    def spec_total(self):
+        return len(self.full_specs)
+
+
+#: ``POST /v1/explorations`` body keys (all optional).
+EXPLORATION_KEYS = ("space", "depths", "samples", "kernels", "variant",
+                    "strategy", "budget", "seed", "objectives", "rows",
+                    "cols")
+
+
+def resolve_exploration_request(body):
+    """Parse one ``POST /v1/explorations`` JSON body.
+
+    Every field is optional — ``{}`` explicitly requests the default
+    exploration (ladder + Table I space, all kernels, exhaustive) —
+    and every axis is validated by the same
+    :func:`~repro.dse.runner.validated_exploration_config` the CLI
+    uses, so a typo fails identically through either door.
+    """
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    unknown = set(body) - set(EXPLORATION_KEYS)
+    if unknown:
+        raise RequestError(
+            f"unknown request keys {sorted(unknown)}; expected "
+            f"{', '.join(EXPLORATION_KEYS)}")
+    for key in ("space", "depths", "kernels", "objectives"):
+        value = body.get(key)
+        if value is not None and not isinstance(value, (list, tuple)):
+            raise RequestError(
+                f"{key!r} must be a list, got {value!r}")
+    for key in ("samples", "budget", "seed", "rows", "cols"):
+        value = body.get(key)
+        if value is not None and (not isinstance(value, int)
+                                  or isinstance(value, bool)):
+            raise RequestError(
+                f"{key!r} must be an integer, got {value!r}")
+    from repro.dse.runner import validated_exploration_config
+
+    try:
+        config = validated_exploration_config(
+            space=body.get("space"), depths=body.get("depths"),
+            samples=body.get("samples"), kernels=body.get("kernels"),
+            variant=body.get("variant"), strategy=body.get("strategy"),
+            budget=body.get("budget"), seed=body.get("seed"),
+            objectives=body.get("objectives"), rows=body.get("rows"),
+            cols=body.get("cols"))
+    except RequestError:
+        raise
+    except (ReproError, TypeError, ValueError) as error:
+        # Axis typos and malformed values are user input, hence 400.
+        raise RequestError(str(error)) from None
+    return ExplorationRequest(config)
 
 
 def _string_list(body, key):
@@ -285,6 +391,7 @@ class SweepJob:
             return {
                 "id": self.id,
                 "status": self.status,
+                "kind": self.request.kind,
                 "label": self.request.label,
                 "shard": ({"index": self.request.shard[0],
                            "total": self.request.shard[1]}
@@ -348,9 +455,16 @@ class JobManager:
     process pool — "queued" in a status response is literal.
     """
 
-    def __init__(self, workers=1, cache=None):
+    def __init__(self, workers=1, cache=None,
+                 max_finished_jobs=DEFAULT_MAX_FINISHED_JOBS,
+                 finished_ttl_seconds=DEFAULT_FINISHED_TTL_SECONDS):
         self.workers = max(1, int(workers))
         self.cache = cache
+        # Retention policy for terminal jobs; ``None`` disables the
+        # corresponding bound.  Queued/running jobs never evict.
+        self.max_finished_jobs = max_finished_jobs
+        self.finished_ttl_seconds = finished_ttl_seconds
+        self.evicted = 0
         # The server is multithreaded (HTTP handlers + this runner),
         # so worker processes must never plain-fork: a child forked
         # while another thread holds a lock inherits it locked and
@@ -379,8 +493,12 @@ class JobManager:
     # Submission / lookup
     # ------------------------------------------------------------------
     def submit_request(self, body):
-        """Validate one POST body and enqueue its job."""
+        """Validate one POST body and enqueue its sweep job."""
         return self.submit(resolve_request(body))
+
+    def submit_exploration_request(self, body):
+        """Validate one POST body and enqueue its exploration job."""
+        return self.submit(resolve_exploration_request(body))
 
     def submit(self, request):
         job_id = f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}"
@@ -388,6 +506,7 @@ class JobManager:
         with self._lock:
             if self._closed:
                 raise ReproError("job manager is shut down")
+            self._evict_locked()
             self.jobs[job_id] = job
             self._queue.append(job)
             self._lock.notify_all()
@@ -396,19 +515,56 @@ class JobManager:
     def get(self, job_id):
         job = self.jobs.get(job_id)
         if job is None:
-            raise UnknownJobError(f"no such sweep job: {job_id!r}")
+            raise UnknownJobError(
+                f"no such sweep job: {job_id!r} (never submitted, or "
+                f"finished and already evicted)")
         return job
 
-    def list_jobs(self):
-        """Snapshots in submission order (oldest first)."""
-        return [job.snapshot() for job in list(self.jobs.values())]
+    def list_jobs(self, kind=None):
+        """Snapshots in submission order (oldest first).
+
+        ``kind`` filters to one job kind (``"sweep"`` /
+        ``"exploration"``); listing also sweeps the retention policy,
+        so a long-lived server's job table stays bounded even if
+        nobody submits.
+        """
+        with self._lock:
+            self._evict_locked()
+            jobs = list(self.jobs.values())
+        return [job.snapshot() for job in jobs
+                if kind is None or job.request.kind == kind]
 
     def counts(self):
-        """``{status: count}`` over every job ever submitted."""
+        """``{status: count}`` over the retained jobs."""
         totals = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
         for job in list(self.jobs.values()):
             totals[job.status] += 1
         return totals
+
+    def _evict_locked(self):
+        """Apply the retention policy (caller holds ``_lock``).
+
+        TTL first (a finished job older than the TTL goes regardless
+        of count), then the count bound, oldest-finished first.
+        """
+        terminal = [job for job in self.jobs.values()
+                    if job.is_terminal]
+        drop = []
+        if self.finished_ttl_seconds is not None:
+            horizon = time.time() - self.finished_ttl_seconds
+            drop = [job for job in terminal
+                    if job.finished is not None
+                    and job.finished < horizon]
+        if self.max_finished_jobs is not None:
+            kept = [job for job in terminal if job not in drop]
+            excess = len(kept) - self.max_finished_jobs
+            if excess > 0:
+                kept.sort(key=lambda job: (job.finished or 0.0,
+                                           job.id))
+                drop += kept[:excess]
+        for job in drop:
+            del self.jobs[job.id]
+        self.evicted += len(drop)
 
     # ------------------------------------------------------------------
     # Execution
@@ -424,6 +580,37 @@ class JobManager:
             self._execute(job)
 
     def _execute(self, job):
+        if job.request.kind == "exploration":
+            return self._execute_exploration(job)
+        return self._execute_sweep(job)
+
+    def _execute_exploration(self, job):
+        """Run one :mod:`repro.dse` search as a job.
+
+        Landed points stream in evaluation order (their ``pos`` is
+        the landing index — an exploration has no "full sweep" to
+        position against); the finished payload is the exploration
+        document, not a mergeable sweep payload.
+        """
+        from repro.dse.runner import run_exploration
+
+        job.mark_running()
+        try:
+            landed = itertools.count()
+
+            def observe(update):
+                job.add_update(update, [next(landed)])
+
+            result = run_exploration(
+                job.request.config, workers=self.workers,
+                cache=self.cache, progress=observe,
+                mp_context=self._mp_context)
+            job.finish(result.payload())
+        except Exception as error:  # noqa: BLE001 — a job must never
+            # kill the runner thread; the failure is the job's result.
+            job.fail(f"{type(error).__name__}: {error}")
+
+    def _execute_sweep(self, job):
         from repro.runtime.stream import stream_specs
 
         job.mark_running()

@@ -5,16 +5,22 @@ A :class:`ThreadingHTTPServer` exposing the sweep runtime:
 - ``POST /v1/sweeps`` — submit a sweep (axes, explicit specs, a
   figure name, optionally one ``shard i/N`` slice); returns ``202``
   with the job id and its stream URL.
-- ``GET /v1/sweeps`` — every job's status snapshot.
+- ``POST /v1/explorations`` — submit a design-space exploration
+  (space/depths/kernels/strategy/budget/objectives — see
+  :mod:`repro.dse`); same ``202`` receipt shape.
+- ``GET /v1/sweeps`` / ``GET /v1/explorations`` — status snapshots
+  of that kind's jobs, plus how many finished jobs the retention
+  policy has evicted.
 - ``GET /v1/sweeps/{id}`` — one job: queued/running/done/failed,
-  points landed, cache hits — plus the full mergeable JSON payload
-  once done.
+  points landed, cache hits — plus the full JSON payload once done
+  (mergeable sweep payload, or the exploration document).  Job ids
+  are unique across kinds and either path resolves either kind.
 - ``GET /v1/sweeps/{id}/stream`` — NDJSON, one landed point per line
   (``pos``/``spec``/``point``/``from_cache``) as workers finish,
   cache hits first; the connection closes when the job ends.
 - ``GET /v1/cache/stats`` — the shared :class:`ResultCache` counters.
 - ``GET /v1/figures`` — servable figure names with point counts.
-- ``GET /healthz`` — liveness plus job-state totals.
+- ``GET /healthz`` — liveness plus job-state totals and evictions.
 
 Responses are JSON; errors are ``{"error": ...}`` with the matching
 status code (400 bad submission, 404 unknown job/route).  The server
@@ -63,14 +69,22 @@ class SweepServer(ThreadingHTTPServer):
 
 
 def make_server(host="127.0.0.1", port=0, workers=1, cache=None,
-                quiet=False):
+                quiet=False, max_finished_jobs=None,
+                finished_ttl_seconds=None):
     """Build a ready-to-serve :class:`SweepServer`.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address``) — what the tests and any
-    port-allocating supervisor use.
+    port-allocating supervisor use.  ``max_finished_jobs`` /
+    ``finished_ttl_seconds`` override the manager's retention policy
+    (``None`` keeps the bounded defaults).
     """
-    manager = JobManager(workers=workers, cache=cache)
+    retention = {}
+    if max_finished_jobs is not None:
+        retention["max_finished_jobs"] = max_finished_jobs
+    if finished_ttl_seconds is not None:
+        retention["finished_ttl_seconds"] = finished_ttl_seconds
+    manager = JobManager(workers=workers, cache=cache, **retention)
     try:
         return SweepServer((host, port), manager, quiet=quiet)
     except BaseException:
@@ -156,12 +170,15 @@ class SweepHandler(BaseHTTPRequestHandler):
             if path == "/v1/figures":
                 return self._get_figures()
             if path == "/v1/sweeps":
-                return self._send_json(
-                    {"jobs": self.server.manager.list_jobs()})
+                return self._list_jobs("sweep")
+            if path == "/v1/explorations":
+                return self._list_jobs("exploration")
             parts = path.split("/")
-            if len(parts) == 4 and parts[1:3] == ["v1", "sweeps"]:
+            if len(parts) == 4 and parts[1] == "v1" \
+                    and parts[2] in ("sweeps", "explorations"):
                 return self._get_job(parts[3])
-            if len(parts) == 5 and parts[1:3] == ["v1", "sweeps"] \
+            if len(parts) == 5 and parts[1] == "v1" \
+                    and parts[2] in ("sweeps", "explorations") \
                     and parts[4] == "stream":
                 return self._stream_job(parts[3])
             return self._send_error_json(
@@ -180,6 +197,8 @@ class SweepHandler(BaseHTTPRequestHandler):
         try:
             if path == "/v1/sweeps":
                 return self._post_sweep()
+            if path == "/v1/explorations":
+                return self._post_exploration()
             return self._send_error_json(
                 404, f"no such endpoint: POST {path}")
         except RequestError as error:
@@ -207,6 +226,14 @@ class SweepHandler(BaseHTTPRequestHandler):
             "workers": manager.workers,
             "cache": manager.cache is not None,
             "jobs": manager.counts(),
+            "evicted": manager.evicted,
+        })
+
+    def _list_jobs(self, kind):
+        manager = self.server.manager
+        self._send_json({
+            "jobs": manager.list_jobs(kind=kind),
+            "evicted": manager.evicted,
         })
 
     def _get_cache_stats(self):
@@ -221,12 +248,21 @@ class SweepHandler(BaseHTTPRequestHandler):
 
     def _post_sweep(self):
         job = self.server.manager.submit_request(self._read_body())
+        self._send_receipt(job, "sweeps")
+
+    def _post_exploration(self):
+        job = self.server.manager.submit_exploration_request(
+            self._read_body())
+        self._send_receipt(job, "explorations")
+
+    def _send_receipt(self, job, collection):
         # The receipt IS a status snapshot (plus navigation), so the
-        # 202 body and GET /v1/sweeps/{id} can never drift apart.
+        # 202 body and GET /v1/{collection}/{id} can never drift
+        # apart.
         self._send_json({
             **job.snapshot(),
-            "url": f"/v1/sweeps/{job.id}",
-            "stream": f"/v1/sweeps/{job.id}/stream",
+            "url": f"/v1/{collection}/{job.id}",
+            "stream": f"/v1/{collection}/{job.id}/stream",
         }, status=202)
 
     def _get_job(self, job_id):

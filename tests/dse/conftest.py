@@ -1,0 +1,54 @@
+"""Shared fixtures for the DSE test suite.
+
+``fake_compute`` swaps the worker entry point for a deterministic
+microsecond-scale stand-in (the same seam every runtime suite
+patches; the serial ``workers=1`` path looks the attribute up on the
+module, so the patch reaches everything the exploration engine
+runs).  The fake is *capacity-aware*: a design whose total CM words
+sit below a kernel-sized threshold reports ``context overflow``, so
+mappability, static-prune interplay and frontier shapes are all
+exercised without paying for real mapping.
+"""
+
+import pytest
+
+from repro.power.energy import EnergyBreakdown
+from repro.runtime.sweep import ExperimentPoint
+
+
+def fake_point(spec):
+    """Deterministic synthetic result for one resolved spec.
+
+    Mappability: the total CM capacity must reach 4x the kernel's
+    name length (an arbitrary but stable stand-in for "bigger
+    kernels need deeper memories").  Energy grows with capacity
+    (leakage), cycles shrink slightly with capacity — so frontiers
+    have genuine energy/latency/area tension.
+    """
+    spec = spec.resolve()
+    if spec.cm_depths is not None:
+        capacity = sum(spec.cm_depths)
+    else:
+        capacity = spec.build_cgra().total_cm_words
+    need = 32 * len(spec.kernel_name)
+    if capacity < need:
+        return ExperimentPoint(
+            spec.kernel_name, spec.config_name, spec.variant,
+            compile_seconds=0.0, error="context overflow")
+    signature = sum(ord(ch) for ch in spec.describe()) % 97
+    cycles = 200 + 40 * len(spec.kernel_name) - capacity // 64
+    return ExperimentPoint(
+        spec.kernel_name, spec.config_name, spec.variant,
+        compile_seconds=0.0, cycles=max(cycles, 50),
+        energy=EnergyBreakdown({"alu": 500.0 + signature,
+                                "cm": 2.0 * capacity}),
+        mapped=True)
+
+
+@pytest.fixture
+def fake_compute(monkeypatch):
+    """Replace the worker entry point with :func:`fake_point`."""
+    from repro.runtime import pool
+
+    monkeypatch.setattr(pool, "_compute_captured", fake_point)
+    return fake_point

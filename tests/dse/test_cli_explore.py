@@ -1,0 +1,117 @@
+"""``repro explore`` end to end (fake pipeline): determinism,
+payload emission, shard prewarm, validation diagnostics."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(["explore", "--quiet", *argv])
+    return code, capsys.readouterr().out
+
+
+def run_json(capsys, *argv):
+    code, out = run_cli(capsys, "--json", *argv)
+    assert code == 0
+    return json.loads(out)
+
+
+SMALL = ("--space", "ladder", "--depths", "8,16,32,64",
+         "--kernels", "fir,fft", "--no-cache")
+
+
+class TestExploreCli:
+    def test_table_output(self, fake_compute, capsys):
+        code, out = run_cli(capsys, *SMALL)
+        assert code == 0
+        assert "frontier" in out
+        assert "hypervolume" in out
+
+    def test_json_document(self, fake_compute, capsys):
+        payload = run_json(capsys, *SMALL)
+        assert payload["kind"] == "exploration"
+        assert payload["frontier"]
+
+    def test_random_seed_determinism(self, fake_compute, capsys):
+        """The ISSUE's check: `--strategy random --seed S` twice
+        yields identical frontiers (and identical design metrics)."""
+        argv = (*SMALL, "--strategy", "random", "--budget", "5",
+                "--seed", "42")
+        first = run_json(capsys, *argv)
+        second = run_json(capsys, *argv)
+        assert first["frontier"] == second["frontier"]
+        strip = [{key: value for key, value in design.items()}
+                 for design in first["designs"]]
+        strip2 = [{key: value for key, value in design.items()}
+                  for design in second["designs"]]
+        assert strip == strip2
+
+    def test_shard_prewarm_emits_mergeable_payload(self, fake_compute,
+                                                   capsys, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        payloads = []
+        for index in range(2):
+            payloads.append(run_json(
+                capsys, "--space", "ladder", "--depths", "8,16",
+                "--kernels", "fir,fft", "--shard", f"{index}/2"))
+        from repro.runtime.shard import merge_sweep_payloads
+        merged = merge_sweep_payloads(payloads)
+        assert len(merged.points) == 4
+        # The prewarm filled the shared cache: the exploration now
+        # resolves entirely from hits.
+        explored = run_json(capsys, "--space", "ladder", "--depths",
+                            "8,16", "--kernels", "fir,fft")
+        assert explored["summary"]["computed"] == 0
+        assert explored["summary"]["cache_hits"] == 4
+
+    @pytest.mark.parametrize("argv, diagnostic", [
+        (("--strategy", "warp"), "unknown search strategy"),
+        (("--objectives", "energy,karma"), "unknown objectives"),
+        (("--kernels", "warp"), "unknown kernels"),
+        (("--space", "warp"), "unknown design space"),
+        (("--budget", "0"), "budget"),
+        (("--depths", "8,"), "comma-separated integers"),
+        (("--depths", "8,x"), "comma-separated integers"),
+        (("--depths", "0,8"), "positive"),
+    ])
+    def test_validation_diagnostics(self, fake_compute, capsys,
+                                    argv, diagnostic):
+        code = main(["explore", "--quiet", "--no-cache", *argv])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert diagnostic in err
+
+    def test_shard_without_durable_output_rejected(self, fake_compute,
+                                                   capsys):
+        code = main(["explore", "--quiet", "--no-cache",
+                     "--shard", "0/2"])
+        assert code == 1
+        assert "discards all results" in capsys.readouterr().err
+
+    def test_cache_balanced_shards_stay_union_complete(
+            self, fake_compute, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        base = ("--space", "ladder", "--depths", "8,16,32,64",
+                "--kernels", "fir,fft")
+        # Cache-aware balancing is only coherent when every producer
+        # sees the same cache state (the documented contract), so
+        # warm the whole grid first; the balanced shards then carve
+        # a stable cache and must still partition the grid.
+        run_json(capsys, *base)
+        payloads = [run_json(capsys, *base, "--shard", f"{index}/2",
+                             "--cache-balanced")
+                    for index in range(2)]
+        from repro.runtime.shard import merge_sweep_payloads
+        merged = merge_sweep_payloads(payloads)
+        assert len(merged.points) == 8
+
+    def test_cache_balanced_requires_the_cache(self, fake_compute,
+                                               capsys):
+        code = main(["explore", "--quiet", "--no-cache", "--json",
+                     "--shard", "0/2", "--cache-balanced"])
+        assert code == 1
+        assert "drop --no-cache" in capsys.readouterr().err

@@ -1,0 +1,100 @@
+"""Objective aggregation and vector orientation."""
+
+import math
+
+import pytest
+
+from repro.dse.objectives import (
+    DEFAULT_OBJECTIVES,
+    design_metrics,
+    metrics_vector,
+    parse_objectives,
+)
+from repro.dse.space import Design
+from repro.errors import ReproError
+from repro.power.area import AreaModel
+from repro.power.energy import EnergyBreakdown
+from repro.runtime.sweep import ExperimentPoint
+
+DESIGN = Design("x", (32,) * 16)
+
+
+def point(kernel, cycles, uj):
+    return ExperimentPoint(kernel, "X", "full", cycles=cycles,
+                           energy=EnergyBreakdown({"alu": uj * 1e6}),
+                           mapped=True)
+
+
+def unmapped(kernel):
+    return ExperimentPoint(kernel, "X", "full",
+                           error="context overflow")
+
+
+class TestDesignMetrics:
+    def test_means_over_mapped_kernels(self):
+        metrics = design_metrics(
+            DESIGN,
+            {"a": point("a", 100, 1.0), "b": point("b", 300, 3.0),
+             "c": unmapped("c")},
+            kernels=("a", "b", "c"))
+        assert metrics["energy"] == pytest.approx(2.0)
+        assert metrics["latency"] == pytest.approx(200.0)
+        assert metrics["mappability"] == pytest.approx(2 / 3)
+
+    def test_unevaluated_counts_as_unmapped(self):
+        metrics = design_metrics(
+            DESIGN, {"a": point("a", 100, 1.0), "b": None},
+            kernels=("a", "b"))
+        assert metrics["mappability"] == pytest.approx(0.5)
+
+    def test_nothing_mapped_is_infinite(self):
+        metrics = design_metrics(DESIGN, {"a": None},
+                                 kernels=("a",))
+        assert math.isinf(metrics["energy"])
+        assert math.isinf(metrics["latency"])
+        assert metrics["mappability"] == 0.0
+
+    def test_cm_area_matches_the_area_model(self):
+        metrics = design_metrics(DESIGN, {"a": None}, kernels=("a",))
+        expected = AreaModel().cgra_breakdown(
+            DESIGN.build_cgra())["context_memory"]
+        assert metrics["cm_area"] == pytest.approx(expected)
+
+    def test_empty_kernel_set_rejected(self):
+        with pytest.raises(ReproError):
+            design_metrics(DESIGN, {}, kernels=())
+
+
+class TestVector:
+    def test_maximised_objectives_flip(self):
+        metrics = {"energy": 2.0, "latency": 100.0, "cm_area": 0.5,
+                   "mappability": 0.75}
+        assert metrics_vector(metrics) == (2.0, 100.0, 0.5, 0.25)
+
+    def test_subset_follows_the_parsed_order(self):
+        metrics = {"energy": 2.0, "latency": 100.0, "cm_area": 0.5,
+                   "mappability": 0.75}
+        objectives = parse_objectives(("cm_area", "energy"))
+        assert objectives == ("energy", "cm_area")
+        assert metrics_vector(metrics, objectives) == (2.0, 0.5)
+
+
+class TestParse:
+    def test_default(self):
+        assert parse_objectives(None) == DEFAULT_OBJECTIVES
+
+    def test_order_is_canonicalised(self):
+        assert parse_objectives(("latency", "energy")) \
+            == ("energy", "latency")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError, match="unknown objectives"):
+            parse_objectives(("energy", "karma"))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            parse_objectives(("energy", "energy"))
+
+    def test_single_objective_rejected(self):
+        with pytest.raises(ReproError, match="at least two"):
+            parse_objectives(("energy",))

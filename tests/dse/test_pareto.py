@@ -1,0 +1,165 @@
+"""Property tests for Pareto dominance, frontiers and hypervolume.
+
+The frontier contract (the ISSUE's three laws) is tested for *any*
+vector set Hypothesis can dream up:
+
+- no frontier point dominates another frontier point;
+- every non-frontier point is dominated by some frontier point;
+- the frontier is invariant under permutation of the input.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.pareto import (
+    dominates,
+    hypervolume,
+    pareto_front,
+    pareto_indices,
+    reference_point,
+)
+from repro.errors import ReproError
+
+COORDS = st.one_of(
+    st.integers(-50, 50).map(float),
+    st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+    st.just(math.inf),
+)
+
+
+def vector_lists(dims=None):
+    dim = st.shared(st.integers(1, 4), key="dims") if dims is None \
+        else st.just(dims)
+    return dim.flatmap(lambda d: st.lists(
+        st.tuples(*[COORDS] * d), min_size=1, max_size=24))
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_infinity_is_beatable(self):
+        assert dominates((1.0, math.inf), (2.0, math.inf))
+        assert not dominates((1.0, math.inf), (2.0, 5.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="objective"):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestFrontier:
+    @settings(max_examples=120, deadline=None)
+    @given(vectors=vector_lists())
+    def test_no_frontier_point_dominates_another(self, vectors):
+        front = [vectors[i] for i in pareto_indices(vectors)]
+        assert front, "a non-empty set always has a frontier"
+        for a in front:
+            for b in front:
+                assert not dominates(a, b)
+
+    @settings(max_examples=120, deadline=None)
+    @given(vectors=vector_lists())
+    def test_every_other_point_is_dominated_by_the_frontier(
+            self, vectors):
+        chosen = set(pareto_indices(vectors))
+        front = [vectors[i] for i in chosen]
+        for i, vector in enumerate(vectors):
+            if i not in chosen:
+                assert any(dominates(f, vector) for f in front)
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data(), vectors=vector_lists())
+    def test_permutation_invariant(self, data, vectors):
+        permuted = data.draw(st.permutations(vectors))
+        original = {vectors[i] for i in pareto_indices(vectors)}
+        shuffled = {permuted[i] for i in pareto_indices(permuted)}
+        assert original == shuffled
+
+    def test_duplicates_of_a_frontier_point_all_survive(self):
+        vectors = [(1.0, 2.0), (1.0, 2.0), (3.0, 3.0)]
+        assert pareto_indices(vectors) == [0, 1]
+
+    def test_nan_rejected(self):
+        with pytest.raises(ReproError, match="NaN"):
+            pareto_indices([(1.0, math.nan)])
+
+    def test_pareto_front_with_key(self):
+        items = [{"v": (2.0, 2.0)}, {"v": (1.0, 1.0)}]
+        assert pareto_front(items, key=lambda x: x["v"]) \
+            == [{"v": (1.0, 1.0)}]
+
+
+class TestReferencePoint:
+    def test_dominated_by_every_finite_vector(self):
+        vectors = [(1.0, 10.0), (5.0, 2.0), (math.inf, 3.0)]
+        reference = reference_point(vectors)
+        for vector in vectors:
+            if all(math.isfinite(v) for v in vector):
+                assert dominates(vector, reference)
+
+    def test_degenerate_axis_still_separates(self):
+        reference = reference_point([(3.0, 5.0), (4.0, 5.0)])
+        assert reference[1] > 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            reference_point([])
+
+
+class TestHypervolume:
+    def test_single_point_box(self):
+        assert hypervolume([(1.0, 1.0)], (3.0, 2.0)) \
+            == pytest.approx(2.0)
+
+    def test_union_not_sum(self):
+        # Two overlapping boxes: union < sum of boxes.
+        volume = hypervolume([(0.0, 1.0), (1.0, 0.0)], (2.0, 2.0))
+        assert volume == pytest.approx(3.0)
+
+    def test_point_outside_the_box_contributes_nothing(self):
+        assert hypervolume([(5.0, 5.0)], (2.0, 2.0)) == 0.0
+        assert hypervolume([(1.0, math.inf)], (2.0, 2.0)) == 0.0
+
+    def test_three_dimensional(self):
+        assert hypervolume([(0.0, 0.0, 0.0)], (2.0, 3.0, 4.0)) \
+            == pytest.approx(24.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data(), vectors=vector_lists())
+    def test_permutation_invariant(self, data, vectors):
+        reference = reference_point(vectors)
+        permuted = data.draw(st.permutations(vectors))
+        assert hypervolume(vectors, reference) \
+            == pytest.approx(hypervolume(permuted, reference))
+
+    @settings(max_examples=80, deadline=None)
+    @given(vectors=vector_lists())
+    def test_dominated_points_add_nothing(self, vectors):
+        reference = reference_point(vectors)
+        front = [vectors[i] for i in pareto_indices(vectors)]
+        assert hypervolume(front, reference) \
+            == pytest.approx(hypervolume(vectors, reference))
+
+    @settings(max_examples=80, deadline=None)
+    @given(vectors=vector_lists())
+    def test_bounded_by_the_reference_box(self, vectors):
+        reference = reference_point(vectors)
+        finite = [v for v in vectors
+                  if all(math.isfinite(x) for x in v)]
+        if not finite:
+            return
+        box = 1.0
+        for d, bound in enumerate(reference):
+            box *= bound - min(v[d] for v in finite)
+        volume = hypervolume(vectors, reference)
+        assert 0.0 <= volume <= box + 1e-9 * abs(box)

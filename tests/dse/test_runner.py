@@ -1,0 +1,165 @@
+"""The exploration engine over the fake pipeline: strategies, budget
+accounting, caching, payload shape, frontier validity."""
+
+import pytest
+
+from repro.dse.pareto import dominates
+from repro.dse.runner import (
+    DSE_JSON_SCHEMA,
+    exploration_grid_specs,
+    run_exploration,
+    validated_exploration_config,
+)
+from repro.errors import ReproError
+from repro.runtime.cache import ResultCache
+
+
+def config(**overrides):
+    base = dict(space=("ladder",), depths=(8, 16, 32, 64),
+                kernels=("fir", "fft"))
+    base.update(overrides)
+    return validated_exploration_config(**base)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(kernels=("warp",)),
+        dict(variant="warp"),
+        dict(strategy="warp"),
+        dict(objectives=("energy", "karma")),
+        dict(budget=0),
+        dict(budget=True),
+        dict(seed="seven"),
+        dict(space=("warp",)),
+    ])
+    def test_bad_axes_rejected(self, bad):
+        with pytest.raises(ReproError):
+            config(**bad)
+
+    def test_defaults(self):
+        cfg = validated_exploration_config()
+        assert cfg.strategy == "exhaustive"
+        assert cfg.variant == "full"
+        names = {design.name for design in cfg.designs}
+        assert {"het1", "het2"} <= names
+
+    def test_payload_seed_replays_the_same_tiles_space(self):
+        # The documented reproduction path: re-submitting an
+        # exploration with the seed its payload records must rebuild
+        # the identical sampled space — including the default seed.
+        first = validated_exploration_config(space=("tiles",))
+        replay = validated_exploration_config(space=("tiles",),
+                                              seed=first.seed)
+        assert [d.cm_depths for d in first.designs] \
+            == [d.cm_depths for d in replay.designs]
+
+    def test_grid_is_design_major(self):
+        cfg = config()
+        specs = exploration_grid_specs(cfg)
+        assert len(specs) == len(cfg.designs) * 2
+        assert specs[0].kernel_name == "fir"
+        assert specs[1].kernel_name == "fft"
+
+
+class TestRun:
+    def test_exhaustive_answers_everything(self, fake_compute):
+        result = run_exploration(config())
+        assert result.spent == len(result.config.designs) * 2
+        assert all(outcome.complete for outcome in result.outcomes)
+        assert result.frontier
+        assert result.hypervolume > 0
+
+    def test_frontier_is_valid(self, fake_compute):
+        result = run_exploration(config())
+        eligible = [o for o in result.outcomes
+                    if o.complete and o.metrics["mappability"] > 0]
+        front = [o for o in eligible if o.frontier]
+        rest = [o for o in eligible if not o.frontier]
+        for a in front:
+            for b in front:
+                assert not dominates(a.vector, b.vector)
+        for outcome in rest:
+            assert any(dominates(f.vector, outcome.vector)
+                       for f in front)
+
+    def test_budget_is_a_hard_cap(self, fake_compute):
+        result = run_exploration(config(budget=3))
+        assert result.spent == 3
+
+    def test_cache_hits_count_against_the_budget(self, fake_compute,
+                                                 tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_exploration(config(budget=5), cache=cache)
+        warm = run_exploration(config(budget=5), cache=cache)
+        assert cold.spent == warm.spent == 5
+        assert warm.computed == 0
+        assert warm.cache_hits == 5
+        assert warm.frontier == cold.frontier
+
+    def test_random_is_seed_deterministic(self, fake_compute):
+        one = run_exploration(config(strategy="random", budget=4,
+                                     seed=11))
+        two = run_exploration(config(strategy="random", budget=4,
+                                     seed=11))
+        other = run_exploration(config(strategy="random", budget=4,
+                                       seed=12))
+        assert one.frontier == two.frontier
+        assert [o.vector for o in one.outcomes] \
+            == [o.vector for o in two.outcomes]
+        # A different seed samples different designs (on this space).
+        assert [o.evaluated for o in one.outcomes] \
+            != [o.evaluated for o in other.outcomes]
+
+    def test_adaptive_skips_static_pairs(self, fake_compute):
+        # depth 1 and 2 rungs are statically unmappable for every
+        # kernel (capacity bound), so adaptive must not pay for them.
+        cfg = config(depths=(1, 2, 8, 16, 32, 64),
+                     strategy="adaptive")
+        result = run_exploration(cfg)
+        by_name = {o.design.name: o for o in result.outcomes}
+        assert by_name["hom1"].evaluated == 0
+        assert by_name["hom1"].static_skips == 2
+        assert by_name["hom1"].complete
+        exhaustive = run_exploration(config(
+            depths=(1, 2, 8, 16, 32, 64)))
+        assert result.spent < exhaustive.spent
+
+    def test_progress_callback_sees_every_evaluation(self,
+                                                     fake_compute):
+        updates = []
+        result = run_exploration(config(), progress=updates.append)
+        assert len(updates) == result.spent
+
+    def test_crash_aborts_loudly(self, monkeypatch):
+        from repro.runtime import pool
+        from repro.runtime.sweep import ExperimentPoint
+
+        def crashing(spec):
+            return ExperimentPoint(spec.kernel_name, spec.config_name,
+                                   spec.variant,
+                                   error="ValueError: boom")
+
+        monkeypatch.setattr(pool, "_compute_captured", crashing)
+        with pytest.raises(ReproError, match="boom"):
+            run_exploration(config())
+
+
+class TestPayload:
+    def test_shape_and_consistency(self, fake_compute):
+        result = run_exploration(config(strategy="adaptive"))
+        payload = result.payload()
+        assert payload["schema"] == DSE_JSON_SCHEMA
+        assert payload["kind"] == "exploration"
+        assert payload["objectives"] == ["energy", "latency",
+                                         "cm_area", "mappability"]
+        assert payload["summary"]["designs"] == len(payload["designs"])
+        assert payload["summary"]["frontier_size"] \
+            == len(payload["frontier"])
+        names = {design["name"] for design in payload["designs"]}
+        assert set(payload["frontier"]) <= names
+        for design in payload["designs"]:
+            assert design["frontier"] == (design["name"]
+                                          in payload["frontier"])
+            assert set(design["kernels"]) == set(payload["kernels"])
+        import json
+        json.dumps(payload)  # must be JSON-serialisable as-is

@@ -1,0 +1,209 @@
+"""Design encodings, symmetry dedup, generators, static bounds."""
+
+import pytest
+
+from repro.arch.configs import EXPECTED_TOTALS
+from repro.dse.space import (
+    DEPTH_LADDER,
+    Design,
+    build_space,
+    canonical_depths,
+    column_banded_designs,
+    dedupe_designs,
+    homogeneous_designs,
+    kernel_demand,
+    ladder_grid_specs,
+    ladder_spec,
+    row_banded_designs,
+    sampled_tile_designs,
+    static_unmappable,
+    table1_designs,
+)
+from repro.errors import ReproError
+
+
+class TestDesign:
+    def test_shape_validated(self):
+        with pytest.raises(ReproError, match="CM depths"):
+            Design("bad", (8, 8), rows=4, cols=4)
+
+    def test_totals(self):
+        design = Design("x", (8,) * 8 + (16,) * 8)
+        assert design.total_words == 8 * 8 + 16 * 8
+        # LSU tiles are the top two rows: indices 0..7, all depth 8.
+        assert design.lsu_words == 64
+
+    def test_spec_round_trip(self):
+        design = Design("custom1", (16,) * 16)
+        spec = design.spec("fir", variant="full").resolve()
+        assert spec.cm_depths == design.cm_depths
+        assert (spec.rows, spec.cols) == (4, 4)
+        cgra = spec.build_cgra()
+        assert cgra.total_cm_words == design.total_words
+
+    def test_build_cgra_scaled_shape(self):
+        design = Design("wide", (8,) * 16, rows=2, cols=8)
+        cgra = design.build_cgra()
+        assert (cgra.rows, cgra.cols) == (2, 8)
+        assert len(cgra.lsu_tiles) == 16  # two rows of 8, all LSU
+
+
+class TestSymmetry:
+    def test_column_rotation_is_identified(self):
+        base = (1, 2, 3, 4) * 4
+        rotated = (2, 3, 4, 1) * 4
+        assert canonical_depths(base) == canonical_depths(rotated)
+
+    def test_column_reflection_is_identified(self):
+        base = (1, 2, 3, 4) * 4
+        mirrored = (4, 3, 2, 1) * 4
+        assert canonical_depths(base) == canonical_depths(mirrored)
+
+    def test_row_reflection_swaps_lsu_rows(self):
+        # Rows (a, b, c, d) -> (b, a, d, c): the LSU set {row0, row1}
+        # is preserved, so the two describe the same machine.
+        a, b, c, d = [(depth,) * 4 for depth in (8, 16, 32, 64)]
+        assert canonical_depths(a + b + c + d) \
+            == canonical_depths(b + a + d + c)
+
+    def test_plain_row_swap_is_not_identified(self):
+        # Rows (a, b, c, d) -> (a, c, b, d) is NOT an automorphism:
+        # it would tear the torus ring apart.
+        a, b, c, d = [(depth,) * 4 for depth in (8, 16, 32, 64)]
+        assert canonical_depths(a + b + c + d) \
+            != canonical_depths(a + c + b + d)
+
+    def test_dedupe_keeps_first(self):
+        designs = [Design("one", (1, 2, 3, 4) * 4),
+                   Design("two", (2, 3, 4, 1) * 4),
+                   Design("other", (9,) * 16)]
+        kept = dedupe_designs(designs)
+        assert [design.name for design in kept] == ["one", "other"]
+
+
+class TestGenerators:
+    def test_homogeneous_ladder(self):
+        designs = homogeneous_designs((16, 8, 8))
+        assert [d.name for d in designs] == ["hom8", "hom16"]
+        assert all(len(set(d.cm_depths)) == 1 for d in designs)
+
+    def test_table1_matches_the_paper_totals(self):
+        designs = {d.name: d for d in table1_designs()}
+        for name, total in EXPECTED_TOTALS.items():
+            assert designs[name.lower()].total_words == total
+
+    def test_row_banded_deduped_by_reflection(self):
+        designs = row_banded_designs((8, 16))
+        # 2^4 = 16 assignments, reflection-fixed: (a,a,b,b) -> 4,
+        # so (16 + 4) / 2 = 10 distinct designs.
+        assert len(designs) == 10
+
+    def test_column_banded_collapses_hard(self):
+        designs = column_banded_designs((8, 16))
+        # Necklaces of length 4 over 2 colours under the dihedral
+        # group: 6 equivalence classes.
+        assert len(designs) == 6
+
+    def test_sampled_tile_designs_deterministic(self):
+        first = sampled_tile_designs((8, 16, 32), samples=6, seed=9)
+        again = sampled_tile_designs((8, 16, 32), samples=6, seed=9)
+        assert [d.cm_depths for d in first] \
+            == [d.cm_depths for d in again]
+        other = sampled_tile_designs((8, 16, 32), samples=6, seed=10)
+        assert [d.cm_depths for d in first] \
+            != [d.cm_depths for d in other]
+
+    def test_build_space_dedupes_across_kinds(self):
+        designs = build_space(("ladder", "table1"),
+                              depths=(32, 64))
+        names = [design.name for design in designs]
+        # hom32/hom64 appear once (the ladder got there first); the
+        # heterogeneous Table I configs survive.
+        assert names.count("hom32") + names.count("hom64") == 2
+        assert "het1" in names and "het2" in names
+
+    def test_build_space_rejects_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown design space"):
+            build_space(("warp",))
+
+    def test_scaled_generators_never_alias_table1_names(self):
+        # A 2x2 hom64 is not the paper's 4x4 hom64; results are
+        # keyed by name, so mixing shapes must keep names distinct.
+        designs = build_space(("ladder", "table1"), depths=(32, 64),
+                              rows=2, cols=2)
+        names = [design.name for design in designs]
+        assert len(names) == len(set(names))
+        assert "hom64@2x2" in names and "hom64" in names
+
+    def test_duplicate_names_rejected(self, monkeypatch):
+        # The guard is unreachable through the built-in generators
+        # (shape tags keep them distinct) — defence in depth for a
+        # future generator that forgets.
+        from repro.dse import space as space_mod
+
+        def clashing(depths, rows, cols):
+            return [Design("same", (8,) * 16),
+                    Design("same", (16,) * 16)]
+
+        monkeypatch.setattr(space_mod, "homogeneous_designs",
+                            clashing)
+        with pytest.raises(ReproError, match="duplicate design"):
+            build_space(("ladder",))
+
+    def test_bad_depths_rejected(self):
+        with pytest.raises(ReproError, match="positive"):
+            homogeneous_designs((0, 8))
+
+
+class TestStaticBounds:
+    def test_demand_is_positive(self):
+        ops, memory_ops = kernel_demand("fir")
+        assert ops > memory_ops > 0
+
+    def test_capacity_bound(self):
+        ops, _ = kernel_demand("fft")
+        starved = Design("tiny", (1,) * 16)
+        assert starved.total_words < ops
+        assert static_unmappable(starved, "fft")
+
+    def test_lsu_bound(self):
+        # Plenty of total capacity, but LSU rows of depth 1 cannot
+        # hold the memory ops.
+        _, memory_ops = kernel_demand("nonsep_filter")
+        design = Design("lsu_starved", (1,) * 8 + (64,) * 8)
+        assert design.lsu_words < memory_ops
+        assert static_unmappable(design, "nonsep_filter")
+
+    def test_generous_design_passes(self):
+        assert not static_unmappable(Design("big", (64,) * 16), "fir")
+
+    def test_never_fires_for_table1(self):
+        # `static_unmappable -> the real pipeline reports a
+        # deterministic no-map` is exercised end-to-end in the slow
+        # integration suite; here we pin the cheap direction: the
+        # bound never fires for the Table I configs, all of which
+        # map the whole suite.
+        from repro.kernels import PAPER_KERNEL_ORDER
+        for design in table1_designs():
+            for kernel in PAPER_KERNEL_ORDER:
+                assert not static_unmappable(design, kernel)
+
+
+class TestLadder:
+    def test_ladder_spec_shape(self):
+        spec = ladder_spec("fir", 16).resolve()
+        assert spec.config_name == "HOM16"
+        assert spec.cm_depths == (16,) * 16
+        assert spec.options.max_attempts == 10
+        assert spec.options.cab  # the full aware flow
+
+    def test_ladder_grid_is_depth_major(self):
+        specs = ladder_grid_specs(("fir", "fft"), (8, 16))
+        assert [(s.kernel_name, s.config_name) for s in specs] == [
+            ("fir", "HOM8"), ("fft", "HOM8"),
+            ("fir", "HOM16"), ("fft", "HOM16")]
+
+    def test_default_ladder_unchanged(self):
+        # The example's historical ladder — changing it silently
+        # would change every published minimum-depth table.
+        assert DEPTH_LADDER == (8, 16, 24, 32, 48, 64)

@@ -56,10 +56,31 @@ class TestPointKey:
         assert baseline not in keys
         assert len(set(keys)) == len(keys)
 
-    def test_empty_cm_depths_is_not_the_default_config(self):
-        # () must not collide with None (the Table I lookup).
-        assert point_key(PointSpec("dc_filter", "HOM64", "basic",
-                                   cm_depths=())) != point_key(SPEC)
+    def test_empty_cm_depths_is_rejected_early(self):
+        # () must not collide with None (the Table I lookup) — since
+        # PointSpec validates the array shape, it cannot even resolve.
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="CM depths"):
+            point_key(PointSpec("dc_filter", "HOM64", "basic",
+                                cm_depths=()))
+
+    def test_rows_cols_perturb_the_key(self):
+        # The same 16 depths on a 4x4 and a 2x8 array are different
+        # machines; the explicit default shape hashes like None.
+        depths = (64,) * 16
+        base = PointSpec("dc_filter", "HOM64", "basic",
+                         cm_depths=depths)
+        explicit = PointSpec("dc_filter", "HOM64", "basic",
+                             cm_depths=depths, rows=4, cols=4)
+        reshaped = PointSpec("dc_filter", "HOM64", "basic",
+                             cm_depths=depths, rows=2, cols=8)
+        assert point_key(base) == point_key(explicit)
+        assert point_key(reshaped) != point_key(base)
+
+    def test_rows_cols_without_cm_depths_is_rejected(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="rows/cols"):
+            point_key(PointSpec("dc_filter", "HOM64", "basic", rows=4))
 
     def test_config_name_case_is_normalised(self):
         # get_config() is case-insensitive, so the keys must agree.

@@ -20,6 +20,7 @@ from repro.mapping.flow import VARIANTS, FlowOptions
 from repro.runtime.cache import ResultCache
 from repro.runtime.pool import run_sweep
 from repro.runtime.shard import (
+    SWEEP_JSON_SCHEMA,
     estimated_cost,
     merge_sweep_files,
     merge_sweep_payloads,
@@ -114,6 +115,66 @@ class TestPartition:
         specs = [PointSpec("fir", "HET1", "basic")]
         sizes = [len(shard_specs(specs, index, 4)) for index in range(4)]
         assert sorted(sizes) == [0, 0, 0, 1]
+
+
+class TestCacheAwareBalance:
+    """``shard_specs(..., cache=)``: warm entries cost ~nothing, so a
+    partially warm sweep splits its *residual* work evenly."""
+
+    def _cache_with(self, tmp_path, specs):
+        cache = ResultCache(tmp_path)
+        for spec in specs:
+            spec = spec.resolve()
+            cache.store_point(spec, fake_point(spec, cycles=100))
+        return cache
+
+    def test_partition_contract_holds_with_a_cache(self, tmp_path):
+        specs = sweep_specs(kernels=("fir", "fft", "matmul"))
+        cache = self._cache_with(tmp_path, specs[::3])
+        flat = sorted(i for index in range(4)
+                      for i in shard_indices(specs, index, 4,
+                                             cache=cache))
+        assert flat == list(range(len(specs)))
+
+    def test_residual_work_splits_evenly(self, tmp_path):
+        # Warm every heavy kernel's specs.  Cost-unaware balancing
+        # would mix warm and cold freely; cache-aware balancing must
+        # spread the remaining *cold* specs evenly across the shards.
+        specs = sweep_specs(kernels=("fir", "fft", "matmul",
+                                     "nonsep_filter"))
+        warm = [spec for spec in specs
+                if spec.kernel_name in ("fft", "matmul",
+                                        "nonsep_filter")]
+        cache = self._cache_with(tmp_path, warm)
+        warm_set = {spec.resolve() for spec in warm}
+        cold_costs = []
+        for index in range(4):
+            mine = shard_specs(specs, index, 4, cache=cache)
+            cold_costs.append(sum(estimated_cost(spec)
+                                  for spec in mine
+                                  if spec.resolve() not in warm_set))
+        # Every shard owns a fair slice of the cold cost (the greedy
+        # balancer bounds the spread by one spec's cost; "fir"/"full"
+        # is the heaviest cold spec).
+        heaviest = max(estimated_cost(spec) for spec in specs
+                       if spec.resolve() not in warm_set)
+        assert max(cold_costs) - min(cold_costs) <= heaviest
+
+    def test_deterministic_for_a_fixed_cache_state(self, tmp_path):
+        specs = sweep_specs(kernels=("fir", "dc_filter"))
+        cache = self._cache_with(tmp_path, specs[:5])
+        first = [shard_indices(specs, index, 3, cache=cache)
+                 for index in range(3)]
+        again = [shard_indices(specs, index, 3, cache=cache)
+                 for index in range(3)]
+        assert first == again
+
+    def test_no_cache_matches_the_plain_assignment(self, tmp_path):
+        specs = sweep_specs(kernels=("fir", "fft"))
+        empty = ResultCache(tmp_path)  # exists, holds nothing
+        for index in range(4):
+            assert shard_indices(specs, index, 4, cache=empty) \
+                == shard_indices(specs, index, 4)
 
 
 class TestParseShard:
@@ -271,19 +332,23 @@ class TestMerge:
 
     @pytest.mark.parametrize("payload", [
         [1, 2, 3],                      # valid JSON, not an object
-        {"schema": 1},                  # truncated: no spec_total
-        {"schema": 1, "spec_total": "140"},   # wrong field type
-        {"schema": 1, "spec_total": 2,        # shard not an object
+        {"schema": SWEEP_JSON_SCHEMA},  # truncated: no spec_total
+        {"schema": SWEEP_JSON_SCHEMA,         # wrong field type
+         "spec_total": "140"},
+        {"schema": SWEEP_JSON_SCHEMA,         # shard not an object
+         "spec_total": 2,
          "shard": "0/2", "fingerprint": "x",
          "summary": {"cache_hits": 0, "computed": 2,
                      "elapsed_seconds": 0.0},
          "points": []},
-        {"schema": 1, "spec_total": 2,        # non-numeric counter
+        {"schema": SWEEP_JSON_SCHEMA,         # non-numeric counter
+         "spec_total": 2,
          "fingerprint": "x",
          "summary": {"cache_hits": "none", "computed": 2,
                      "elapsed_seconds": 0.0},
          "points": []},
-        {"schema": 1, "spec_total": 2,  # record without a position
+        {"schema": SWEEP_JSON_SCHEMA,   # record without a position
+         "spec_total": 2,
          "fingerprint": "x",
          "summary": {"cache_hits": 0, "computed": 2,
                      "elapsed_seconds": 0.0},

@@ -276,3 +276,97 @@ class TestJobLifecycle:
         assert blocker.status == "done"
         with pytest.raises(ReproError, match="shut down"):
             manager.submit_request(self.REQUEST)
+
+
+class TestEviction:
+    """Retention policy: long-lived managers stay bounded."""
+
+    REQUEST = {"kernels": ["fir"], "configs": ["HOM64"],
+               "variants": ["basic"]}
+
+    def _run_jobs(self, manager, count):
+        jobs = [manager.submit_request(self.REQUEST)
+                for _ in range(count)]
+        for job in jobs:
+            finished(job)
+        return jobs
+
+    def test_count_bound_evicts_oldest_finished(self, fake_compute):
+        manager = JobManager(workers=1, cache=None,
+                             max_finished_jobs=2,
+                             finished_ttl_seconds=None)
+        try:
+            jobs = self._run_jobs(manager, 4)
+            listed = {snap["id"] for snap in manager.list_jobs()}
+            assert listed == {jobs[2].id, jobs[3].id}
+            assert manager.evicted == 2
+            from repro.serve.jobs import UnknownJobError
+            with pytest.raises(UnknownJobError, match="evicted"):
+                manager.get(jobs[0].id)
+        finally:
+            manager.close()
+
+    def test_ttl_evicts_old_finished_jobs(self, fake_compute,
+                                          monkeypatch):
+        manager = JobManager(workers=1, cache=None,
+                             max_finished_jobs=None,
+                             finished_ttl_seconds=60.0)
+        try:
+            jobs = self._run_jobs(manager, 2)
+            # Age the first job past the TTL by rewriting its
+            # finish stamp — no sleeps in this suite.
+            jobs[0].finished -= 120.0
+            listed = {snap["id"] for snap in manager.list_jobs()}
+            assert listed == {jobs[1].id}
+            assert manager.evicted == 1
+        finally:
+            manager.close()
+
+    def test_running_and_queued_jobs_never_evict(self, fake_compute,
+                                                 monkeypatch):
+        import threading
+
+        from repro.runtime import pool
+
+        started = threading.Event()
+        gate = threading.Event()
+        real = pool._compute_captured
+
+        def slow(spec):
+            started.set()
+            gate.wait(timeout=10.0)
+            return real(spec)
+
+        monkeypatch.setattr(pool, "_compute_captured", slow)
+        manager = JobManager(workers=1, cache=None,
+                             max_finished_jobs=0,
+                             finished_ttl_seconds=None)
+        try:
+            running = manager.submit_request(self.REQUEST)
+            assert started.wait(timeout=10.0)
+            queued = manager.submit_request(self.REQUEST)
+            alive = {snap["id"] for snap in manager.list_jobs()}
+            assert alive == {running.id, queued.id}
+            gate.set()
+            finished(queued)
+            # Now both are terminal and the zero-retention policy
+            # may drop them.
+            assert manager.list_jobs() == []
+            assert manager.evicted == 2
+        finally:
+            gate.set()
+            manager.close()
+
+    def test_defaults_are_bounded(self, fake_compute):
+        from repro.serve.jobs import (
+            DEFAULT_FINISHED_TTL_SECONDS,
+            DEFAULT_MAX_FINISHED_JOBS,
+        )
+        manager = JobManager(workers=1, cache=None)
+        try:
+            assert manager.max_finished_jobs \
+                == DEFAULT_MAX_FINISHED_JOBS
+            assert manager.finished_ttl_seconds \
+                == DEFAULT_FINISHED_TTL_SECONDS
+        finally:
+            manager.close()
