@@ -34,6 +34,17 @@ class CGRA:
             self.tiles.append(
                 PE(index, row, col, cm_depths[index], index in lsu_set))
         self.data_memory_words = data_memory_words
+        # Hot-path caches: the mapper reads CM depths, neighbourhoods,
+        # candidate tile lists and hop distances millions of times per
+        # kernel.
+        self.cm_depths = tuple(pe.cm_depth for pe in self.tiles)
+        self.neighbor_table = {
+            index: self.interconnect.neighbors(index)
+            for index in range(rows * cols)}
+        self._distances = self.interconnect._distances
+        self._all_tiles = tuple(range(rows * cols))
+        self._lsu_tiles = tuple(pe.index for pe in self.tiles
+                                if pe.has_lsu)
 
     # ------------------------------------------------------------------
     @property
@@ -51,7 +62,7 @@ class CGRA:
     @property
     def lsu_tiles(self):
         """Indices of tiles that can execute LOAD/STORE."""
-        return tuple(pe.index for pe in self.tiles if pe.has_lsu)
+        return self._lsu_tiles
 
     @property
     def total_cm_words(self):
@@ -62,19 +73,23 @@ class CGRA:
         return self.tiles[index]
 
     def cm_depth(self, index):
-        return self.tiles[index].cm_depth
+        return self.cm_depths[index]
 
     def neighbors(self, index):
         return self.interconnect.neighbors(index)
 
     def distance(self, a, b):
-        return self.interconnect.distance(a, b)
+        return self._distances[a][b]
+
+    def distance_row(self, a):
+        """Tuple of hop distances from tile ``a`` to every tile."""
+        return self._distances[a]
 
     def candidate_tiles(self, needs_lsu):
         """Tiles legal for an operation class, LSU-first for memory ops."""
         if needs_lsu:
-            return list(self.lsu_tiles)
-        return list(range(self.n_tiles))
+            return self._lsu_tiles
+        return self._all_tiles
 
     def __repr__(self):
         return (f"CGRA({self.name}: {self.rows}x{self.cols}, "

@@ -21,6 +21,12 @@ class TorusInterconnect:
         self._neighbors = {}
         for index in range(rows * cols):
             self._neighbors[index] = self._compute_neighbors(index)
+        # Hop distances are looked up on every routing bound check, so
+        # the full n x n table is materialised once per interconnect.
+        self._distances = tuple(
+            tuple(self._compute_distance(a, b)
+                  for b in range(rows * cols))
+            for a in range(rows * cols))
 
     # ------------------------------------------------------------------
     def index(self, row, col):
@@ -56,13 +62,20 @@ class TorusInterconnect:
     def are_neighbors(self, a, b):
         return b in self._neighbors[a]
 
-    def distance(self, a, b):
-        """Minimal hop count between two tiles on the torus."""
+    def _compute_distance(self, a, b):
         ra, ca = self.coords(a)
         rb, cb = self.coords(b)
         dr = abs(ra - rb)
         dc = abs(ca - cb)
         return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+    def distance(self, a, b):
+        """Minimal hop count between two tiles on the torus."""
+        return self._distances[a][b]
+
+    def distance_row(self, a):
+        """Tuple of hop distances from ``a`` to every tile."""
+        return self._distances[a]
 
     @property
     def n_tiles(self):

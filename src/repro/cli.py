@@ -29,6 +29,12 @@ Commands mirror the user journeys of the examples:
   ``--objectives``) and report the Pareto frontier; ``--shard i/N``
   prewarms one slice of the exhaustive grid, ``--json`` emits the
   exploration document;
+- ``bench``         — time ``map_kernel`` across benchmark cases with
+  warmup/repeat control and emit/compare the ``BENCH_*.json`` perf
+  document (``--compare BASELINE.json --max-regress PCT`` exits
+  non-zero on regression; see :mod:`repro.perf`);
+- ``profile``       — cProfile one mapping and print the top
+  functions, so perf work starts from data;
 - ``serve``         — expose sweeps and explorations over HTTP
   (``--port``, ``--workers``, job retention via
   ``--max-finished-jobs``/``--job-ttl``): submission, status, NDJSON
@@ -221,6 +227,55 @@ def _parser():
                               "shard payload) as JSON")
     add_cache_flags(explore)
     add_quiet(explore)
+
+    bench = sub.add_parser(
+        "bench", help="time map_kernel across cases (see repro.perf)")
+    bench.add_argument("--cases", default=None,
+                       help="comma-separated kernel@CONFIG/variant "
+                            "cases (overrides the axes)")
+    bench.add_argument("--kernels", default=None,
+                       help="comma-separated kernels (default: all)")
+    bench.add_argument("--configs", default=None,
+                       help="comma-separated configs (default: HOM32)")
+    bench.add_argument("--variants", default=None,
+                       help="comma-separated flow variants "
+                            "(default: full)")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="unrecorded runs per case (default 1)")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="recorded runs per case (default 3)")
+    bench.add_argument("--reducer", default="min",
+                       choices=("min", "median", "mean"),
+                       help="statistic over the repeats (default min "
+                            "— mapping is deterministic, noise only "
+                            "adds)")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the JSON document to FILE")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the benchmark document on stdout")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="compare against a BENCH_*.json baseline; "
+                            "exit 3 on regression")
+    bench.add_argument("--max-regress", type=float, default=None,
+                       metavar="PCT",
+                       help="allowed per-case slowdown vs the "
+                            "--compare baseline (default 25%%; "
+                            "rejected without --compare)")
+    add_quiet(bench)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one map_kernel run (see repro.perf)")
+    profile.add_argument("--kernel", required=True,
+                        choices=PAPER_KERNEL_ORDER)
+    profile.add_argument("--config", default="HOM32",
+                        choices=sorted(CGRA_CONFIGS))
+    profile.add_argument("--variant", default="full",
+                        choices=sorted(VARIANTS))
+    profile.add_argument("--top", type=int, default=20,
+                        help="functions to print (default 20)")
+    profile.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default cumulative)")
 
     serve = sub.add_parser(
         "serve", help="expose sweeps over HTTP (see repro.serve)")
@@ -623,6 +678,68 @@ def _explore(args):
     return 0
 
 
+def _bench(args):
+    import time as _time
+
+    from repro.perf import (
+        bench_payload, compare_benchmarks, default_cases,
+        load_bench_file, parse_case, render_bench, render_comparison,
+        run_bench)
+
+    if args.max_regress is not None and not args.compare:
+        # Silently ignoring the threshold would let a user believe
+        # the regression gate ran when nothing was compared.
+        raise ReproError("--max-regress only applies with --compare")
+    max_regress = args.max_regress if args.max_regress is not None \
+        else 25.0
+    if args.cases:
+        cases = [parse_case(text.strip())
+                 for text in args.cases.split(",") if text.strip()]
+        if not cases:
+            raise ReproError("--cases named no cases")
+    else:
+        cases = default_cases(kernels=_split_axis(args.kernels),
+                              configs=_split_axis(args.configs),
+                              variants=_split_axis(args.variants))
+    progress = None if _quiet_requested(args) else (
+        lambda line: print(line, file=sys.stderr, flush=True))
+    results = run_bench(cases, warmup=args.warmup, repeat=args.repeat,
+                        reducer=args.reducer, progress=progress)
+    payload = bench_payload(results, args.warmup, args.repeat,
+                            args.reducer,
+                            created_unix=int(_time.time()))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_bench(payload))
+    if args.compare:
+        baseline = load_bench_file(args.compare)
+        rows, regressions = compare_benchmarks(payload, baseline,
+                                               max_regress)
+        # The comparison is narration under --json (stdout holds the
+        # document); regressions still gate the exit code.
+        out = sys.stderr if args.json else sys.stdout
+        print(render_comparison(rows, regressions, max_regress),
+              file=out)
+        if regressions:
+            return 3
+    return 0
+
+
+def _profile(args):
+    from repro.perf import BenchCase, profile_case
+
+    text, _ = profile_case(
+        BenchCase(args.kernel, args.config, args.variant),
+        top=args.top, sort=args.sort)
+    print(text)
+    return 0
+
+
 def _kernels(_args):
     for name in PAPER_KERNEL_ORDER:
         kernel = get_kernel(name)
@@ -744,7 +861,8 @@ def main(argv=None):
                 "area": _area, "kernels": _kernels, "sweep": _sweep,
                 "merge": _merge, "cache": _cache, "figure": _figure,
                 "explore": _explore, "serve": _serve,
-                "submit": _submit}
+                "submit": _submit, "bench": _bench,
+                "profile": _profile}
     try:
         return handlers[args.command](args)
     except UnmappableError as error:

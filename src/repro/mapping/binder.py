@@ -44,48 +44,41 @@ class BindContext:
         #: data uid -> symbol name, for the location constraints
         self.symbol_of = {node.uid: symbol for symbol, node
                           in dfg.symbol_inputs.items()}
+        #: route-query memo shared by every sibling partial mapping of
+        #: this block attempt (see repro.mapping.routing)
+        self.route_memo = {}
+        #: hot-path copies of the flow options the binder reads per
+        #: candidate
+        self.cab = options.cab
+        self.max_route_movs = options.max_route_movs
+        #: op uid -> needs an LSU tile (precomputed opcode class)
+        self.is_memory = {op.uid: opcodes.is_memory(op.opcode)
+                          for op in dfg.ops}
+        #: tile -> torus distance row (list index = other tile)
+        self.dist_rows = [cgra.distance_row(tile)
+                          for tile in range(cgra.n_tiles)]
 
 
 def candidate_tiles(ctx, pm, op):
     """Tiles legal for this op under LSU and CAB constraints."""
-    tiles = ctx.cgra.candidate_tiles(opcodes.is_memory(op.opcode))
-    if ctx.options.cab and pm.blacklist:
+    tiles = ctx.cgra.candidate_tiles(ctx.is_memory[op.uid])
+    if ctx.cab and pm.blacklist:
         tiles = [t for t in tiles if t not in pm.blacklist]
     return tiles
 
 
-def latest_cycle(ctx, pm, op, tile):
-    """Upper bound on the op's cycle for a given tile.
-
-    Data consumers need at least the torus hop distance in cycles;
-    ordering successors only need strict precedence.
-    """
-    latest = pm.length - 1
-    for consumer in ctx.data_consumers[op.uid]:
-        placement = pm.placements.get(consumer.uid)
-        if placement is None:
-            continue
-        c_tile, c_cycle = placement
-        distance = ctx.cgra.distance(tile, c_tile)
-        latest = min(latest, c_cycle - max(1, distance))
-    for successor in ctx.order_successors[op.uid]:
-        placement = pm.placements.get(successor.uid)
-        if placement is None:
-            continue
-        latest = min(latest, placement[1] - 1)
-    return latest
-
-
 def try_bind(ctx, pm, op, tile, cycle):
     """Attempt to place ``op`` at ``(tile, cycle)``; None on failure."""
-    blacklist = pm.blacklist if ctx.options.cab else frozenset()
+    blacklist = pm.blacklist if ctx.cab else frozenset()
     candidate = pm.clone()
     candidate.place_op(op.uid, tile, cycle)
-    seen_operands = set()
-    for operand in op.operands:
-        if operand.uid in seen_operands:
-            continue
-        seen_operands.add(operand.uid)
+    operands = op.operands
+    seen_operands = set() if len(operands) > 1 else None
+    for operand in operands:
+        if seen_operands is not None:
+            if operand.uid in seen_operands:
+                continue
+            seen_operands.add(operand.uid)
         if operand.is_const:
             if not candidate.register_const(tile, operand.value):
                 return None
@@ -99,14 +92,14 @@ def try_bind(ctx, pm, op, tile, cycle):
             candidate.add_rf_event(operand.uid, home, 0)
             route = routing.route_to_operand(
                 candidate, operand.uid, tile, cycle,
-                max_movs=ctx.options.max_route_movs, blacklist=blacklist)
+                ctx.max_route_movs, blacklist, ctx.route_memo)
             if route is None and blacklist:
                 # Reading a symbol requires touching its home tile even
                 # if CAB blacklisted it — the location constraint wins;
                 # ECMAP arbitrates whether the result still fits.
                 route = routing.route_to_operand(
                     candidate, operand.uid, tile, cycle,
-                    max_movs=ctx.options.max_route_movs)
+                    ctx.max_route_movs, memo=ctx.route_memo)
             if route is None:
                 return None
             routing.commit_route(candidate, operand.uid, route)
@@ -120,7 +113,7 @@ def try_bind(ctx, pm, op, tile, cycle):
                 continue
             route = routing.route_to_operand(
                 candidate, op.result.uid, placement[0], placement[1],
-                max_movs=ctx.options.max_route_movs, blacklist=blacklist)
+                ctx.max_route_movs, blacklist, ctx.route_memo)
             if route is None:
                 return None
             routing.commit_route(candidate, op.result.uid, route)
@@ -163,11 +156,11 @@ def _route_home(ctx, candidate, uid, target, blacklist):
     deadline = candidate.length + ctx.options.finalize_slack
     route = routing.route_to_rf(
         candidate, uid, target, deadline,
-        max_movs=ctx.options.max_route_movs, blacklist=blacklist)
+        ctx.max_route_movs, blacklist, ctx.route_memo)
     if route is None and blacklist:
         route = routing.route_to_rf(
             candidate, uid, target, deadline,
-            max_movs=ctx.options.max_route_movs)
+            ctx.max_route_movs, memo=ctx.route_memo)
     return route
 
 
@@ -281,8 +274,25 @@ def bind_candidates(ctx, pm, op, full_window=False):
     """
     results = []
     earliest = ctx.asap[op.uid]
+    # The consumer/successor placements bounding the cycle scan are
+    # per-(pm, op): look them up once, not once per tile.
+    placements_get = pm.placements.get
+    consumer_places = [p for consumer in ctx.data_consumers[op.uid]
+                       if (p := placements_get(consumer.uid)) is not None]
+    order_bound = pm.length - 1
+    for successor in ctx.order_successors[op.uid]:
+        placement = placements_get(successor.uid)
+        if placement is not None and placement[1] - 1 < order_bound:
+            order_bound = placement[1] - 1
+    dist_rows = ctx.dist_rows
     for tile in candidate_tiles(ctx, pm, op):
-        latest = latest_cycle(ctx, pm, op, tile)
+        row = dist_rows[tile]
+        latest = order_bound
+        for c_tile, c_cycle in consumer_places:
+            distance = row[c_tile]
+            bound = c_cycle - (distance if distance > 1 else 1)
+            if bound < latest:
+                latest = bound
         if latest < earliest:
             continue
         if full_window:
@@ -290,8 +300,9 @@ def bind_candidates(ctx, pm, op, full_window=False):
         else:
             window_floor = max(earliest,
                                latest - ctx.options.cycle_window + 1)
+        occupied = pm.tile_cycles[tile]
         for cycle in range(latest, window_floor - 1, -1):
-            if not pm.slot_free(tile, cycle):
+            if cycle in occupied:
                 continue
             candidate = try_bind(ctx, pm, op, tile, cycle)
             if candidate is not None:

@@ -25,13 +25,12 @@ def full_tiles(pm):
     constraint (the symbol would become unreachable for the rest of
     the kernel).
     """
-    cgra = pm.cgra
     home_tiles = set(pm.committed.symbol_homes.values())
     home_tiles.update(pm.new_homes.values())
     blacklisted = set()
-    for tile in range(cgra.n_tiles):
-        headroom = (cgra.cm_depth(tile)
-                    - pm.tile_context_words(tile, exact=True))
+    words = pm._tile_words
+    for tile, depth in enumerate(pm.cgra.cm_depths):
+        headroom = depth - words[tile]
         reserve = 4 if tile in home_tiles else 2
         if headroom < reserve:
             blacklisted.add(tile)

@@ -18,25 +18,18 @@ from __future__ import annotations
 
 
 def acmap_filter(partials):
-    """Approximate context-memory aware pruning."""
-    survivors = []
-    for pm in partials:
-        cgra = pm.cgra
-        if all(pm.tile_context_words(t, exact=False) <= cgra.cm_depth(t)
-               for t in range(cgra.n_tiles)):
-            survivors.append(pm)
-    return survivors
+    """Approximate context-memory aware pruning.
+
+    ``fits_approx`` reads the overflow counter ``occupy`` maintains,
+    so the whole filter is O(1) per partial mapping instead of a scan
+    over every tile's context words.
+    """
+    return [pm for pm in partials if pm.fits_approx()]
 
 
 def ecmap_filter(partials):
-    """Exact context-memory aware pruning."""
-    survivors = []
-    for pm in partials:
-        cgra = pm.cgra
-        if all(pm.tile_context_words(t, exact=True) <= cgra.cm_depth(t)
-               for t in range(cgra.n_tiles)):
-            survivors.append(pm)
-    return survivors
+    """Exact context-memory aware pruning (same O(1) counter check)."""
+    return [pm for pm in partials if pm.fits_exact()]
 
 
 def stochastic_prune(partials, cap, rng):

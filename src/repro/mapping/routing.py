@@ -24,15 +24,48 @@ Every MOV needs a free issue slot on its tile, and tiles blacklisted
 by CAB accept no new instructions (routing is "constraint aware" too).
 This subsumes the paper's *re-routing* graph transformation: extra
 moves are exactly what re-routing inserts.
+
+Two layers keep the search off the flow's critical path without
+changing a single returned route:
+
+- **Admissible bounding.**  Torus hop distances (precomputed tables on
+  the :class:`~repro.arch.cgra.CGRA`) lower-bound both the MOVs and
+  the cycles any completion of a state still needs.  States that
+  provably cannot reach the goal within ``max_movs`` and the time
+  horizon are never enqueued — including whole searches whose start
+  states are all hopeless, which return ``None`` before the BFS
+  allocates anything.  The bounds are lower bounds on *any* path, so
+  pruned states can never lie on a returned route, and the pop order
+  and parent choice of every goal-reaching state are untouched: the
+  surviving search is bit-identical to the exhaustive one.
+- **Memoisation.**  Sibling partial mappings (clones of one parent
+  explored by the binder) keep issuing identical route queries.  A
+  query's outcome depends only on the value's (immutable) availability
+  event tuples, the goal, the budget, the blacklist and the occupancy
+  of issue slots below the horizon — so callers may pass a ``memo``
+  dict (scoped to one block attempt by the binder) keyed on exactly
+  those, and both successful routes and failures are replayed instead
+  of re-searched.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+from repro.mapping.state import _CYCLE_BITS, _CYCLE_MASK
+
 #: Default cap on MOVs per routed edge; routes beyond this are
 #: considered failed (the caller falls back to other transformations).
 MAX_ROUTE_MOVS = 8
+
+#: Memo sentinel distinguishing "never searched" from "search failed".
+_MISS = object()
+
+#: Queries whose earliest availability event sits closer than this to
+#: the horizon run a tiny BFS — cheaper than building the memo key —
+#: and bypass the memo; distant events mean long wait/hop frontiers,
+#: which is where replaying an earlier identical query pays.
+MEMO_MIN_GAP = 4
 
 
 class Route:
@@ -51,114 +84,314 @@ class Route:
         return f"Route({self.movs})"
 
 
-def _initial_states(pm, value_uid, horizon):
-    states = []
-    for tile, avail in pm.rf_avail.get(value_uid, ()):
-        if avail <= horizon:
-            states.append(("rf", tile, avail))
-    for tile, cycle in pm.port_events.get(value_uid, ()):
-        if cycle <= horizon:
-            states.append(("port", tile, cycle))
-    return states
+#: States are packed into ints for fast hashing: a high bit selects
+#: the port kind, the middle bits the tile, the low bits the cycle.
+#: The cycle width is state.py's — ``PartialMapping.occupy`` rejects
+#: cycles beyond it, which is what makes this packing alias-free; the
+#: two modules must agree, so the constants are imported, not
+#: redefined.
+_TILE_SHIFT = _CYCLE_BITS
+_PORT = 1 << (2 * _CYCLE_BITS)
+
+#: Parent links are packed too: ``(previous_state << 1) | has_mov``.
+#: A MOV edge's instruction is derivable from its *target* state — a
+#: re-emit or hop into state ``(kind, q, nc)`` is a MOV on tile ``q``
+#: at cycle ``nc - 1`` — so the whole BFS runs allocation-free.
+_ROOT = (-1 << 1)
 
 
-def _is_operand_goal(state, pm, tile, cycle):
-    kind, p, c = state
-    if kind == "rf":
-        return p == tile and c <= cycle
-    return c == cycle and tile in pm.cgra.neighbors(p)
+def _trace(parents, state):
+    movs = []
+    while state >= 0:
+        packed = parents[state]
+        if packed & 1:
+            movs.append(((state >> _TILE_SHIFT) & _CYCLE_MASK,
+                         (state & _CYCLE_MASK) - 1))
+        state = packed >> 1
+    movs.reverse()
+    return Route(movs)
 
 
-def _is_landing_goal(state, tile, deadline):
-    kind, p, c = state
-    return kind == "rf" and p == tile and c <= deadline
+def _memo_worthwhile(rf_events, port_events, horizon):
+    """True when the earliest event leaves a wide search window."""
+    first = horizon
+    for _, c in rf_events:
+        if c < first:
+            first = c
+    for _, c in port_events:
+        if c < first:
+            first = c
+    return horizon - first >= MEMO_MIN_GAP
 
 
-def _search(pm, value_uid, horizon, goal_test, max_movs, blacklist):
-    """0-1 BFS from the value's events; returns Route or None."""
-    start_states = _initial_states(pm, value_uid, horizon)
+def _search_operand(pm, rf_events, port_events, tile, cycle, max_movs,
+                    blacklist):
+    """0-1 BFS making the value readable at ``(tile, cycle)``.
+
+    Goal states: ``rf(tile, c <= cycle)`` or ``port(P, cycle)`` with
+    ``tile`` a torus neighbour of P.  Returns Route or None.
+    """
+    cgra = pm.cgra
+    neighbors = cgra.neighbor_table
+    dist = cgra.distance_row(tile)
+    tile_cycles = pm.tile_cycles
     best = {}
     parents = {}
     queue = deque()
-    for state in start_states:
+    append = queue.append
+    appendleft = queue.appendleft
+    best_get = best.get
+    port_bit = _PORT
+    tile_shift = _TILE_SHIFT
+    cycle_mask = _CYCLE_MASK
+
+    for p, c in rf_events:
+        if c > cycle:
+            continue
+        if p != tile and (dist[p] > max_movs or c + dist[p] > cycle):
+            continue
+        state = (p << tile_shift) | c
         best[state] = 0
-        parents[state] = (None, None)
-        queue.append(state)
+        parents[state] = _ROOT
+        append(state)
+    for p, c in port_events:
+        if c > cycle:
+            continue
+        d = dist[p]
+        if not (d == 1 and c == cycle):
+            need = d - 1 if d >= 2 else 1
+            if need > max_movs or c + need > cycle:
+                continue
+        state = port_bit | (p << tile_shift) | c
+        if state not in best:
+            best[state] = 0
+            parents[state] = _ROOT
+            append(state)
+
     while queue:
         state = queue.popleft()
         cost = best[state]
-        if goal_test(state):
-            movs = []
-            cursor = state
-            while cursor is not None:
-                previous, mov = parents[cursor]
-                if mov is not None:
-                    movs.append(mov)
-                cursor = previous
-            movs.reverse()
-            return Route(movs)
-        kind, p, c = state
-
-        def push(next_state, extra, mov):
-            next_cost = cost + extra
-            if next_cost > max_movs:
-                return
-            if best.get(next_state, next_cost + 1) <= next_cost:
-                return
-            best[next_state] = next_cost
-            parents[next_state] = (state, mov)
-            if extra == 0:
-                queue.appendleft(next_state)
-            else:
-                queue.append(next_state)
-
-        if kind == "rf":
-            if c + 1 <= horizon:
-                push(("rf", p, c + 1), 0, None)
+        c = state & cycle_mask
+        if state < port_bit:  # rf(p, c)
+            p = state >> tile_shift
+            if p == tile and c <= cycle:
+                return _trace(parents, state)
+            # Wait in the RF — free, dies when the time bound does.
+            nc = c + 1
+            if nc <= cycle and (p == tile or nc + dist[p] <= cycle):
+                next_state = state + 1
+                if best_get(next_state, cost + 1) > cost:
+                    best[next_state] = cost
+                    parents[next_state] = state << 1
+                    appendleft(next_state)
             # Re-emit: MOV on p at cycle c.
-            if (c + 1 <= horizon and p not in blacklist
-                    and pm.slot_free(p, c)):
-                push(("port", p, c + 1), 1, (p, c))
-        else:  # port event during cycle c
-            for q in pm.cgra.neighbors(p):
-                if q in blacklist or not pm.slot_free(q, c):
+            if (nc <= cycle and cost < max_movs and p not in blacklist
+                    and c not in tile_cycles[p]):
+                d = dist[p]
+                if not (d == 1 and nc == cycle):
+                    need = d - 1 if d >= 2 else 1
+                    if cost + 1 + need > max_movs or nc + need > cycle:
+                        continue
+                next_state = port_bit | (state + 1)
+                next_cost = cost + 1
+                if best_get(next_state, next_cost + 1) > next_cost:
+                    best[next_state] = next_cost
+                    parents[next_state] = (state << 1) | 1
+                    append(next_state)
+        else:  # the value is on p's output port during cycle c
+            p = (state >> tile_shift) & cycle_mask
+            if c == cycle and tile in neighbors[p]:
+                return _trace(parents, state)
+            nc = c + 1
+            if nc > cycle:
+                continue
+            next_cost = cost + 1
+            if next_cost > max_movs:
+                continue
+            budget = max_movs - next_cost
+            for q in neighbors[p]:
+                if q in blacklist or c in tile_cycles[q]:
                     continue
-                if c + 1 <= horizon:
-                    push(("rf", q, c + 1), 1, (q, c))
-                    push(("port", q, c + 1), 1, (q, c))
+                d = dist[q]
+                if q == tile or (nc + d <= cycle and d <= budget):
+                    next_state = (q << tile_shift) | nc
+                    if best_get(next_state, next_cost + 1) > next_cost:
+                        best[next_state] = next_cost
+                        parents[next_state] = (state << 1) | 1
+                        append(next_state)
+                if not (d == 1 and nc == cycle):
+                    need = d - 1 if d >= 2 else 1
+                    if need > budget or nc + need > cycle:
+                        continue
+                next_state = port_bit | (q << tile_shift) | nc
+                if best_get(next_state, next_cost + 1) > next_cost:
+                    best[next_state] = next_cost
+                    parents[next_state] = (state << 1) | 1
+                    append(next_state)
+    return None
+
+
+def _search_landing(pm, rf_events, port_events, tile, deadline,
+                    max_movs, blacklist):
+    """0-1 BFS landing the value in ``tile``'s RF by ``deadline``."""
+    cgra = pm.cgra
+    neighbors = cgra.neighbor_table
+    dist = cgra.distance_row(tile)
+    tile_cycles = pm.tile_cycles
+    best = {}
+    parents = {}
+    queue = deque()
+    append = queue.append
+    appendleft = queue.appendleft
+    best_get = best.get
+    port_bit = _PORT
+    tile_shift = _TILE_SHIFT
+    cycle_mask = _CYCLE_MASK
+
+    for p, c in rf_events:
+        if c > deadline:
+            continue
+        if p != tile and (dist[p] + 1 > max_movs
+                          or c + dist[p] + 1 > deadline):
+            continue
+        state = (p << tile_shift) | c
+        best[state] = 0
+        parents[state] = _ROOT
+        append(state)
+    for p, c in port_events:
+        if c > deadline:
+            continue
+        d = dist[p]
+        need = d if d >= 1 else 2
+        if need > max_movs or c + need > deadline:
+            continue
+        state = port_bit | (p << tile_shift) | c
+        if state not in best:
+            best[state] = 0
+            parents[state] = _ROOT
+            append(state)
+
+    while queue:
+        state = queue.popleft()
+        cost = best[state]
+        c = state & cycle_mask
+        if state < port_bit:  # rf(p, c)
+            p = state >> tile_shift
+            if p == tile and c <= deadline:
+                return _trace(parents, state)
+            nc = c + 1
+            if nc <= deadline and nc + dist[p] + 1 <= deadline:
+                next_state = state + 1
+                if best_get(next_state, cost + 1) > cost:
+                    best[next_state] = cost
+                    parents[next_state] = state << 1
+                    appendleft(next_state)
+            if (nc <= deadline and p not in blacklist
+                    and c not in tile_cycles[p]):
+                d = dist[p]
+                need = d if d >= 1 else 2
+                if cost + 1 + need <= max_movs and nc + need <= deadline:
+                    next_state = port_bit | (state + 1)
+                    next_cost = cost + 1
+                    if best_get(next_state, next_cost + 1) > next_cost:
+                        best[next_state] = next_cost
+                        parents[next_state] = (state << 1) | 1
+                        append(next_state)
+        else:
+            p = (state >> tile_shift) & cycle_mask
+            nc = c + 1
+            if nc > deadline:
+                continue
+            next_cost = cost + 1
+            if next_cost > max_movs:
+                continue
+            budget = max_movs - next_cost
+            for q in neighbors[p]:
+                if q in blacklist or c in tile_cycles[q]:
+                    continue
+                d = dist[q]
+                if q == tile or (nc + d + 1 <= deadline
+                                 and d + 1 <= budget):
+                    next_state = (q << tile_shift) | nc
+                    if best_get(next_state, next_cost + 1) > next_cost:
+                        best[next_state] = next_cost
+                        parents[next_state] = (state << 1) | 1
+                        append(next_state)
+                need = d if d >= 1 else 2
+                if need <= budget and nc + need <= deadline:
+                    next_state = port_bit | (q << tile_shift) | nc
+                    if best_get(next_state, next_cost + 1) > next_cost:
+                        best[next_state] = next_cost
+                        parents[next_state] = (state << 1) | 1
+                        append(next_state)
     return None
 
 
 def route_to_operand(pm, value_uid, tile, cycle,
-                     max_movs=MAX_ROUTE_MOVS, blacklist=frozenset()):
+                     max_movs=MAX_ROUTE_MOVS, blacklist=frozenset(),
+                     memo=None):
     """Make the value readable by an instruction at ``(tile, cycle)``.
 
-    Returns a :class:`Route` (possibly empty) or None.
+    Returns a :class:`Route` (possibly empty) or None.  ``memo`` — an
+    optional dict shared across sibling partial mappings — replays
+    previously-searched queries (see the module docstring).
     """
-    if pm.readable_at(value_uid, tile, cycle):
-        return Route([])
-
-    def goal(state):
-        return _is_operand_goal(state, pm, tile, cycle)
-
-    return _search(pm, value_uid, cycle, goal, max_movs, blacklist)
+    # Inlined readable_at: already-readable values route for free.
+    rf_events = pm.rf_avail.get(value_uid, ())
+    for event_tile, event_cycle in rf_events:
+        if event_tile == tile:
+            if event_cycle <= cycle:
+                return Route([])
+            break
+    port_events = pm.port_events.get(value_uid, ())
+    if port_events:
+        neighbors = pm.cgra.neighbor_table[tile]
+        for event_tile, event_cycle in port_events:
+            if event_cycle == cycle and event_tile in neighbors:
+                return Route([])
+    if memo is None or not _memo_worthwhile(rf_events, port_events, cycle):
+        return _search_operand(pm, rf_events, port_events, tile, cycle,
+                               max_movs, blacklist)
+    key = ("op", tile, cycle, max_movs, blacklist, rf_events,
+           port_events, pm.occupancy_key(cycle))
+    hit = memo.get(key, _MISS)
+    if hit is not _MISS:
+        return None if hit is None else Route(list(hit))
+    route = _search_operand(pm, rf_events, port_events, tile, cycle,
+                            max_movs, blacklist)
+    memo[key] = None if route is None else tuple(route.movs)
+    return route
 
 
 def route_to_rf(pm, value_uid, tile, deadline,
-                max_movs=MAX_ROUTE_MOVS, blacklist=frozenset()):
+                max_movs=MAX_ROUTE_MOVS, blacklist=frozenset(),
+                memo=None):
     """Land the value in ``tile``'s RF no later than ``deadline``.
 
     ``deadline`` is an availability cycle: ``rf(tile, c <= deadline)``.
-    Returns a :class:`Route` or None.
+    Returns a :class:`Route` or None.  ``memo`` as in
+    :func:`route_to_operand`.
     """
-    avail = pm.rf_cycle(value_uid, tile)
-    if avail is not None and avail <= deadline:
-        return Route([])
-
-    def goal(state):
-        return _is_landing_goal(state, tile, deadline)
-
-    return _search(pm, value_uid, deadline, goal, max_movs, blacklist)
+    rf_events = pm.rf_avail.get(value_uid, ())
+    for event_tile, event_cycle in rf_events:
+        if event_tile == tile:
+            if event_cycle <= deadline:
+                return Route([])
+            break
+    port_events = pm.port_events.get(value_uid, ())
+    if memo is None or not _memo_worthwhile(rf_events, port_events,
+                                            deadline):
+        return _search_landing(pm, rf_events, port_events, tile,
+                               deadline, max_movs, blacklist)
+    key = ("rf", tile, deadline, max_movs, blacklist, rf_events,
+           port_events, pm.occupancy_key(deadline))
+    hit = memo.get(key, _MISS)
+    if hit is not _MISS:
+        return None if hit is None else Route(list(hit))
+    route = _search_landing(pm, rf_events, port_events, tile, deadline,
+                            max_movs, blacklist)
+    memo[key] = None if route is None else tuple(route.movs)
+    return route
 
 
 def commit_route(pm, value_uid, route):

@@ -20,11 +20,30 @@ Performance note: the binder clones a partial mapping for every
 placement candidate, so per-value event containers are stored as
 immutable tuples/frozensets — ``clone()`` copies only the outer dicts
 (pointer copies), and updates replace the small inner values.
+
+All context accounting is incremental: ``occupy`` maintains per-tile
+busy counts, PNOP counts, context words and the derived pruning
+aggregates (total words, worst capacity pressure, per-depth overflow
+counters) in O(1) per placed instruction, so ``cost()`` and the
+ACMAP/ECMAP fitness checks never rescan the schedule.  Per-tile words
+only ever grow while instructions are added (a new instruction adds
+one word and changes the PNOP count by -1, 0 or +1), which is what
+makes the running-maximum pressure exact; the rare whole-schedule
+shifts (``stretch``/``compress``) rebuild the aggregates outright.
 """
 
 from __future__ import annotations
 
 from repro.errors import MappingError
+
+#: Bits reserved for the cycle in encoded occupancy slots; schedules
+#: stay far below 2**12 cycles (lengths grow geometrically from tens).
+_CYCLE_BITS = 12
+_CYCLE_MASK = (1 << _CYCLE_BITS) - 1
+
+#: Occupancy delta-log length at which ``occupy`` folds the log into a
+#: fresh base token (see ``occupancy_key``).
+_OCC_FOLD = 32
 
 
 class CommittedState:
@@ -65,6 +84,10 @@ def pnop_blocks(occupied_cycles):
 
     One PNOP per maximal idle run before or between instructions;
     trailing idle is free (the tile waits for the block-end broadcast).
+
+    Reference implementation: the mapper itself tracks PNOPs
+    incrementally (``PartialMapping.occupy``) and never sorts; this
+    stays as the executable definition the tests check against.
     """
     if not occupied_cycles:
         return 0
@@ -102,11 +125,20 @@ class PartialMapping:
         "port_events",
         "const_tiles",
         "new_homes",
-        "movs",
+        "_mov_chain",
         "n_movs",
         "blacklist",
+        "_owned",
+        "_occ_base",
+        "_occ_delta",
         "_tile_max",
+        "_tile_min",
         "_tile_pnops",
+        "_tile_words",
+        "_total_words",
+        "_worst_pressure",
+        "_n_over_exact",
+        "_n_over_approx",
     )
 
     def __init__(self, cgra, committed, length):
@@ -118,6 +150,14 @@ class PartialMapping:
         #: tile -> {cycle: descriptor}; descriptor = ("op", uid) or
         #: ("mov", value_uid)
         self.tile_cycles = {t: {} for t in range(cgra.n_tiles)}
+        #: tiles whose cycle dict is private to this instance (the
+        #: copy-on-write set — see ``clone``)
+        self._owned = set(self.tile_cycles)
+        #: occupancy identity: pms sharing ``_occ_base`` hold exactly
+        #: the base schedule plus their ``_occ_delta`` slots — the
+        #: route memo keys on this instead of scanning the schedule
+        self._occ_base = object()
+        self._occ_delta = []
         #: value uid -> tuple of (tile, earliest readable cycle)
         self.rf_avail = {}
         #: value uid -> tuple of (tile, cycle) output-port events
@@ -126,14 +166,43 @@ class PartialMapping:
         self.const_tiles = {t: frozenset() for t in range(cgra.n_tiles)}
         #: symbols homed while mapping this block
         self.new_homes = {}
-        #: list of (tile, cycle, value_uid) MOV instructions
-        self.movs = []
+        #: (tile, cycle, value_uid) MOVs as a persistent parent-linked
+        #: chain — clones share it by pointer; ``movs`` materialises it
+        self._mov_chain = None
         self.n_movs = 0
         #: tiles CAB excludes from further binding (aware flow only)
         self.blacklist = frozenset()
         #: incremental PNOP accounting (kept exact by ``occupy``)
         self._tile_max = [None] * cgra.n_tiles
+        self._tile_min = [None] * cgra.n_tiles
         self._tile_pnops = [0] * cgra.n_tiles
+        #: incremental context words (committed + busy + PNOPs) and
+        #: the aggregates the pruning stages read
+        self._tile_words = list(committed.tile_instrs)
+        self._init_aggregates()
+
+    def _init_aggregates(self):
+        """Derive total/worst/overflow aggregates from ``_tile_words``."""
+        depths = self.cgra.cm_depths
+        words = self._tile_words
+        self._total_words = sum(words)
+        worst = 0.0
+        n_over_exact = 0
+        n_over_approx = 0
+        tile_cycles = self.tile_cycles
+        for tile, depth in enumerate(depths):
+            exact = words[tile]
+            pressure = exact / depth
+            if pressure > worst:
+                worst = pressure
+            if exact > depth:
+                n_over_exact += 1
+            approx = exact + 1 if tile_cycles[tile] else exact
+            if approx > depth:
+                n_over_approx += 1
+        self._worst_pressure = worst
+        self._n_over_exact = n_over_exact
+        self._n_over_approx = n_over_approx
 
     # ------------------------------------------------------------------
     # Copy-on-extend
@@ -144,17 +213,33 @@ class PartialMapping:
         new.committed = self.committed
         new.length = self.length
         new.placements = dict(self.placements)
-        new.tile_cycles = {t: dict(c) for t, c in self.tile_cycles.items()}
+        # Per-tile cycle dicts are shared copy-on-write: only the
+        # outer dict is copied, and both sides give up in-place
+        # mutation rights — ``occupy`` re-copies a tile's dict on the
+        # first write after a clone (most candidates touch only a few
+        # tiles, the clone itself is what the binder does ~100k times
+        # per kernel).
+        new.tile_cycles = dict(self.tile_cycles)
+        new._owned = set()
+        self._owned.clear()
         # Inner containers are immutable: shallow dict copies suffice.
         new.rf_avail = dict(self.rf_avail)
         new.port_events = dict(self.port_events)
         new.const_tiles = dict(self.const_tiles)
         new.new_homes = dict(self.new_homes)
-        new.movs = list(self.movs)
+        new._mov_chain = self._mov_chain
         new.n_movs = self.n_movs
         new.blacklist = self.blacklist
+        new._occ_base = self._occ_base
+        new._occ_delta = self._occ_delta.copy()
         new._tile_max = list(self._tile_max)
+        new._tile_min = list(self._tile_min)
         new._tile_pnops = list(self._tile_pnops)
+        new._tile_words = list(self._tile_words)
+        new._total_words = self._total_words
+        new._worst_pressure = self._worst_pressure
+        new._n_over_exact = self._n_over_exact
+        new._n_over_approx = self._n_over_approx
         return new
 
     # ------------------------------------------------------------------
@@ -170,31 +255,84 @@ class PartialMapping:
                 f"slot ({tile},{cycle}) already holds {cycles[cycle]}")
         if cycle < 0:
             raise MappingError(f"negative cycle {cycle}")
-        self._update_pnops(tile, cycle, cycles)
+        if cycle > _CYCLE_MASK:
+            # The packed occupancy/routing state encodings reserve 12
+            # bits for the cycle; schedules this long never map anyway
+            # — fail loudly instead of silently aliasing slots.
+            raise MappingError(
+                f"cycle {cycle} exceeds the {_CYCLE_MASK}-cycle "
+                f"schedule bound")
+        if tile not in self._owned:
+            cycles = dict(cycles)
+            self.tile_cycles[tile] = cycles
+            self._owned.add(tile)
+        # Inlined exact-PNOP bookkeeping (one call frame per placed
+        # instruction adds up to whole-percent map time).
+        pnops = self._tile_pnops
+        maximum = self._tile_max[tile]
+        was_empty = maximum is None
+        pnops_before = pnops[tile]
+        minimum = self._tile_min[tile]
+        if minimum is None or cycle < minimum:
+            self._tile_min[tile] = cycle
+        if was_empty:
+            self._tile_max[tile] = cycle
+            pnops[tile] = 1 if cycle > 0 else 0
+        elif cycle > maximum:
+            if cycle > maximum + 1:
+                pnops[tile] += 1
+            self._tile_max[tile] = cycle
+        else:
+            # Insertion strictly inside [0, maximum): the idle run
+            # holding ``cycle`` shrinks, splits, or disappears.
+            left_idle = cycle > 0 and (cycle - 1) not in cycles
+            right_idle = (cycle + 1) not in cycles
+            if left_idle and right_idle:
+                pnops[tile] += 1
+            elif not left_idle and not right_idle:
+                pnops[tile] -= 1
         cycles[cycle] = descriptor
         if cycle >= self.length:
             self.length = cycle + 1
+        # Occupancy identity: extend the delta log, or fold it into a
+        # fresh base token once it grows past the constant bound.
+        delta = self._occ_delta
+        if len(delta) >= _OCC_FOLD:
+            self._occ_base = object()
+            delta.clear()
+        else:
+            delta.append((tile << _CYCLE_BITS) | cycle)
+        # Context-word and pruning-aggregate maintenance.  The new
+        # instruction adds one word; the PNOP delta is -1, 0 or +1, so
+        # per-tile words never shrink and the running maximum pressure
+        # stays exact.
+        words = self._tile_words
+        old = words[tile]
+        new = old + 1 + pnops[tile] - pnops_before
+        words[tile] = new
+        self._total_words += new - old
+        depth = self.cgra.cm_depths[tile]
+        pressure = new / depth
+        if pressure > self._worst_pressure:
+            self._worst_pressure = pressure
+        if old <= depth < new:
+            self._n_over_exact += 1
+        # The ACMAP estimate adds a one-word reserve on busy tiles.
+        approx_old = old if was_empty else old + 1
+        if approx_old <= depth < new + 1:
+            self._n_over_approx += 1
 
-    def _update_pnops(self, tile, cycle, cycles):
-        """O(1) incremental update of the exact PNOP count."""
-        maximum = self._tile_max[tile]
-        if maximum is None:
-            self._tile_max[tile] = cycle
-            self._tile_pnops[tile] = 1 if cycle > 0 else 0
-            return
-        if cycle > maximum:
-            if cycle > maximum + 1:
-                self._tile_pnops[tile] += 1
-            self._tile_max[tile] = cycle
-            return
-        # Insertion strictly inside [0, maximum): the idle run holding
-        # ``cycle`` shrinks, splits, or disappears.
-        left_idle = cycle > 0 and (cycle - 1) not in cycles
-        right_idle = (cycle + 1) not in cycles
-        if left_idle and right_idle:
-            self._tile_pnops[tile] += 1
-        elif not left_idle and not right_idle:
-            self._tile_pnops[tile] -= 1
+    def occupancy_key(self, horizon):
+        """Hashable identity of the issue slots below ``horizon``.
+
+        Two partial mappings with equal keys occupy exactly the same
+        slots at cycles ``< horizon``: the shared base token pins the
+        schedule at the last fold point and the delta log lists every
+        slot taken since.  O(len(delta)) — the route memo's key cost.
+        """
+        return (self._occ_base,
+                frozenset(slot for slot in self._occ_delta
+                          if slot & _CYCLE_MASK < horizon))
 
     def place_op(self, uid, tile, cycle):
         self.occupy(tile, cycle, ("op", uid))
@@ -202,8 +340,19 @@ class PartialMapping:
 
     def add_mov(self, tile, cycle, value_uid):
         self.occupy(tile, cycle, ("mov", value_uid))
-        self.movs.append((tile, cycle, value_uid))
+        self._mov_chain = (self._mov_chain, (tile, cycle, value_uid))
         self.n_movs += 1
+
+    @property
+    def movs(self):
+        """The block's MOV instructions in insertion order."""
+        out = []
+        chain = self._mov_chain
+        while chain is not None:
+            chain, entry = chain
+            out.append(entry)
+        out.reverse()
+        return out
 
     # ------------------------------------------------------------------
     # Value availability events
@@ -227,9 +376,23 @@ class PartialMapping:
             self.port_events[value_uid] = events + ((tile, cycle),)
 
     def record_production(self, value_uid, tile, cycle):
-        """An op/MOV at (tile, cycle) produced the value."""
-        self.add_rf_event(value_uid, tile, cycle + 1)
-        self.add_port_event(value_uid, tile, cycle + 1)
+        """An op/MOV at (tile, cycle) produced the value.
+
+        Equivalent to ``add_rf_event`` + ``add_port_event`` at
+        ``cycle + 1``, inlined with a fast path for the overwhelmingly
+        common fresh value (no prior events).
+        """
+        after = cycle + 1
+        events = self.rf_avail.get(value_uid)
+        if events is None:
+            self.rf_avail[value_uid] = ((tile, after),)
+        else:
+            self.add_rf_event(value_uid, tile, after)
+        events = self.port_events.get(value_uid)
+        if events is None:
+            self.port_events[value_uid] = ((tile, after),)
+        elif (tile, after) not in events:
+            self.port_events[value_uid] = events + ((tile, after),)
 
     def rf_cycle(self, value_uid, tile):
         """Earliest RF-read cycle of the value on a tile (None if absent)."""
@@ -245,7 +408,7 @@ class PartialMapping:
             return True
         events = self.port_events.get(value_uid)
         if events:
-            neighbors = self.cgra.neighbors(tile)
+            neighbors = self.cgra.neighbor_table[tile]
             for event_tile, event_cycle in events:
                 if event_cycle == cycle and event_tile in neighbors:
                     return True
@@ -289,13 +452,23 @@ class PartialMapping:
 
     def tile_context_words(self, tile, exact=True):
         """CM words this block needs on ``tile`` so far (+ committed)."""
-        pnops = self.exact_pnops(tile) if exact else self.approx_pnops(tile)
-        return (self.committed.tile_instrs[tile]
-                + self.tile_busy_count(tile) + pnops)
+        words = self._tile_words[tile]
+        if exact or not self.tile_cycles[tile]:
+            return words
+        return words + 1
+
+    def fits_exact(self):
+        """True when every tile's exact words fit its context memory."""
+        return self._n_over_exact == 0
+
+    def fits_approx(self):
+        """True under ACMAP's pessimistic per-tile estimate."""
+        return self._n_over_approx == 0
 
     def block_usage(self):
         """Per-tile CM words used by this block alone (exact PNOPs)."""
-        return [self.tile_busy_count(t) + self.exact_pnops(t)
+        committed = self.committed.tile_instrs
+        return [self._tile_words[t] - committed[t]
                 for t in range(self.cgra.n_tiles)]
 
     # ------------------------------------------------------------------
@@ -334,6 +507,9 @@ class PartialMapping:
             tile: {cycle + delta: desc for cycle, desc in cycles.items()}
             for tile, cycles in self.tile_cycles.items()
         }
+        self._owned = set(self.tile_cycles)
+        self._occ_base = object()
+        self._occ_delta = []
         self.rf_avail = {
             uid: tuple((tile, cycle + delta if cycle > 0 else 0)
                        for tile, cycle in events)
@@ -343,13 +519,22 @@ class PartialMapping:
             uid: tuple((tile, cycle + delta) for tile, cycle in events)
             for uid, events in self.port_events.items()
         }
-        self.movs = [(tile, cycle + delta, uid)
-                     for tile, cycle, uid in self.movs]
-        # Shifting opens a leading idle run on tiles that started at
-        # cycle 0; recompute the (rarely stretched) counters outright.
-        for tile, cycles in self.tile_cycles.items():
-            self._tile_max[tile] = max(cycles) if cycles else None
-            self._tile_pnops[tile] = pnop_blocks(cycles.keys())
+        chain = None
+        for tile, cycle, uid in self.movs:
+            chain = (chain, (tile, cycle + delta, uid))
+        self._mov_chain = chain
+        # A uniform shift preserves every inter-instruction gap; only
+        # tiles that started at cycle 0 gain a leading idle run (one
+        # new PNOP).  The tracked min/max make this O(1) per tile.
+        for tile, minimum in enumerate(self._tile_min):
+            if minimum is None:
+                continue
+            if minimum == 0:
+                self._tile_pnops[tile] += 1
+                self._tile_words[tile] += 1
+            self._tile_min[tile] = minimum + delta
+            self._tile_max[tile] += delta
+        self._init_aggregates()
 
     def compress(self):
         """Trim leading and trailing idle cycles off the schedule.
@@ -375,6 +560,9 @@ class PartialMapping:
                 tile: {cycle - shift: desc
                        for cycle, desc in cycles.items()}
                 for tile, cycles in self.tile_cycles.items()}
+            self._owned = set(self.tile_cycles)
+            self._occ_base = object()
+            self._occ_delta = []
             self.rf_avail = {
                 uid: tuple((tile, cycle - shift if cycle > 0 else 0)
                            for tile, cycle in events)
@@ -382,12 +570,23 @@ class PartialMapping:
             self.port_events = {
                 uid: tuple((tile, cycle - shift) for tile, cycle in events)
                 for uid, events in self.port_events.items()}
-            self.movs = [(tile, cycle - shift, uid)
-                         for tile, cycle, uid in self.movs]
+            chain = None
+            for tile, cycle, uid in self.movs:
+                chain = (chain, (tile, cycle - shift, uid))
+            self._mov_chain = chain
+            # The shift closes each tile's leading idle run by
+            # ``shift`` cycles; the PNOP disappears only on tiles
+            # whose first instruction lands exactly on cycle 0.
+            for tile, minimum in enumerate(self._tile_min):
+                if minimum is None:
+                    continue
+                if minimum > 0 and minimum - shift == 0:
+                    self._tile_pnops[tile] -= 1
+                    self._tile_words[tile] -= 1
+                self._tile_min[tile] = minimum - shift
+                self._tile_max[tile] -= shift
+            self._init_aggregates()
         self.length = max(occupied) - shift + 1
-        for tile, cycles in self.tile_cycles.items():
-            self._tile_max[tile] = max(cycles) if cycles else None
-            self._tile_pnops[tile] = pnop_blocks(cycles.keys())
 
     # ------------------------------------------------------------------
     # Cost (pruning / final selection)
@@ -400,15 +599,8 @@ class PartialMapping:
         prefers keeping small-CM tiles lean before it optimises MOV
         count; within a pressure bucket, fewer MOVs win.
         """
-        worst = 0.0
-        total = 0
-        for tile in range(self.cgra.n_tiles):
-            words = self.tile_context_words(tile, exact=True)
-            total += words
-            pressure = words / self.cgra.cm_depth(tile)
-            if pressure > worst:
-                worst = pressure
-        return (int(worst * 8), self.n_movs, worst, total)
+        worst = self._worst_pressure
+        return (int(worst * 8), self.n_movs, worst, self._total_words)
 
     def __repr__(self):
         return (f"PartialMapping({len(self.placements)} ops, "

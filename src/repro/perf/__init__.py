@@ -1,0 +1,44 @@
+"""repro.perf — tracked mapper performance (see README).
+
+The subsystem has three parts:
+
+- :mod:`repro.perf.harness` — times ``map_kernel`` over a case grid
+  with warmup/repeat control (``repro bench``);
+- :mod:`repro.perf.schema` — the ``BENCH_*.json`` document all
+  benchmark producers share, plus baseline comparison with a
+  regression threshold (``repro bench --compare``);
+- :mod:`repro.perf.profile` — cProfile a single mapping
+  (``repro profile``).
+"""
+
+from repro.perf.harness import (
+    BenchCase,
+    default_cases,
+    parse_case,
+    render_bench,
+    run_bench,
+)
+from repro.perf.profile import profile_case
+from repro.perf.schema import (
+    BENCH_JSON_SCHEMA,
+    bench_payload,
+    compare_benchmarks,
+    load_bench_file,
+    parse_bench_payload,
+    render_comparison,
+)
+
+__all__ = [
+    "BENCH_JSON_SCHEMA",
+    "BenchCase",
+    "bench_payload",
+    "compare_benchmarks",
+    "default_cases",
+    "load_bench_file",
+    "parse_bench_payload",
+    "parse_case",
+    "profile_case",
+    "render_bench",
+    "render_comparison",
+    "run_bench",
+]

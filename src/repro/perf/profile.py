@@ -1,0 +1,46 @@
+"""``repro profile`` — cProfile one ``map_kernel`` run.
+
+Future perf work should start from data, not guesses: this wraps one
+mapping in cProfile and prints the top functions by cumulative time,
+which is exactly how the hot paths optimised in this repo (the route
+search, the incremental context accounting) were found.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+from repro.arch.configs import get_config
+from repro.errors import UnmappableError
+from repro.kernels import get_kernel
+from repro.mapping.flow import VARIANTS, map_kernel
+
+from repro.perf.harness import BenchCase
+
+
+def profile_case(case: BenchCase, top=20, sort="cumulative"):
+    """Profile one mapping; returns (stats_text, result_or_None).
+
+    ``sort`` is any pstats key (``cumulative``, ``tottime``, ...).
+    """
+    case.validate()
+    kernel = get_kernel(case.kernel)
+    cgra = get_config(case.config)
+    options = VARIANTS[case.variant]()
+    profiler = cProfile.Profile()
+    result = None
+    profiler.enable()
+    try:
+        result = map_kernel(kernel.cdfg, cgra, options)
+    except UnmappableError:
+        pass
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(sort).print_stats(top)
+    header = (f"profile: {case.name} "
+              f"({'mapped' if result is not None else 'unmappable'})")
+    return header + "\n" + stream.getvalue(), result

@@ -57,8 +57,8 @@ class TestCGRAStructure:
 
     def test_candidate_tiles_for_memory_ops(self):
         cgra = CGRA_CONFIGS["HET2"]
-        assert cgra.candidate_tiles(needs_lsu=True) == list(range(8))
-        assert cgra.candidate_tiles(needs_lsu=False) == list(range(16))
+        assert cgra.candidate_tiles(needs_lsu=True) == tuple(range(8))
+        assert cgra.candidate_tiles(needs_lsu=False) == tuple(range(16))
 
     def test_custom_cgra(self):
         cgra = make_cgra("tiny", rows=2, cols=2, cm_depths=[8, 8, 8, 8],
