@@ -292,6 +292,20 @@ def _parser():
                        metavar="SECONDS",
                        help="age after which finished jobs evict "
                             "(default 21600 = 6h)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="jobs run concurrently, sharing the "
+                            "--workers pool (default 4)")
+    serve.add_argument("--max-queued", type=int, default=None,
+                       metavar="N",
+                       help="queued jobs beyond which POSTs answer "
+                            "429 + Retry-After (default 128)")
+    serve.add_argument("--max-specs", type=int, default=None,
+                       metavar="N",
+                       help="specs accepted per job (default 50000)")
+    serve.add_argument("--token", default=None,
+                       help="bearer token clients must present "
+                            "(default $REPRO_SERVE_TOKEN; required "
+                            "to bind beyond 127.0.0.1)")
     add_cache_flags(serve)
     add_quiet(serve)
 
@@ -321,9 +335,24 @@ def _parser():
                              "servers (one shard per URL) and merge "
                              "the results locally")
     submit.add_argument("--timeout", type=float, default=600.0,
-                        help="per-request timeout in seconds (must "
-                             "exceed the server's 5s stream "
-                             "keepalive)")
+                        help="per-request timeout in seconds for "
+                             "submit/status calls")
+    submit.add_argument("--idle-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="max silence on the point stream; the "
+                             "server's 5s keepalives reset it "
+                             "(default 60)")
+    submit.add_argument("--priority", type=int, default=None,
+                        help="job priority, -100..100; higher runs "
+                             "first (default 0)")
+    submit.add_argument("--retries", type=int, default=None,
+                        metavar="N",
+                        help="attempts per shard with "
+                             "--shard-across before the dispatch "
+                             "fails (default 3)")
+    submit.add_argument("--token", default=None,
+                        help="bearer token for the server(s) "
+                             "(default $REPRO_SERVE_TOKEN)")
     submit.add_argument("--json", action="store_true",
                         help="emit the result payload as JSON")
     add_quiet(submit)
@@ -753,12 +782,17 @@ def _serve(args):
     from repro.serve.server import make_server
 
     cache = _cache_from(args)
+    token = args.token or os.environ.get("REPRO_SERVE_TOKEN") or None
     try:
         server = make_server(host=args.host, port=args.port,
                              workers=args.workers, cache=cache,
                              quiet=_quiet_requested(args),
                              max_finished_jobs=args.max_finished_jobs,
-                             finished_ttl_seconds=args.job_ttl)
+                             finished_ttl_seconds=args.job_ttl,
+                             max_concurrent_jobs=args.jobs,
+                             max_queued_jobs=args.max_queued,
+                             max_specs_per_job=args.max_specs,
+                             token=token)
     except (OSError, OverflowError) as error:
         # Port in use / privileged / out of range / bad address: a
         # one-line diagnosis, not a traceback.  (bind() reports an
@@ -768,7 +802,8 @@ def _serve(args):
     host, port = server.server_address[:2]
     where = cache.directory if cache is not None else "disabled"
     print(f"repro serve: http://{host}:{port} "
-          f"(workers={args.workers}, cache={where})",
+          f"(workers={args.workers}, cache={where}, "
+          f"auth={'token' if token else 'off'})",
           file=sys.stderr, flush=True)
     try:
         server.serve_forever()
@@ -796,6 +831,8 @@ def _submit_request(args):
                 request[key] = value.split(",")
     if args.seed is not None:
         request["seed"] = args.seed
+    if args.priority is not None:
+        request["priority"] = args.priority
     return request
 
 
@@ -812,6 +849,10 @@ def _submit(args):
         raise ReproError("no server URLs given")
     request = _submit_request(args)
     quiet = _quiet_requested(args)
+    token = args.token or os.environ.get("REPRO_SERVE_TOKEN") or None
+    client_kwargs = {"timeout": args.timeout, "token": token}
+    if args.idle_timeout is not None:
+        client_kwargs["idle_timeout"] = args.idle_timeout
 
     if args.shard_across:
         if args.shard:
@@ -823,9 +864,12 @@ def _submit(args):
             print(describe_record(record, done, total, origin=url),
                   file=sys.stderr, flush=True)
 
+        dispatch_kwargs = dict(client_kwargs)
+        if args.retries is not None:
+            dispatch_kwargs["max_attempts"] = args.retries
         result, _ = run_distributed(
-            servers, request, timeout=args.timeout,
-            progress=None if quiet else narrate)
+            servers, request,
+            progress=None if quiet else narrate, **dispatch_kwargs)
         if args.json:
             print(json.dumps(sweep_json_payload(result), indent=2))
         else:
@@ -844,7 +888,7 @@ def _submit(args):
         print(describe_record(record, done, total),
               file=sys.stderr, flush=True)
 
-    client = SweepClient(servers[0], timeout=args.timeout)
+    client = SweepClient(servers[0], **client_kwargs)
     payload = client.run(request,
                          progress=None if quiet else narrate_one)
     result = sweep_result_from_payload(payload)

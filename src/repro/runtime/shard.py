@@ -371,6 +371,45 @@ def _payload_labels(payloads, sources):
             for i, source in enumerate(sources)]
 
 
+def payload_shard_index(payload):
+    """The shard index one payload declares, or ``None`` if unsharded.
+
+    Tolerant of ``None``/malformed payloads (returns ``None``): the
+    fault-tolerant dispatcher calls this on whatever a possibly-dead
+    server managed to hand over before it went away.
+    """
+    if not isinstance(payload, dict):
+        return None
+    shard = payload.get("shard")
+    if not isinstance(shard, dict):
+        return None
+    index = shard.get("index")
+    if isinstance(index, int) and not isinstance(index, bool):
+        return index
+    return None
+
+
+def missing_shard_indices(payloads, total):
+    """Shard indices of ``total`` not covered by ``payloads``.
+
+    The dispatch-side half of the merge-completeness contract: given
+    the payloads collected so far (``None`` and malformed entries
+    count as absent), return the sorted shard indices that still need
+    computing — what a fault-tolerant dispatcher resubmits to the
+    surviving servers.  An *unsharded* payload covers the whole
+    sweep, so its presence means nothing is missing.
+    """
+    present = set()
+    for payload in payloads:
+        index = payload_shard_index(payload)
+        if index is not None:
+            present.add(index)
+        elif isinstance(payload, dict) and payload.get("shard") is None \
+                and payload.get("points") is not None:
+            return []
+    return [index for index in range(total) if index not in present]
+
+
 def merge_sweep_payloads(payloads, sources=None):
     """Combine shard payloads back into one :class:`SweepResult`.
 

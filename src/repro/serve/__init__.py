@@ -5,16 +5,20 @@ cacheable, shardable and streamable; this package puts that engine
 behind a stdlib HTTP boundary so sweeps can be dispatched to other
 machines:
 
-- :mod:`repro.serve.jobs` — :class:`JobManager` executes submitted
-  sweeps FIFO through ``stream_specs`` with an in-order record log
-  per job (what ``/stream`` replays);
+- :mod:`repro.serve.jobs` — :class:`JobManager` schedules submitted
+  sweeps concurrently (priority heap, shared worker pool, bounded
+  queue with :class:`BusyError` backpressure) with an in-order
+  record log per job (what ``/stream`` replays);
 - :mod:`repro.serve.server` — :func:`make_server` builds the
   :class:`ThreadingHTTPServer` behind ``repro serve``
   (``POST /v1/sweeps``, status, NDJSON streaming, cache stats,
-  health);
+  health, optional bearer-token auth, 429 + Retry-After under
+  queue pressure);
 - :mod:`repro.serve.client` — :class:`SweepClient` for one server
-  and :func:`run_distributed`, which shards one sweep across N
-  servers and merges the payloads locally with the same
+  (keepalive-aware per-read idle timeout on streams) and
+  :func:`run_distributed`, which shards one sweep across N servers,
+  resubmits the shards a dead server still owed to the survivors,
+  and merges the payloads locally with the same
   ``merge_sweep_payloads`` that merges shard files.
 
 Quickstart (one process per box)::
@@ -38,16 +42,19 @@ from repro.serve.client import (
     run_distributed,
 )
 from repro.serve.jobs import (
+    BusyError,
     JobManager,
     RequestError,
     SweepJob,
     SweepRequest,
     UnknownJobError,
+    WorkerPool,
     resolve_request,
 )
 from repro.serve.server import SweepServer, make_server
 
 __all__ = [
+    "BusyError",
     "JobManager",
     "RequestError",
     "ServeClientError",
@@ -56,6 +63,7 @@ __all__ = [
     "SweepRequest",
     "SweepServer",
     "UnknownJobError",
+    "WorkerPool",
     "describe_record",
     "make_server",
     "resolve_request",

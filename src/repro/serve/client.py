@@ -2,7 +2,12 @@
 
 :class:`SweepClient` speaks to one server with nothing but
 ``urllib`` — submit a sweep, follow its NDJSON stream point by
-point, fetch the final mergeable payload.
+point, fetch the final mergeable payload.  Two timeouts, two jobs:
+``timeout`` bounds request/response calls (submit, status), while
+streams use ``idle_timeout`` *per read* — the server's 5-second
+keepalives reset it, so a healthy-but-slow job (big exploration,
+cold cache) can run for hours while a wedged or dead server still
+trips the timeout within seconds.
 
 :func:`run_distributed` is the distributed dispatch the runtime was
 built toward: given *N* server URLs it submits ``shard i/N`` of the
@@ -10,24 +15,60 @@ same sweep to server *i* (the servers never talk to each other),
 streams all shards concurrently, and reassembles the payloads
 locally with :func:`repro.runtime.shard.merge_sweep_payloads` — the
 exact function that merges ``--json`` shard *files*.  Distribution
-is therefore pure composition of the PR 2 contract: a server is just
-a machine that happens to produce its shard payload over a socket
-instead of a filesystem.
+is therefore pure composition of the PR 2 contract, and so is its
+*fault tolerance*: when a server dies mid-sweep, the shard indices
+it still owed are exactly the ones
+:func:`~repro.runtime.shard.missing_shard_indices` reports absent
+from the collected payloads, and resubmitting them to the surviving
+servers (bounded retries, backoff between rounds) yields a payload
+set the merge validates exactly as if nothing had died.  A fleet of
+K servers degrades to K−1 instead of failing the dispatch.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
 from repro.errors import ReproError
-from repro.runtime.shard import merge_sweep_payloads
+from repro.runtime.shard import (
+    merge_sweep_payloads,
+    missing_shard_indices,
+)
+
+#: Per-read stream timeout (seconds).  The server emits a keepalive
+#: every 5 silent seconds, so any healthy stream delivers *something*
+#: well within this window; only a wedged or dead server trips it.
+DEFAULT_IDLE_TIMEOUT = 60.0
+
+#: Retry shape for the distributed dispatch: how often one shard may
+#: be (re)submitted, and the base inter-round backoff.
+DEFAULT_MAX_ATTEMPTS = 3
+DEFAULT_BACKOFF_SECONDS = 0.5
+
+#: Longest the dispatcher will sleep between retry rounds, however
+#: large the backoff or the server's Retry-After hint.
+MAX_BACKOFF_SECONDS = 30.0
 
 
 class ServeClientError(ReproError):
-    """Transport or protocol failure talking to a sweep server."""
+    """Transport or protocol failure talking to a sweep server.
+
+    ``status`` is the HTTP status code when the server answered at
+    all (``None`` for connection-level failures and failed jobs);
+    ``retry_after`` carries the server's ``Retry-After`` hint on a
+    429.  The distributed dispatcher classifies on these: 4xx except
+    429 is fatal (the same request fails everywhere), everything
+    else is retryable.
+    """
+
+    def __init__(self, message, status=None, retry_after=None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
 
 
 def describe_record(record, done, total, origin=""):
@@ -56,29 +97,50 @@ def describe_record(record, done, total, origin=""):
 
 
 class SweepClient:
-    """Talk to one ``repro serve`` instance."""
+    """Talk to one ``repro serve`` instance.
 
-    def __init__(self, base_url, timeout=600.0):
+    ``timeout`` bounds each non-streaming request; ``idle_timeout``
+    is the per-read bound on ``/stream`` connections (urllib applies
+    it to every socket operation, so each record or keepalive line
+    resets the clock — a stream only times out after that long of
+    genuine silence, never for being long-lived).  ``token`` is the
+    server's bearer token, sent as ``Authorization: Bearer``.
+    """
+
+    def __init__(self, base_url, timeout=600.0,
+                 idle_timeout=DEFAULT_IDLE_TIMEOUT, token=None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.idle_timeout = idle_timeout
+        self.token = token or None
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _open(self, path, body=None):
+    def _open(self, path, body=None, timeout=None):
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data,
                                          headers=headers)
         try:
-            return urllib.request.urlopen(request,
-                                          timeout=self.timeout)
+            return urllib.request.urlopen(
+                request,
+                timeout=self.timeout if timeout is None else timeout)
         except urllib.error.HTTPError as error:
             detail = ""
+            retry_after = None
+            try:
+                raw = error.headers.get("Retry-After")
+                if raw is not None:
+                    retry_after = float(raw)
+            except (TypeError, ValueError):
+                pass
             try:
                 payload = json.loads(error.read().decode("utf-8"))
                 detail = payload.get("error", "")
@@ -86,7 +148,9 @@ class SweepClient:
                 pass
             raise ServeClientError(
                 f"{url}: HTTP {error.code}"
-                + (f": {detail}" if detail else "")) from None
+                + (f": {detail}" if detail else ""),
+                status=error.code,
+                retry_after=retry_after) from None
         except (urllib.error.URLError, OSError,
                 TimeoutError) as error:
             raise ServeClientError(
@@ -97,6 +161,8 @@ class SweepClient:
         try:
             with self._open(path, body=body) as response:
                 raw = response.read().decode("utf-8")
+        except ServeClientError:
+            raise
         except OSError as error:
             raise ServeClientError(
                 f"{self.base_url}{path}: connection lost "
@@ -151,14 +217,19 @@ class SweepClient:
     def stream(self, job_id):
         """Yield the job's point records as the server lands them.
 
-        A socket timeout or reset mid-stream surfaces as a
-        :class:`ServeClientError` (naming the server), never a bare
+        Reads ride the *idle* timeout: urllib applies it per socket
+        operation, so the server's keepalive lines reset it and a
+        stream can healthily outlive it by hours — it only fires
+        after ``idle_timeout`` seconds of total silence, which no
+        live server produces.  A trip (or a reset) surfaces as a
+        :class:`ServeClientError` naming the server, never a bare
         ``TimeoutError``/``OSError`` — callers and the distributed
         dispatcher handle one exception family.
         """
         path = f"/v1/sweeps/{job_id}/stream"
         try:
-            with self._open(path) as response:
+            with self._open(path, timeout=self.idle_timeout) \
+                    as response:
                 for line in response:
                     line = line.strip()
                     if not line:
@@ -169,10 +240,13 @@ class SweepClient:
                         raise ServeClientError(
                             f"{self.base_url}{path}: bad NDJSON "
                             f"line ({error})") from None
+        except ServeClientError:
+            raise
         except OSError as error:
             raise ServeClientError(
-                f"{self.base_url}{path}: connection lost "
-                f"mid-stream ({error})") from None
+                f"{self.base_url}{path}: stream dropped or silent "
+                f"beyond the {self.idle_timeout}s idle timeout "
+                f"({error})") from None
 
     def follow(self, receipt, progress=None):
         """Stream a submitted job to completion; return its payload.
@@ -202,18 +276,54 @@ class SweepClient:
         return self.follow(self.submit(request), progress=progress)
 
 
-def run_distributed(servers, request, progress=None, timeout=600.0):
+def _is_fatal(error):
+    """Would this failure repeat on any server?
+
+    A 4xx (other than 429) means the *request* is at fault — a typo'd
+    axis fails identically everywhere, so retrying just multiplies
+    the noise.  Everything else (connection death, stream silence,
+    429 backpressure, 5xx, a failed job) is worth another server or
+    another round.
+    """
+    status = getattr(error, "status", None)
+    return status is not None and 400 <= status < 500 and status != 429
+
+
+def run_distributed(servers, request, progress=None, timeout=600.0,
+                    idle_timeout=None, token=None,
+                    max_attempts=DEFAULT_MAX_ATTEMPTS,
+                    backoff_seconds=DEFAULT_BACKOFF_SECONDS,
+                    on_receipts=None):
     """Shard one sweep across ``servers``; merge the results locally.
 
-    Server *i* of *N* receives the same request plus
+    Server *i* of *N* initially receives the same request plus
     ``shard = [i, N]``, so the union of what the servers compute is
     provably the whole sweep (the sharding contract) and the merge
     validates completeness and fingerprints exactly as it does for
-    shard files.  Returns ``(SweepResult, payloads)``.  Any server
-    failing fails the whole dispatch — a silent partial merge would
-    be worse — and ``progress`` (called with
-    ``(record, done, total, server_url)``) may interleave across
-    servers.
+    shard files.  Returns ``(SweepResult, payloads)``.
+
+    **Fault tolerance.**  After each round, the shard indices still
+    missing from the collected payloads (the merge-completeness
+    check, via :func:`~repro.runtime.shard.missing_shard_indices`)
+    are resubmitted to the surviving servers — a server that dropped
+    a connection or failed a job is excluded from reassignment; a
+    server that answered ``429`` stays eligible.  Each shard is
+    attempted at most ``max_attempts`` times, with
+    ``backoff_seconds × round`` sleep between rounds (the largest
+    ``Retry-After`` hint wins when bigger; ``backoff_seconds=0``
+    disables sleeping entirely).  The dispatch fails only when a
+    shard exhausts its attempts, no server survives, or the failure
+    is the request's own fault (4xx) — and the raised
+    :class:`ServeClientError` then aggregates *every* per-server
+    outcome (server URL, shard index, attempt, error), not just the
+    first.
+
+    ``progress`` (called with ``(record, done, total, server_url)``)
+    may interleave across servers; a retried shard restarts its part
+    of the count.  ``on_receipts`` (if given) is called once with
+    ``{shard_index: receipt}`` after the first round of submissions
+    — an observability hook (and the test seam for killing a server
+    between submit and stream).
     """
     servers = list(servers)
     if not servers:
@@ -222,73 +332,132 @@ def run_distributed(servers, request, progress=None, timeout=600.0):
         raise ServeClientError(
             "'shard' is chosen by the dispatcher; submit the "
             "unsharded request")
+    if max_attempts < 1:
+        raise ServeClientError("max_attempts must be >= 1")
     total_shards = len(servers)
+    kwargs = {"timeout": timeout, "token": token}
+    if idle_timeout is not None:
+        kwargs["idle_timeout"] = idle_timeout
+    clients = [SweepClient(url, **kwargs) for url in servers]
+
     payloads = [None] * total_shards
-    failures = [None] * total_shards
+    producers = [None] * total_shards  # url that produced payloads[i]
+    attempts = [0] * total_shards
+    failures = []  # every (shard, server_index, attempt, error)
+    dead = set()  # server indices that dropped a dispatch
+    expected = [None] * total_shards  # per-shard point counts
+    landed = [0] * total_shards
     counter_lock = threading.Lock()
-    counters = {"done": 0}
 
-    def report(problems):
-        detail = "; ".join(f"shard {index} @ {servers[index]}: "
-                           f"{error}" for index, error in problems)
-        raise ServeClientError(
-            f"{len(problems)}/{total_shards} shard dispatches "
-            f"failed — {detail}")
-
-    # Phase 1 — submit every shard before streaming any, so the
-    # combined total is known up front (progress never shows a
-    # falsely complete "[4/4]" while another server's shard is still
-    # pending) and a rejected submission fails the dispatch before
-    # minutes of streaming.
-    clients = [SweepClient(url, timeout=timeout) for url in servers]
-    receipts = [None] * total_shards
-    for index, client in enumerate(clients):
-        shard_request = dict(request or {})
-        shard_request["shard"] = [index, total_shards]
-        try:
-            receipts[index] = client.submit(shard_request)
-        except Exception as error:  # noqa: BLE001 — gather, report
-            failures[index] = error
-    problems = [(index, error)
-                for index, error in enumerate(failures)
-                if error is not None]
-    if problems:
-        report(problems)
-    total_points = sum(receipt["points"] for receipt in receipts)
-
-    def narrate(url, record):
+    def narrate(shard, url, record):
         with counter_lock:
-            counters["done"] += 1
-            done = counters["done"]
+            landed[shard] += 1
+            done = sum(landed)
+            total = sum(count for count in expected
+                        if count is not None)
         if progress is not None:
-            progress(record, done, total_points, url)
+            progress(record, done, total, url)
 
-    # Phase 2 — follow all the streams concurrently.
-    def dispatch(index, url):
-        try:
-            payloads[index] = clients[index].follow(
-                receipts[index],
-                progress=lambda record, _done, _total:
-                narrate(url, record))
-        except Exception as error:  # noqa: BLE001 — any dispatch
-            # failure must surface in the combined report, not kill
-            # the thread and masquerade as a malformed merge later.
-            failures[index] = error
+    def fail_dispatch(pending):
+        detail = "; ".join(
+            f"shard {shard} @ {servers[server]} "
+            f"(attempt {attempt}): {error}"
+            for shard, server, attempt, error in failures)
+        raise ServeClientError(
+            f"{len(pending)}/{total_shards} shard(s) undispatched "
+            f"after {sum(attempts)} attempt(s) across "
+            f"{total_shards} server(s) — {detail}")
 
-    threads = [threading.Thread(target=dispatch, args=(index, url),
-                                name=f"repro-submit-{index}",
-                                daemon=True)
-               for index, url in enumerate(servers)]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    problems = [(index, error)
-                for index, error in enumerate(failures)
-                if error is not None]
-    if problems:
-        report(problems)
+    assignment = {shard: shard for shard in range(total_shards)}
+    pending = list(range(total_shards))
+    round_number = 0
+    while pending:
+        round_number += 1
+        # Phase 1 — submit every pending shard before streaming any,
+        # so the combined total is known up front (progress never
+        # shows a falsely complete "[4/4]" while another shard is
+        # still pending) and a rejected submission fails the round
+        # before minutes of streaming.
+        receipts = {}
+        round_failures = []
+        for shard in pending:
+            server = assignment[shard]
+            attempts[shard] += 1
+            shard_request = dict(request or {})
+            shard_request["shard"] = [shard, total_shards]
+            try:
+                receipts[shard] = clients[server].submit(
+                    shard_request)
+                expected[shard] = receipts[shard]["points"]
+            except Exception as error:  # noqa: BLE001 — gather
+                round_failures.append((shard, server, error))
+        if on_receipts is not None and round_number == 1:
+            on_receipts(dict(receipts))
+
+        # Phase 2 — follow this round's streams concurrently.
+        def dispatch(shard, server, receipt):
+            url = servers[server]
+            with counter_lock:
+                landed[shard] = 0  # a retried shard recounts
+            try:
+                payloads[shard] = clients[server].follow(
+                    receipt,
+                    progress=lambda record, _done, _total:
+                    narrate(shard, url, record))
+                producers[shard] = url
+            except Exception as error:  # noqa: BLE001 — any
+                # dispatch failure must land in the aggregate
+                # report, not kill the thread and masquerade as a
+                # malformed merge later.
+                round_failures.append((shard, server, error))
+
+        threads = [threading.Thread(
+            target=dispatch, args=(shard, assignment[shard], receipt),
+            name=f"repro-submit-{shard}", daemon=True)
+            for shard, receipt in receipts.items()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        fatal = None
+        retry_hint = 0.0
+        for shard, server, error in round_failures:
+            failures.append((shard, server, attempts[shard], error))
+            status = getattr(error, "status", None)
+            if status is None:
+                # Connection-level death or a failed job: treat the
+                # server as suspect for the rest of this dispatch.
+                dead.add(server)
+            if _is_fatal(error):
+                fatal = error
+            hint = getattr(error, "retry_after", None)
+            if hint:
+                retry_hint = max(retry_hint, float(hint))
+
+        # Completeness — the same coverage rule the merge enforces.
+        pending = missing_shard_indices(payloads, total_shards)
+        if not pending:
+            break
+        survivors = [index for index in range(total_shards)
+                     if index not in dead]
+        exhausted = [shard for shard in pending
+                     if attempts[shard] >= max_attempts]
+        if fatal is not None or not survivors or exhausted:
+            fail_dispatch(pending)
+        # Rebalance: the missing shards go round-robin over the
+        # survivors, avoiding the server that just dropped each
+        # shard whenever there is any other choice.
+        for offset, shard in enumerate(pending):
+            previous = assignment[shard]
+            choices = [index for index in survivors
+                       if index != previous] or survivors
+            assignment[shard] = choices[offset % len(choices)]
+        if backoff_seconds:
+            time.sleep(min(max(backoff_seconds * round_number,
+                               retry_hint), MAX_BACKOFF_SECONDS))
+
     result = merge_sweep_payloads(
-        payloads, sources=[f"shard {i} @ {url}"
-                           for i, url in enumerate(servers)])
+        payloads, sources=[f"shard {index} @ {producers[index]}"
+                           for index in range(total_shards)])
     return result, payloads

@@ -10,14 +10,28 @@ what the ``/stream`` endpoint replays line by line: a reader attached
 at any moment first drains everything already landed, then blocks on
 a condition variable until the next point (or the end of the job).
 
-The :class:`JobManager` owns one worker thread that executes jobs
-FIFO through :func:`repro.runtime.stream.stream_specs`, so the
-service inherits the runtime's whole contract for free: cache hits
-stream out first, crashes are captured per point, deterministic
-outcomes persist to the shared :class:`ResultCache`.  A finished
-job's ``payload`` is exactly a ``sweep/figure --json`` payload, so
-anything the service computes can be merged offline with
-``repro merge`` — the service is a transport, not a new format.
+The :class:`JobManager` schedules jobs *concurrently*: up to
+``max_concurrent_jobs`` runner threads pull from one priority queue
+(higher ``priority`` first, FIFO within a priority), and each job
+draws a worker-process budget from one shared :class:`WorkerPool` —
+so a giant exploration can saturate the pool while a one-point probe
+submitted after it still starts immediately (with an inline budget)
+instead of starving behind it.  Every job executes through
+:func:`repro.runtime.stream.stream_specs`, so the service inherits
+the runtime's whole contract for free: cache hits stream out first,
+crashes are captured per point, deterministic outcomes persist to
+the shared :class:`ResultCache`.  A finished job's ``payload`` is
+exactly a ``sweep/figure --json`` payload, so anything the service
+computes can be merged offline with ``repro merge`` — the service is
+a transport, not a new format.
+
+Admission is bounded: when ``max_queued_jobs`` jobs are already
+waiting, :meth:`JobManager.submit` raises :class:`BusyError` — the
+HTTP layer answers ``429`` with a ``Retry-After`` hint — instead of
+queueing unboundedly, and ``max_specs_per_job`` caps how much work a
+single request may claim.  Backpressure over buffering: a client
+told "busy" can retry a survivor; a request buried in an unbounded
+queue just times out minutes later with no information.
 
 Two kinds of job share that machinery.  A *sweep* job
 (:class:`SweepRequest`) is a fixed spec list; an *exploration* job
@@ -31,17 +45,19 @@ mergeable sweep payload.
 The manager is bounded for long-lived servers: finished jobs beyond
 ``max_finished_jobs``, or older than ``finished_ttl_seconds``, are
 evicted (oldest-finished first) on every submission and listing;
-the listing endpoints report how many were dropped.  Queued and
-running jobs are never evicted.
+the listing endpoints report how many were dropped.  Eviction is
+restricted to *terminal* jobs — a queued or running job is never
+dropped, however hard the retention pressure, because evicting it
+would orphan a job the scheduler still intends to run.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import threading
 import time
 import uuid
-from collections import deque
 
 from repro.errors import ReproError
 from repro.runtime.shard import (
@@ -67,13 +83,51 @@ TERMINAL = (DONE, FAILED)
 DEFAULT_MAX_FINISHED_JOBS = 64
 DEFAULT_FINISHED_TTL_SECONDS = 6 * 3600.0
 
+#: Default scheduler shape: how many jobs may run at once, and how
+#: many may wait before submissions bounce with ``429``.
+DEFAULT_MAX_CONCURRENT_JOBS = 4
+DEFAULT_MAX_QUEUED_JOBS = 128
+
+#: Largest spec list one job may claim (the full paper sweep is 140
+#: points; the biggest exploration grids are a few thousand).  A
+#: request beyond this is a mistake or abuse, not a sweep.
+DEFAULT_MAX_SPECS_PER_JOB = 50_000
+
+#: ``Retry-After`` hint handed to clients bounced by backpressure.
+DEFAULT_RETRY_AFTER_SECONDS = 5
+
+#: Accepted ``priority`` range (higher runs first; default 0).
+PRIORITY_MIN, PRIORITY_MAX = -100, 100
+
 
 class RequestError(ReproError):
     """A malformed or invalid sweep submission (HTTP 400)."""
 
 
+class BusyError(ReproError):
+    """The job queue is at capacity (HTTP 429 + ``Retry-After``)."""
+
+    def __init__(self, message, retry_after=DEFAULT_RETRY_AFTER_SECONDS):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class UnknownJobError(ReproError):
     """A job id the manager has never issued (HTTP 404)."""
+
+
+def validated_priority(value):
+    """Check one request's ``priority`` field (default 0)."""
+    if value is None:
+        return 0
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise RequestError(
+            f"'priority' must be an integer, got {value!r}")
+    if not PRIORITY_MIN <= value <= PRIORITY_MAX:
+        raise RequestError(
+            f"'priority' must be between {PRIORITY_MIN} and "
+            f"{PRIORITY_MAX}, got {value}")
+    return value
 
 
 class SweepRequest:
@@ -88,12 +142,14 @@ class SweepRequest:
 
     kind = "sweep"
 
-    def __init__(self, full_specs, shard=None, label="sweep"):
+    def __init__(self, full_specs, shard=None, label="sweep",
+                 priority=0):
         if not full_specs:
             raise RequestError("request resolves to zero specs")
         self.full_specs = [spec.resolve() for spec in full_specs]
         self.shard = shard
         self.label = label
+        self.priority = priority
         if shard is not None:
             self.positions = shard_indices(self.full_specs, *shard)
         else:
@@ -119,7 +175,7 @@ class ExplorationRequest:
 
     kind = "exploration"
 
-    def __init__(self, config):
+    def __init__(self, config, priority=0):
         from repro.dse.runner import exploration_grid_specs
 
         self.config = config
@@ -129,6 +185,7 @@ class ExplorationRequest:
             raise RequestError("exploration resolves to zero points")
         self.shard = None
         self.label = f"explore:{config.strategy}"
+        self.priority = priority
         self.positions = list(range(len(self.full_specs)))
         self.specs = self.full_specs
         self.fingerprint = sweep_fingerprint(self.full_specs)
@@ -141,7 +198,7 @@ class ExplorationRequest:
 #: ``POST /v1/explorations`` body keys (all optional).
 EXPLORATION_KEYS = ("space", "depths", "samples", "kernels", "variant",
                     "strategy", "budget", "seed", "objectives", "rows",
-                    "cols")
+                    "cols", "priority")
 
 
 def resolve_exploration_request(body):
@@ -171,6 +228,7 @@ def resolve_exploration_request(body):
                                   or isinstance(value, bool)):
             raise RequestError(
                 f"{key!r} must be an integer, got {value!r}")
+    priority = validated_priority(body.get("priority"))
     from repro.dse.runner import validated_exploration_config
 
     try:
@@ -186,7 +244,7 @@ def resolve_exploration_request(body):
     except (ReproError, TypeError, ValueError) as error:
         # Axis typos and malformed values are user input, hence 400.
         raise RequestError(str(error)) from None
-    return ExplorationRequest(config)
+    return ExplorationRequest(config, priority=priority)
 
 
 def _string_list(body, key):
@@ -213,19 +271,20 @@ def resolve_request(body):
       optional, exactly like ``repro sweep``.
 
     ``"shard": [i, N]`` (or ``"i/N"``) restricts the job to one
-    deterministic slice of the resolved sweep.
+    deterministic slice of the resolved sweep; ``"priority"`` (an
+    integer, higher first) orders it against other queued jobs.
     """
     if not isinstance(body, dict):
         raise RequestError("request body must be a JSON object")
     unknown = set(body) - {"figure", "specs", "kernels", "configs",
-                           "variants", "seed", "shard"}
+                           "variants", "seed", "shard", "priority"}
     if unknown:
         # A typo'd key ({"kernals": ...}) must 400, not silently
         # widen to the full default sweep.
         raise RequestError(
             f"unknown request keys {sorted(unknown)}; expected "
             f"figure, specs, kernels, configs, variants, seed, "
-            f"shard")
+            f"shard, priority")
     # Presence, not truthiness: {"specs": []} must mean "zero specs"
     # (a hard error) — never silently fall through to the full
     # default sweep and burn hours of unrequested mapping.
@@ -241,6 +300,7 @@ def resolve_request(body):
         raise RequestError(
             f"'seed' only applies to axes sweeps; {modes[0]!r} "
             f"submissions pin their own specs")
+    priority = validated_priority(body.get("priority"))
     shard = body.get("shard")
     if shard is not None:
         try:
@@ -280,7 +340,8 @@ def resolve_request(body):
                     f"figure {name!r} has no prewarmable experiment "
                     f"points; see GET /v1/figures for the servable "
                     f"set")
-            return SweepRequest(specs, shard=shard, label=name)
+            return SweepRequest(specs, shard=shard, label=name,
+                                priority=priority)
         if "specs" in modes:
             raw = body["specs"]
             if not isinstance(raw, list):
@@ -292,7 +353,8 @@ def resolve_request(body):
                     ValueError) as error:
                 raise RequestError(
                     f"malformed spec in 'specs': {error}") from None
-            return SweepRequest(specs, shard=shard, label="specs")
+            return SweepRequest(specs, shard=shard, label="specs",
+                                priority=priority)
         seed = body.get("seed")
         if seed is not None and (not isinstance(seed, int)
                                  or isinstance(seed, bool)):
@@ -303,7 +365,8 @@ def resolve_request(body):
             configs=_string_list(body, "configs"),
             variants=_string_list(body, "variants"),
             seed=seed)
-        return SweepRequest(specs, shard=shard, label="sweep")
+        return SweepRequest(specs, shard=shard, label="sweep",
+                            priority=priority)
     except RequestError:
         raise
     except ReproError as error:
@@ -324,6 +387,7 @@ class SweepJob:
         self.finished = None
         self.cache_hits = 0
         self.computed = 0
+        self.workers_granted = None
         self.records = []
         # Only the JSON payload is retained after completion: the
         # SweepResult's points carry heavy mapping/activity graphs
@@ -333,12 +397,13 @@ class SweepJob:
         self._cond = threading.Condition()
 
     # ------------------------------------------------------------------
-    # Lifecycle (called by the manager's runner thread)
+    # Lifecycle (called by the manager's runner threads)
     # ------------------------------------------------------------------
-    def mark_running(self):
+    def mark_running(self, workers_granted=None):
         with self._cond:
             self.status = RUNNING
             self.started = time.time()
+            self.workers_granted = workers_granted
             self._cond.notify_all()
 
     def add_update(self, update, positions):
@@ -393,6 +458,7 @@ class SweepJob:
                 "status": self.status,
                 "kind": self.request.kind,
                 "label": self.request.label,
+                "priority": self.request.priority,
                 "shard": ({"index": self.request.shard[0],
                            "total": self.request.shard[1]}
                           if self.request.shard is not None else None),
@@ -401,6 +467,7 @@ class SweepJob:
                 "landed": len(self.records),
                 "cache_hits": self.cache_hits,
                 "computed": self.computed,
+                "workers": self.workers_granted,
                 "elapsed_seconds": elapsed,
                 "error": self.error,
             }
@@ -429,11 +496,19 @@ class SweepJob:
             with self._cond:
                 while index >= len(self.records) \
                         and not self.is_terminal:
-                    if heartbeat is not None and \
-                            time.monotonic() - last_yield >= heartbeat:
+                    if heartbeat is None:
+                        self._cond.wait(timeout=0.5)
+                        continue
+                    # Wake in time for the heartbeat deadline, not a
+                    # fixed 0.5s later — a reader whose idle timeout
+                    # is shorter than 0.5s would otherwise die
+                    # waiting for a keepalive we promised sooner.
+                    remaining = heartbeat \
+                        - (time.monotonic() - last_yield)
+                    if remaining <= 0:
                         idle = True
                         break
-                    self._cond.wait(timeout=0.5)
+                    self._cond.wait(timeout=min(0.5, remaining))
                 batch = self.records[index:]
                 terminal = self.is_terminal
             if idle and not batch and not terminal:
@@ -447,28 +522,78 @@ class SweepJob:
                 return
 
 
-class JobManager:
-    """FIFO executor of sweep jobs over one shared runtime cache.
+class WorkerPool:
+    """Allocator for the shared worker-process budget.
 
-    One daemon runner thread drains the queue so concurrent HTTP
-    submissions serialise cleanly instead of contending for the
-    process pool — "queued" in a status response is literal.
+    A runner taking a job asks for as many workers as the job has
+    unique specs; the pool grants a slice of what is free, capped at
+    an even share of the total across the runners currently holding
+    budget.  ``take`` never blocks: a grant of zero means "compute
+    inline in the runner thread" (``workers=1``, no processes), so a
+    one-point probe still starts immediately while a giant
+    exploration holds the whole pool — latency over parallelism for
+    the small job, the reverse for the big one.
+    """
+
+    def __init__(self, total):
+        self.total = max(1, int(total))
+        self._free = self.total
+        self._holders = 0
+        self._lock = threading.Lock()
+
+    def take(self, want):
+        """Grant between 0 and ``want`` workers; pair with give_back."""
+        with self._lock:
+            self._holders += 1
+            share = max(1, self.total // self._holders)
+            grant = max(0, min(int(want), self._free, share))
+            self._free -= grant
+            return grant
+
+    def give_back(self, grant):
+        with self._lock:
+            self._free += grant
+            self._holders -= 1
+
+    @property
+    def free(self):
+        with self._lock:
+            return self._free
+
+
+class JobManager:
+    """Concurrent executor of sweep jobs over one shared runtime cache.
+
+    ``max_concurrent_jobs`` daemon runner threads drain one priority
+    queue (higher ``priority`` first, submission order within a
+    priority — "queued" in a status response is literal), each job
+    drawing its worker budget from the shared :class:`WorkerPool` of
+    ``workers`` processes.  ``max_queued_jobs`` bounds the queue:
+    beyond it, :meth:`submit` raises :class:`BusyError` so the HTTP
+    layer can answer ``429`` instead of buffering unboundedly.
     """
 
     def __init__(self, workers=1, cache=None,
                  max_finished_jobs=DEFAULT_MAX_FINISHED_JOBS,
-                 finished_ttl_seconds=DEFAULT_FINISHED_TTL_SECONDS):
+                 finished_ttl_seconds=DEFAULT_FINISHED_TTL_SECONDS,
+                 max_concurrent_jobs=DEFAULT_MAX_CONCURRENT_JOBS,
+                 max_queued_jobs=DEFAULT_MAX_QUEUED_JOBS,
+                 max_specs_per_job=DEFAULT_MAX_SPECS_PER_JOB):
         self.workers = max(1, int(workers))
         self.cache = cache
         # Retention policy for terminal jobs; ``None`` disables the
         # corresponding bound.  Queued/running jobs never evict.
         self.max_finished_jobs = max_finished_jobs
         self.finished_ttl_seconds = finished_ttl_seconds
+        self.max_concurrent_jobs = max(1, int(max_concurrent_jobs))
+        self.max_queued_jobs = max_queued_jobs
+        self.max_specs_per_job = max_specs_per_job
         self.evicted = 0
-        # The server is multithreaded (HTTP handlers + this runner),
+        self.pool = WorkerPool(self.workers)
+        # The server is multithreaded (HTTP handlers + the runners),
         # so worker processes must never plain-fork: a child forked
         # while another thread holds a lock inherits it locked and
-        # hangs, wedging the FIFO queue forever.  forkserver forks
+        # hangs, wedging the scheduler forever.  forkserver forks
         # workers from a clean single-threaded helper; spawn is the
         # fallback where it does not exist.
         self._mp_context = None
@@ -480,14 +605,21 @@ class JobManager:
             except ValueError:
                 self._mp_context = multiprocessing.get_context(
                     "spawn")
-        self.jobs = {}  # insertion-ordered; entries never evicted
-        self._queue = deque()
+        self.jobs = {}  # insertion-ordered
+        self._heap = []  # (-priority, seq, job): higher first, FIFO ties
+        self._running = set()  # job ids currently held by a runner
+        self._idle_runners = 0  # runner threads parked on the heap
         self._lock = threading.Condition()
         self._closed = False
         self._ids = itertools.count(1)
-        self._thread = threading.Thread(
-            target=self._run, name="repro-serve-jobs", daemon=True)
-        self._thread.start()
+        self._seq = itertools.count()
+        self._threads = [
+            threading.Thread(target=self._run,
+                             name=f"repro-serve-jobs-{index}",
+                             daemon=True)
+            for index in range(self.max_concurrent_jobs)]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------
     # Submission / lookup
@@ -501,14 +633,33 @@ class JobManager:
         return self.submit(resolve_exploration_request(body))
 
     def submit(self, request):
+        if self.max_specs_per_job is not None \
+                and len(request.specs) > self.max_specs_per_job:
+            raise RequestError(
+                f"job of {len(request.specs)} specs exceeds this "
+                f"server's {self.max_specs_per_job}-spec limit; "
+                f"shard the request")
         job_id = f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}"
         job = SweepJob(job_id, request)
         with self._lock:
             if self._closed:
                 raise ReproError("job manager is shut down")
+            # "Queued" means waiting: a submission an idle runner
+            # will pick up immediately never counts against the
+            # bound (otherwise ``max_queued_jobs=0`` could not
+            # accept any work at all).
+            if self.max_queued_jobs is not None \
+                    and self._idle_runners == 0 \
+                    and len(self._heap) >= self.max_queued_jobs:
+                raise BusyError(
+                    f"job queue is full ({len(self._heap)} waiting, "
+                    f"bound {self.max_queued_jobs}); retry in "
+                    f"{DEFAULT_RETRY_AFTER_SECONDS}s or submit to "
+                    f"another server")
             self._evict_locked()
             self.jobs[job_id] = job
-            self._queue.append(job)
+            heapq.heappush(self._heap,
+                           (-request.priority, next(self._seq), job))
             self._lock.notify_all()
         return job
 
@@ -541,14 +692,27 @@ class JobManager:
             totals[job.status] += 1
         return totals
 
+    def queue_depth(self):
+        """How many submitted jobs are waiting for a runner."""
+        with self._lock:
+            return len(self._heap)
+
     def _evict_locked(self):
         """Apply the retention policy (caller holds ``_lock``).
 
         TTL first (a finished job older than the TTL goes regardless
         of count), then the count bound, oldest-finished first.
+        Only *terminal* jobs are eligible: a job still queued (in the
+        heap) or held by a runner must survive any retention
+        pressure — evicting it would orphan work the scheduler still
+        intends to run, and its submitter would watch a live job
+        404.  The live-set check makes that hold even if a job's
+        status write races this scan.
         """
+        live = {job.id for _, _, job in self._heap}
+        live.update(self._running)
         terminal = [job for job in self.jobs.values()
-                    if job.is_terminal]
+                    if job.is_terminal and job.id not in live]
         drop = []
         if self.finished_ttl_seconds is not None:
             horizon = time.time() - self.finished_ttl_seconds
@@ -572,19 +736,32 @@ class JobManager:
     def _run(self):
         while True:
             with self._lock:
-                while not self._queue and not self._closed:
-                    self._lock.wait()
+                self._idle_runners += 1
+                try:
+                    while not self._heap and not self._closed:
+                        self._lock.wait()
+                finally:
+                    self._idle_runners -= 1
                 if self._closed:
                     return
-                job = self._queue.popleft()
-            self._execute(job)
+                _, _, job = heapq.heappop(self._heap)
+                self._running.add(job.id)
+            try:
+                grant = self.pool.take(len(job.request.specs))
+                try:
+                    self._execute(job, workers=max(1, grant))
+                finally:
+                    self.pool.give_back(grant)
+            finally:
+                with self._lock:
+                    self._running.discard(job.id)
 
-    def _execute(self, job):
+    def _execute(self, job, workers):
         if job.request.kind == "exploration":
-            return self._execute_exploration(job)
-        return self._execute_sweep(job)
+            return self._execute_exploration(job, workers)
+        return self._execute_sweep(job, workers)
 
-    def _execute_exploration(self, job):
+    def _execute_exploration(self, job, workers):
         """Run one :mod:`repro.dse` search as a job.
 
         Landed points stream in evaluation order (their ``pos`` is
@@ -594,7 +771,7 @@ class JobManager:
         """
         from repro.dse.runner import run_exploration
 
-        job.mark_running()
+        job.mark_running(workers_granted=workers)
         try:
             landed = itertools.count()
 
@@ -602,18 +779,18 @@ class JobManager:
                 job.add_update(update, [next(landed)])
 
             result = run_exploration(
-                job.request.config, workers=self.workers,
+                job.request.config, workers=workers,
                 cache=self.cache, progress=observe,
                 mp_context=self._mp_context)
             job.finish(result.payload())
         except Exception as error:  # noqa: BLE001 — a job must never
-            # kill the runner thread; the failure is the job's result.
+            # kill its runner thread; the failure is the job's result.
             job.fail(f"{type(error).__name__}: {error}")
 
-    def _execute_sweep(self, job):
+    def _execute_sweep(self, job, workers):
         from repro.runtime.stream import stream_specs
 
-        job.mark_running()
+        job.mark_running(workers_granted=workers)
         request = job.request
         try:
             fanout = {}
@@ -628,7 +805,7 @@ class JobManager:
                                 for i in fanout[update.spec]])
 
             started = time.perf_counter()
-            for _ in stream_specs(request.specs, workers=self.workers,
+            for _ in stream_specs(request.specs, workers=workers,
                                   cache=self.cache, progress=observe,
                                   mp_context=self._mp_context):
                 pass
@@ -643,16 +820,17 @@ class JobManager:
                 spec_total=request.spec_total,
                 fingerprint=request.fingerprint))
         except Exception as error:  # noqa: BLE001 — a job must never
-            # kill the runner thread; the failure is the job's result.
+            # kill its runner thread; the failure is the job's result.
             job.fail(f"{type(error).__name__}: {error}")
 
     def close(self):
-        """Stop the runner; fail whatever never got to run."""
+        """Stop the runners; fail whatever never got to run."""
         with self._lock:
             self._closed = True
-            pending = list(self._queue)
-            self._queue.clear()
+            pending = [job for _, _, job in self._heap]
+            self._heap.clear()
             self._lock.notify_all()
         for job in pending:
             job.fail("job manager shut down before the job ran")
-        self._thread.join(timeout=5.0)
+        for thread in self._threads:
+            thread.join(timeout=5.0)

@@ -23,25 +23,38 @@ A :class:`ThreadingHTTPServer` exposing the sweep runtime:
 - ``GET /healthz`` — liveness plus job-state totals and evictions.
 
 Responses are JSON; errors are ``{"error": ...}`` with the matching
-status code (400 bad submission, 404 unknown job/route).  The server
-binds ``127.0.0.1`` by default — it trusts its callers exactly as
-much as the CLI trusts its user, no more authentication than that —
-and every sweep it computes lands in the same persistent cache the
-CLI uses, so serving and local runs warm each other.
+status code (400 bad submission, 401 bad/missing token, 404 unknown
+job/route, 429 queue full — with a ``Retry-After`` hint).  The
+server binds ``127.0.0.1`` by default; binding any other interface
+requires a bearer token (``--token`` / ``$REPRO_SERVE_TOKEN``),
+checked on every endpoint except ``/healthz`` with a constant-time
+compare.  Every sweep it computes lands in the same persistent cache
+the CLI uses, so serving and local runs warm each other.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
-from repro.serve.jobs import JobManager, RequestError, UnknownJobError
+from repro.errors import ReproError
+from repro.serve.jobs import (
+    BusyError,
+    JobManager,
+    RequestError,
+    UnknownJobError,
+)
 
 #: Largest accepted request body; a spec list is small, so anything
 #: bigger is a mistake (or not a sweep submission at all).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Hosts a tokenless server may bind.  Anything else is reachable by
+#: other machines and requires authentication.
+LOOPBACK_HOSTS = ("127.0.0.1", "localhost", "::1")
 
 #: Blank keepalive line on ``/stream`` after this many silent
 #: seconds, so client read timeouts never fire on a healthy but
@@ -58,9 +71,12 @@ class SweepServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, manager, quiet=False):
+    def __init__(self, address, manager, quiet=False, token=None,
+                 max_body_bytes=MAX_BODY_BYTES):
         self.manager = manager
         self.quiet = quiet
+        self.token = token or None
+        self.max_body_bytes = max_body_bytes
         super().__init__(address, SweepHandler)
 
     def server_close(self):
@@ -70,25 +86,46 @@ class SweepServer(ThreadingHTTPServer):
 
 def make_server(host="127.0.0.1", port=0, workers=1, cache=None,
                 quiet=False, max_finished_jobs=None,
-                finished_ttl_seconds=None):
+                finished_ttl_seconds=None, max_concurrent_jobs=None,
+                max_queued_jobs=None, max_specs_per_job=None,
+                token=None, max_body_bytes=None):
     """Build a ready-to-serve :class:`SweepServer`.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address``) — what the tests and any
-    port-allocating supervisor use.  ``max_finished_jobs`` /
-    ``finished_ttl_seconds`` override the manager's retention policy
-    (``None`` keeps the bounded defaults).
+    port-allocating supervisor use.  The retention
+    (``max_finished_jobs`` / ``finished_ttl_seconds``), scheduling
+    (``max_concurrent_jobs`` / ``max_queued_jobs``) and request-limit
+    (``max_specs_per_job``) knobs override the manager's bounded
+    defaults when not ``None``.
+
+    ``token`` enables bearer-token auth; a ``host`` outside
+    :data:`LOOPBACK_HOSTS` is refused without one — an open,
+    unauthenticated compute endpoint on a routable interface is a
+    misconfiguration, not a default.
     """
-    retention = {}
-    if max_finished_jobs is not None:
-        retention["max_finished_jobs"] = max_finished_jobs
-    if finished_ttl_seconds is not None:
-        retention["finished_ttl_seconds"] = finished_ttl_seconds
-    manager = JobManager(workers=workers, cache=cache, **retention)
+    if token is None and host not in LOOPBACK_HOSTS:
+        raise ReproError(
+            f"refusing to bind {host!r} without authentication: "
+            f"pass a token (repro serve --token / "
+            f"$REPRO_SERVE_TOKEN) to serve beyond loopback")
+    overrides = {}
+    for key, value in (
+            ("max_finished_jobs", max_finished_jobs),
+            ("finished_ttl_seconds", finished_ttl_seconds),
+            ("max_concurrent_jobs", max_concurrent_jobs),
+            ("max_queued_jobs", max_queued_jobs),
+            ("max_specs_per_job", max_specs_per_job)):
+        if value is not None:
+            overrides[key] = value
+    manager = JobManager(workers=workers, cache=cache, **overrides)
     try:
-        return SweepServer((host, port), manager, quiet=quiet)
+        return SweepServer(
+            (host, port), manager, quiet=quiet, token=token,
+            max_body_bytes=(max_body_bytes if max_body_bytes
+                            is not None else MAX_BODY_BYTES))
     except BaseException:
-        # Bind failures must not leak the manager's runner thread
+        # Bind failures must not leak the manager's runner threads
         # (callers probing ports in a loop would pile them up).
         manager.close()
         raise
@@ -107,16 +144,41 @@ class SweepHandler(BaseHTTPRequestHandler):
             sys.stderr.write("serve: %s - %s\n"
                              % (self.address_string(), format % args))
 
-    def _send_json(self, body, status=200):
+    def _send_json(self, body, status=200, headers=None):
         data = (json.dumps(body, indent=2) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
-    def _send_error_json(self, status, message):
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(self, status, message, headers=None):
+        self._send_json({"error": message}, status=status,
+                        headers=headers)
+
+    def _authorized(self):
+        """Bearer-token check, constant-time, tokenless = open.
+
+        ``hmac.compare_digest`` over the whole header keeps the
+        comparison independent of where a forged token first
+        diverges — a plain ``==`` would let a caller binary-search
+        the token one byte of timing at a time.
+        """
+        token = self.server.token
+        if token is None:
+            return True
+        supplied = self.headers.get("Authorization") or ""
+        expected = f"Bearer {token}"
+        return hmac.compare_digest(supplied.encode("utf-8"),
+                                   expected.encode("utf-8"))
+
+    def _send_auth_required(self):
+        self._send_error_json(
+            401, "missing or invalid bearer token (send "
+                 "'Authorization: Bearer <token>')",
+            headers={"WWW-Authenticate": "Bearer"})
 
     def _read_body(self):
         if self.headers.get("Transfer-Encoding") is not None:
@@ -139,10 +201,10 @@ class SweepHandler(BaseHTTPRequestHandler):
             # read(-1) would mean "until EOF" — a handler thread
             # parked on a held-open socket, not a 400.
             raise RequestError("bad Content-Length header")
-        if length > MAX_BODY_BYTES:
+        if length > self.server.max_body_bytes:
             raise RequestError(
                 f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit")
+                f"{self.server.max_body_bytes}-byte limit")
         raw = self.rfile.read(length) if length else b""
         if not raw.strip():
             # Content-Length: 0 (a forgotten body) must not resolve
@@ -164,7 +226,12 @@ class SweepHandler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path.rstrip("/") or "/"
         try:
             if path == "/healthz":
+                # Liveness stays open even behind a token: a load
+                # balancer probing health holds no credentials, and
+                # the body carries counters, not results.
                 return self._get_health()
+            if not self._authorized():
+                return self._send_auth_required()
             if path == "/v1/cache/stats":
                 return self._get_cache_stats()
             if path == "/v1/figures":
@@ -195,12 +262,23 @@ class SweepHandler(BaseHTTPRequestHandler):
     def do_POST(self):
         path = urlsplit(self.path).path.rstrip("/")
         try:
+            if not self._authorized():
+                return self._send_auth_required()
             if path == "/v1/sweeps":
                 return self._post_sweep()
             if path == "/v1/explorations":
                 return self._post_exploration()
             return self._send_error_json(
                 404, f"no such endpoint: POST {path}")
+        except BusyError as error:
+            # Backpressure, not failure: the queue is at its bound,
+            # so the client should retry (here, or on a sibling
+            # server) instead of piling more work on.
+            return self._send_json(
+                {"error": str(error),
+                 "retry_after": error.retry_after},
+                status=429,
+                headers={"Retry-After": str(int(error.retry_after))})
         except RequestError as error:
             return self._send_error_json(400, str(error))
         except (BrokenPipeError, ConnectionResetError):
@@ -227,6 +305,13 @@ class SweepHandler(BaseHTTPRequestHandler):
             "cache": manager.cache is not None,
             "jobs": manager.counts(),
             "evicted": manager.evicted,
+            "auth": self.server.token is not None,
+            "scheduler": {
+                "max_concurrent_jobs": manager.max_concurrent_jobs,
+                "max_queued_jobs": manager.max_queued_jobs,
+                "queued": manager.queue_depth(),
+                "workers_free": manager.pool.free,
+            },
         })
 
     def _list_jobs(self, kind):

@@ -59,9 +59,10 @@ def start_server():
     """
     running = []
 
-    def _start(cache=None, workers=1):
+    def _start(cache=None, workers=1, **kwargs):
         server = make_server(host="127.0.0.1", port=0,
-                             workers=workers, cache=cache, quiet=True)
+                             workers=workers, cache=cache, quiet=True,
+                             **kwargs)
         thread = threading.Thread(target=server.serve_forever,
                                   daemon=True)
         thread.start()

@@ -171,6 +171,47 @@ class TestSubmitCli:
                      "--kernels", "warp_drive"]) == 1
         assert "unknown kernels" in capsys.readouterr().err
 
+    def test_priority_flag_reaches_the_job(self, fake_compute,
+                                           server_url, capsys):
+        from repro.serve.client import SweepClient
+
+        code, payload = run_json(
+            capsys, ["submit", "--server", server_url, "--json",
+                     "--quiet", "--priority", "9"] + AXIS_ARGS)
+        assert code == 0
+        assert payload["summary"]["points"] == N_POINTS
+        jobs = SweepClient(server_url, timeout=10.0).jobs()
+        assert jobs[-1]["priority"] == 9
+
+    def test_out_of_range_priority_is_a_clean_error(
+            self, fake_compute, server_url, capsys):
+        assert main(["submit", "--server", server_url,
+                     "--priority", "101"] + AXIS_ARGS) == 1
+        assert "priority" in capsys.readouterr().err
+
+    def test_serve_refuses_public_bind_without_token(self, capsys,
+                                                     monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+        assert main(["serve", "--host", "0.0.0.0",
+                     "--port", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "without authentication" in err
+        assert "Traceback" not in err
+
+    def test_token_env_authenticates_submit(self, fake_compute,
+                                            start_server, capsys,
+                                            monkeypatch):
+        url, _ = start_server(token="hunter2")
+        args = ["submit", "--server", url, "--json", "--quiet"] \
+            + AXIS_ARGS
+        monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+        assert main(args) == 1
+        assert "401" in capsys.readouterr().err
+        monkeypatch.setenv("REPRO_SERVE_TOKEN", "hunter2")
+        code, payload = run_json(capsys, args)
+        assert code == 0
+        assert payload["summary"]["points"] == N_POINTS
+
     def test_crashed_points_exit_nonzero(self, fake_compute,
                                          server_url, capsys,
                                          monkeypatch):

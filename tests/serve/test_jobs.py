@@ -228,12 +228,53 @@ class TestJobLifecycle:
         # heartbeat — ticks only fire while genuinely idle.
         assert list(job.iter_records(heartbeat=0.0)) == job.records
 
-    def test_jobs_run_fifo(self, manager):
-        first = manager.submit_request(self.REQUEST)
-        second = manager.submit_request(self.REQUEST)
-        finished(second)  # returns only once second is terminal
-        assert first.status == "done"
-        assert manager.counts()["done"] == 2
+    def test_jobs_run_fifo_within_a_priority(self, fake_compute):
+        # One runner makes completion order observable: equal
+        # priorities must preserve submission order.
+        manager = JobManager(workers=1, cache=None,
+                             max_concurrent_jobs=1)
+        try:
+            first = manager.submit_request(self.REQUEST)
+            second = manager.submit_request(self.REQUEST)
+            finished(second)  # returns only once second is terminal
+            assert first.status == "done"
+            assert manager.counts()["done"] == 2
+        finally:
+            manager.close()
+
+    def test_concurrent_jobs_run_at_once(self, fake_compute,
+                                         monkeypatch):
+        import threading
+
+        from repro.runtime import pool
+
+        both_started = threading.Barrier(3, timeout=10.0)
+        gate = threading.Event()
+        real = pool._compute_captured
+
+        def slow(spec):
+            both_started.wait()
+            gate.wait(timeout=10.0)
+            return real(spec)
+
+        monkeypatch.setattr(pool, "_compute_captured", slow)
+        manager = JobManager(workers=1, cache=None,
+                             max_concurrent_jobs=2)
+        try:
+            one_spec = {"kernels": ["fir"], "configs": ["HOM64"],
+                        "variants": ["basic"]}
+            jobs = [manager.submit_request(one_spec)
+                    for _ in range(2)]
+            # Both jobs reach their compute before either finishes —
+            # impossible under the old single FIFO runner.
+            both_started.wait()
+            gate.set()
+            for job in jobs:
+                finished(job)
+                assert job.status == "done"
+        finally:
+            gate.set()
+            manager.close()
 
     def test_unknown_job_id(self, manager):
         from repro.serve.jobs import UnknownJobError
@@ -256,7 +297,8 @@ class TestJobLifecycle:
             return real(spec)
 
         monkeypatch.setattr(pool, "_compute_captured", slow)
-        manager = JobManager(workers=1, cache=None)
+        manager = JobManager(workers=1, cache=None,
+                             max_concurrent_jobs=1)
         blocker = manager.submit_request({"kernels": ["fir"],
                                           "configs": ["HOM64"],
                                           "variants": ["basic"]})
@@ -276,6 +318,159 @@ class TestJobLifecycle:
         assert blocker.status == "done"
         with pytest.raises(ReproError, match="shut down"):
             manager.submit_request(self.REQUEST)
+
+
+class TestScheduler:
+    """Priority ordering, worker-pool budgets, and backpressure."""
+
+    def _gated_manager(self, monkeypatch, order, **kwargs):
+        """A single-runner manager whose computes wait on a gate."""
+        import threading
+
+        from repro.runtime import pool
+
+        started = threading.Event()
+        gate = threading.Event()
+        real = pool._compute_captured
+
+        def slow(spec):
+            started.set()
+            gate.wait(timeout=10.0)
+            order.append(spec.kernel_name)
+            return real(spec)
+
+        monkeypatch.setattr(pool, "_compute_captured", slow)
+        manager = JobManager(workers=1, cache=None,
+                             max_concurrent_jobs=1, **kwargs)
+        return manager, started, gate
+
+    @staticmethod
+    def _one(kernel, priority=None):
+        request = {"kernels": [kernel], "configs": ["HOM64"],
+                   "variants": ["basic"]}
+        if priority is not None:
+            request["priority"] = priority
+        return request
+
+    def test_higher_priority_runs_first(self, fake_compute,
+                                        monkeypatch):
+        order = []
+        manager, started, gate = self._gated_manager(monkeypatch,
+                                                     order)
+        try:
+            blocker = manager.submit_request(self._one("fir"))
+            assert started.wait(timeout=10.0)
+            # Queued while the runner is busy: the high-priority
+            # latecomer must overtake the earlier default submission.
+            low = manager.submit_request(self._one("fft"))
+            high = manager.submit_request(self._one("matmul",
+                                                    priority=10))
+            assert low.snapshot()["priority"] == 0
+            assert high.snapshot()["priority"] == 10
+            gate.set()
+            for job in (blocker, low, high):
+                finished(job)
+            assert order == ["fir", "matmul", "fft"]
+        finally:
+            gate.set()
+            manager.close()
+
+    def test_equal_priority_preserves_submission_order(
+            self, fake_compute, monkeypatch):
+        order = []
+        manager, started, gate = self._gated_manager(monkeypatch,
+                                                     order)
+        try:
+            manager.submit_request(self._one("fir"))
+            assert started.wait(timeout=10.0)
+            first = manager.submit_request(self._one("fft",
+                                                     priority=5))
+            second = manager.submit_request(self._one("matmul",
+                                                      priority=5))
+            gate.set()
+            finished(first)
+            finished(second)
+            assert order == ["fir", "fft", "matmul"]
+        finally:
+            gate.set()
+            manager.close()
+
+    def test_queue_bound_raises_busy(self, fake_compute,
+                                     monkeypatch):
+        from repro.serve.jobs import BusyError
+
+        order = []
+        manager, started, gate = self._gated_manager(
+            monkeypatch, order, max_queued_jobs=1)
+        try:
+            running = manager.submit_request(self._one("fir"))
+            assert started.wait(timeout=10.0)
+            queued = manager.submit_request(self._one("fft"))
+            with pytest.raises(BusyError, match="queue is full") \
+                    as caught:
+                manager.submit_request(self._one("matmul"))
+            assert caught.value.retry_after > 0
+            # Backpressure bounces the latecomer only: in-flight and
+            # queued jobs still finish.
+            gate.set()
+            finished(running)
+            finished(queued)
+            assert running.status == "done"
+            assert queued.status == "done"
+        finally:
+            gate.set()
+            manager.close()
+
+    def test_max_specs_per_job_is_a_request_error(self,
+                                                  fake_compute):
+        manager = JobManager(workers=1, cache=None,
+                             max_specs_per_job=2)
+        try:
+            with pytest.raises(RequestError, match="spec limit"):
+                manager.submit_request({"kernels": ["fir", "fft"],
+                                        "configs": ["HOM64"]})
+            job = finished(manager.submit_request(self._one("fir")))
+            assert job.status == "done"
+        finally:
+            manager.close()
+
+    def test_priority_validation(self):
+        with pytest.raises(RequestError, match="priority"):
+            resolve_request({"kernels": ["fir"], "priority": "high"})
+        with pytest.raises(RequestError, match="priority"):
+            resolve_request({"kernels": ["fir"], "priority": 101})
+        with pytest.raises(RequestError, match="priority"):
+            resolve_request({"kernels": ["fir"], "priority": True})
+        assert resolve_request({"kernels": ["fir"],
+                                "priority": -100}).priority == -100
+
+    def test_worker_pool_grants_and_returns(self):
+        from repro.serve.jobs import WorkerPool
+
+        pool = WorkerPool(4)
+        first = pool.take(10)
+        assert first == 4  # sole holder takes everything it wants
+        second = pool.take(10)
+        assert second == 0  # empty pool -> inline compute, no block
+        pool.give_back(first)
+        pool.give_back(second)
+        assert pool.free == 4
+        # With holders present, a grant is capped at an even share.
+        a = pool.take(10)
+        assert a == 4
+        pool.give_back(a)
+        grants = [pool.take(1), pool.take(4)]
+        assert grants[0] == 1
+        assert grants[1] <= 2  # second of two holders: even share
+        for grant in grants:
+            pool.give_back(grant)
+        assert pool.free == 4
+
+    def test_jobs_report_their_worker_grant(self, manager):
+        job = finished(manager.submit_request(
+            {"kernels": ["fir"], "configs": ["HOM64"],
+             "variants": ["basic"]}))
+        assert job.snapshot()["workers"] == 1
 
 
 class TestEviction:
@@ -339,6 +534,7 @@ class TestEviction:
 
         monkeypatch.setattr(pool, "_compute_captured", slow)
         manager = JobManager(workers=1, cache=None,
+                             max_concurrent_jobs=1,
                              max_finished_jobs=0,
                              finished_ttl_seconds=None)
         try:
@@ -353,6 +549,49 @@ class TestEviction:
             # may drop them.
             assert manager.list_jobs() == []
             assert manager.evicted == 2
+        finally:
+            gate.set()
+            manager.close()
+
+    def test_flooded_queue_never_loses_live_jobs(self, fake_compute,
+                                                 monkeypatch):
+        import threading
+
+        from repro.runtime import pool
+
+        started = threading.Event()
+        gate = threading.Event()
+        real = pool._compute_captured
+
+        def slow(spec):
+            started.set()
+            gate.wait(timeout=30.0)
+            return real(spec)
+
+        monkeypatch.setattr(pool, "_compute_captured", slow)
+        # Zero retention + a flood of submissions: every submit and
+        # every listing runs the eviction scan while all jobs are
+        # still queued/running — none may disappear.
+        manager = JobManager(workers=1, cache=None,
+                             max_concurrent_jobs=1,
+                             max_finished_jobs=0,
+                             finished_ttl_seconds=None)
+        try:
+            jobs = [manager.submit_request(self.REQUEST)
+                    for _ in range(12)]
+            assert started.wait(timeout=10.0)
+            alive = {snap["id"] for snap in manager.list_jobs()}
+            assert alive == {job.id for job in jobs}
+            assert manager.evicted == 0
+            for job in jobs:  # every live job still resolvable
+                assert manager.get(job.id) is job
+            gate.set()
+            for job in jobs:
+                finished(job)
+                assert job.status == "done"
+            # Terminal at last: the zero-retention policy applies.
+            assert manager.list_jobs() == []
+            assert manager.evicted == len(jobs)
         finally:
             gate.set()
             manager.close()

@@ -118,9 +118,10 @@ class TestEndpoints:
             blocker.listen(1)
             port = blocker.getsockname()[1]
             def runners():
-                return sum(thread.name == "repro-serve-jobs"
-                           and thread.is_alive()
-                           for thread in threading.enumerate())
+                return sum(
+                    thread.name.startswith("repro-serve-jobs")
+                    and thread.is_alive()
+                    for thread in threading.enumerate())
 
             before = runners()
             for _ in range(3):
@@ -136,6 +137,120 @@ class TestEndpoints:
         assert len(jobs) == 1
         assert jobs[0]["status"] == "done"
         assert jobs[0]["landed"] == len(SPECS)
+
+
+class TestAuthAndBackpressure:
+    def test_token_required_when_set(self, fake_compute,
+                                     start_server):
+        url, _ = start_server(token="s3cret")
+        anonymous = SweepClient(url, timeout=10.0)
+        with pytest.raises(ServeClientError, match="401") as caught:
+            anonymous.jobs()
+        assert caught.value.status == 401
+        with pytest.raises(ServeClientError, match="401"):
+            anonymous.submit(AXES)
+        wrong = SweepClient(url, timeout=10.0, token="guess")
+        with pytest.raises(ServeClientError, match="401"):
+            wrong.jobs()
+
+    def test_token_grants_access(self, fake_compute, start_server):
+        url, _ = start_server(token="s3cret")
+        client = SweepClient(url, timeout=10.0, token="s3cret")
+        payload = client.run(AXES)
+        assert payload["summary"]["points"] == len(SPECS)
+
+    def test_healthz_stays_open_without_token(self, fake_compute,
+                                              start_server):
+        url, _ = start_server(token="s3cret")
+        health = SweepClient(url, timeout=10.0).health()
+        assert health["status"] == "ok"
+        assert health["auth"] is True
+
+    def test_non_loopback_bind_refused_without_token(self):
+        from repro.errors import ReproError
+        from repro.serve.server import make_server
+
+        with pytest.raises(ReproError, match="without auth"):
+            make_server(host="0.0.0.0", port=0)
+
+    def test_queue_bound_answers_429_with_retry_after(
+            self, fake_compute, start_server, monkeypatch):
+        import threading
+        import urllib.error
+
+        from repro.runtime import pool
+
+        started = threading.Event()
+        gate = threading.Event()
+        real = pool._compute_captured
+
+        def slow(spec):
+            started.set()
+            gate.wait(timeout=30.0)
+            return real(spec)
+
+        monkeypatch.setattr(pool, "_compute_captured", slow)
+        url, _ = start_server(max_concurrent_jobs=1,
+                              max_queued_jobs=0)
+        client = SweepClient(url, timeout=10.0)
+        one = {"kernels": ["fir"], "configs": ["HOM64"],
+               "variants": ["basic"]}
+        receipt = client.submit(one)
+        assert started.wait(timeout=10.0)  # runner busy, queue bound 0
+        request = urllib.request.Request(
+            url + "/v1/sweeps", data=json.dumps(one).encode(),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10)
+        assert caught.value.code == 429
+        assert int(caught.value.headers["Retry-After"]) > 0
+        body = json.loads(caught.value.read().decode())
+        assert "queue is full" in body["error"]
+        # Acceptance: the bounced submission did not disturb the
+        # in-flight job.
+        gate.set()
+        assert client.follow(receipt)["summary"]["points"] == 1
+
+    def test_429_surfaces_retry_after_in_the_client(
+            self, fake_compute, start_server, monkeypatch):
+        import threading
+
+        from repro.runtime import pool
+
+        started = threading.Event()
+        gate = threading.Event()
+        real = pool._compute_captured
+
+        def slow(spec):
+            started.set()
+            gate.wait(timeout=30.0)
+            return real(spec)
+
+        monkeypatch.setattr(pool, "_compute_captured", slow)
+        url, _ = start_server(max_concurrent_jobs=1,
+                              max_queued_jobs=0)
+        client = SweepClient(url, timeout=10.0)
+        one = {"kernels": ["fir"], "configs": ["HOM64"],
+               "variants": ["basic"]}
+        receipt = client.submit(one)
+        assert started.wait(timeout=10.0)
+        with pytest.raises(ServeClientError, match="429") as caught:
+            client.submit(one)
+        assert caught.value.status == 429
+        assert caught.value.retry_after > 0
+        gate.set()
+        client.follow(receipt)
+
+    def test_healthz_reports_scheduler_state(self, fake_compute,
+                                             start_server):
+        url, _ = start_server(max_concurrent_jobs=2,
+                              max_queued_jobs=7)
+        health = SweepClient(url, timeout=10.0).health()
+        scheduler = health["scheduler"]
+        assert scheduler["max_concurrent_jobs"] == 2
+        assert scheduler["max_queued_jobs"] == 7
+        assert scheduler["queued"] == 0
+        assert scheduler["workers_free"] == 1
 
 
 class TestSubmitAndStream:
@@ -258,13 +373,52 @@ class TestDistributedDispatch:
         assert len(seen) == len(SPECS)
         assert {url for url, _ in seen} == set(urls)
 
-    def test_one_dead_server_fails_the_dispatch(
+    def test_one_dead_server_rebalances_to_the_survivor(
             self, fake_compute, start_server):
+        # One of the two URLs was never alive: its shard must be
+        # resubmitted to the survivor and the merge still succeed.
         url, _ = start_server()
-        with pytest.raises(ServeClientError,
-                           match="shard 1 @ http://127.0.0.1:9"):
-            run_distributed([url, "http://127.0.0.1:9"], AXES,
-                            timeout=2.0)
+        result, payloads = run_distributed(
+            [url, "http://127.0.0.1:9"], AXES, timeout=2.0,
+            backoff_seconds=0)
+        local = run_sweep(SPECS)
+        assert sweep_json_payload(result)["points"] \
+            == sweep_json_payload(local)["points"]
+        assert {payload["shard"]["index"]
+                for payload in payloads} == {0, 1}
+
+    def test_all_servers_dead_aggregates_every_outcome(
+            self, fake_compute):
+        # Satellite: the failure must name which shard on which
+        # host failed — every outcome, not just the first.
+        with pytest.raises(ServeClientError) as caught:
+            run_distributed(
+                ["http://127.0.0.1:9", "http://127.0.0.1:10"],
+                AXES, timeout=2.0, backoff_seconds=0)
+        message = str(caught.value)
+        assert "shard 0 @ http://127.0.0.1:9" in message
+        assert "shard 1 @ http://127.0.0.1:10" in message
+        assert "2/2 shard(s)" in message
+
+    def test_shards_exhaust_their_attempts(self, fake_compute,
+                                           start_server,
+                                           monkeypatch):
+        # Force every submission to fail retryably (429) and count
+        # the rounds: the dispatch must give up after max_attempts.
+        url, _ = start_server(max_concurrent_jobs=1,
+                              max_queued_jobs=0)
+        calls = []
+
+        def busy(self, request):
+            calls.append(request["shard"])
+            raise ServeClientError("queue is full", status=429,
+                                   retry_after=0)
+
+        monkeypatch.setattr(SweepClient, "submit", busy)
+        with pytest.raises(ServeClientError, match="attempt 2"):
+            run_distributed([url], AXES, max_attempts=2,
+                            backoff_seconds=0)
+        assert calls == [[0, 1], [0, 1]]
 
     def test_caller_supplied_shard_rejected(self, fake_compute):
         with pytest.raises(ServeClientError, match="dispatcher"):
