@@ -14,7 +14,12 @@ Commands mirror the user journeys of the examples:
   (``--no-cache`` / ``--clear-cache`` to bypass or wipe it); with
   ``--shard i/N`` runs one deterministic slice of the batch and with
   ``--json`` emits a machine-readable result payload that a later
-  ``merge`` reassembles;
+  ``merge`` reassembles; ``--backend`` picks the execution backend
+  (see :mod:`repro.runtime.backends`);
+- ``diff``          — run the suite through two backends and compare
+  per-point cycles/outputs within configurable tolerances
+  (``--backends``, ``--abs-tol``, ``--rel-tol``); exits 4 on any
+  out-of-tolerance mismatch — the CI differential lane;
 - ``merge``         — combine N shard JSON files back into the one
   sweep result the unsharded run would have produced;
 - ``cache``         — manage the persistent result cache
@@ -115,6 +120,9 @@ def _parser():
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = serial)")
     sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--backend", default=None,
+                       help="execution backend: analytic (default) "
+                            "or cycle — see repro.runtime.backends")
     sweep.add_argument("--clear-cache", action="store_true",
                        help="wipe the cache before running")
     sweep.add_argument("--shard", default=None, metavar="I/N",
@@ -129,6 +137,37 @@ def _parser():
                             "on stdout instead of the table")
     add_cache_flags(sweep)
     add_quiet(sweep)
+
+    diff = sub.add_parser(
+        "diff", help="run specs through two backends and compare "
+                     "cycles/outputs (see repro.runtime.diff)")
+    diff.add_argument("--kernels", default=None,
+                      help="comma-separated kernels (default: all)")
+    diff.add_argument("--configs", default=None,
+                      help="comma-separated configs (default: "
+                           "HOM64,HOM32,HET1,HET2)")
+    diff.add_argument("--variants", default=None,
+                      help="comma-separated flow variants "
+                           "(default: all)")
+    diff.add_argument("--seed", type=int, default=7)
+    diff.add_argument("--backends", default=None, metavar="A,B",
+                      help="the two backends to compare "
+                           "(default analytic,cycle)")
+    diff.add_argument("--abs-tol", type=float, default=None,
+                      help="absolute cycle tolerance (default 2; "
+                           "measured bound is 1)")
+    diff.add_argument("--rel-tol", type=float, default=None,
+                      help="relative cycle tolerance vs the first "
+                           "backend (default 0.01)")
+    diff.add_argument("--workers", type=int, default=1,
+                      help="worker processes (1 = serial)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the diff report as JSON on stdout")
+    diff.add_argument("--out", default=None, metavar="FILE",
+                      help="also write the JSON report to FILE "
+                           "(the CI artifact)")
+    add_cache_flags(diff)
+    add_quiet(diff)
 
     merge = sub.add_parser(
         "merge", help="combine shard JSON result files into one sweep")
@@ -205,6 +244,9 @@ def _parser():
     explore.add_argument("--seed", type=int, default=None,
                          help="input seed; also drives the random "
                               "strategy's sampling")
+    explore.add_argument("--backend", default=None,
+                         help="execution backend for every evaluated "
+                              "point (default analytic)")
     explore.add_argument("--rows", type=int, default=None,
                          help="array rows for generated designs "
                               "(default 4)")
@@ -324,6 +366,9 @@ def _parser():
                              "(default: all)")
     submit.add_argument("--seed", type=int, default=None,
                         help="input seed (default: the server's)")
+    submit.add_argument("--backend", default=None,
+                        help="execution backend for the submitted "
+                             "sweep (axes mode only)")
     submit.add_argument("--figure", default=None, metavar="NAME",
                         help="submit a figure's prewarm points "
                              "instead of sweep axes")
@@ -513,7 +558,8 @@ def _sweep(args):
     specs = validated_sweep_specs(kernels=_split_axis(args.kernels),
                                   configs=_split_axis(args.configs),
                                   variants=_split_axis(args.variants),
-                                  seed=args.seed)
+                                  seed=args.seed,
+                                  backend=args.backend)
     shard = None
     if args.shard:
         from repro.runtime.shard import parse_shard
@@ -547,6 +593,47 @@ def _sweep(args):
     return 1 if result.crashed else 0
 
 
+def _diff(args):
+    from repro.runtime.diff import (
+        DEFAULT_ABS_TOL, DEFAULT_REL_TOL, run_diff,
+        validated_diff_backends)
+    from repro.runtime.sweep import validated_sweep_specs
+
+    backends = validated_diff_backends(
+        _split_axis(args.backends))
+    specs = validated_sweep_specs(kernels=_split_axis(args.kernels),
+                                  configs=_split_axis(args.configs),
+                                  variants=_split_axis(args.variants),
+                                  seed=args.seed)
+    abs_tol = args.abs_tol if args.abs_tol is not None \
+        else DEFAULT_ABS_TOL
+    rel_tol = args.rel_tol if args.rel_tol is not None \
+        else DEFAULT_REL_TOL
+    result = run_diff(specs, backends=backends, abs_tol=abs_tol,
+                      rel_tol=rel_tol, workers=args.workers,
+                      cache=_cache_from(args),
+                      progress=_progress(args))
+    payload = result.to_json()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for record in result.mismatches:
+            status = record.classify(abs_tol, rel_tol)
+            print(f"  {status:8s} {record.describe()}: "
+                  f"{record.backend_a}={record.cycles_a} "
+                  f"{record.backend_b}={record.cycles_b} "
+                  f"output_match={record.digest_match} "
+                  f"errors=({record.error_a!r}, {record.error_b!r})")
+        print(result.summary())
+    # Exit 4 is the differential verdict, distinct from usage errors
+    # (1) and unmappable (2) — CI keys off it.
+    return 0 if result.ok else 4
+
+
 def _merge(args):
     from repro.eval.reporting import render_sweep
     from repro.runtime.shard import merge_sweep_files, sweep_json_payload
@@ -577,10 +664,16 @@ def _cache(args):
         else:
             cap = (_format_bytes(stats["max_bytes"])
                    if stats["max_bytes"] is not None else "none")
-            print(f"cache: {stats['directory']}")
+            print(f"cache: {stats['directory']} "
+                  f"(format {stats['format']})")
             print(f"  entries:     {stats['entries']}")
             print(f"  total size:  "
                   f"{_format_bytes(stats['total_bytes'])}")
+            if stats["orphaned_entries"]:
+                print(f"  orphaned:    {stats['orphaned_entries']} "
+                      f"entries from older cache formats, "
+                      f"{_format_bytes(stats['orphaned_bytes'])} "
+                      f"(reclaim with prune/clear)")
             print(f"  byte cap:    {cap}")
         return 0
     if args.action == "clear":
@@ -686,7 +779,8 @@ def _explore(args):
         budget=args.budget,
         seed=args.seed,
         objectives=_split_axis(args.objectives),
-        rows=args.rows, cols=args.cols)
+        rows=args.rows, cols=args.cols,
+        backend=args.backend)
     cache = _cache_from(args)
     if args.shard:
         from repro.runtime.shard import parse_shard
@@ -829,6 +923,12 @@ def _submit_request(args):
                            ("variants", args.variants)):
             if value:
                 request[key] = value.split(",")
+    if args.backend is not None:
+        if args.figure:
+            raise ReproError(
+                "--backend applies to axes submissions, not --figure "
+                "(figures pin their own specs)")
+        request["backend"] = args.backend
     if args.seed is not None:
         request["seed"] = args.seed
     if args.priority is not None:
@@ -903,9 +1003,9 @@ def main(argv=None):
     args = _parser().parse_args(argv)
     handlers = {"map": _map, "run": _run, "energy": _energy,
                 "area": _area, "kernels": _kernels, "sweep": _sweep,
-                "merge": _merge, "cache": _cache, "figure": _figure,
-                "explore": _explore, "serve": _serve,
-                "submit": _submit, "bench": _bench,
+                "diff": _diff, "merge": _merge, "cache": _cache,
+                "figure": _figure, "explore": _explore,
+                "serve": _serve, "submit": _submit, "bench": _bench,
                 "profile": _profile}
     try:
         return handlers[args.command](args)

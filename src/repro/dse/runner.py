@@ -64,16 +64,18 @@ class ExplorationConfig:
     budget: int = None
     seed: int = DEFAULT_SEED
     space: dict = None  # description of how the designs were built
+    backend: str = None  # None = the default execution backend
 
     def spec_for(self, design, kernel_name):
         return design.spec(kernel_name, variant=self.variant,
-                           seed=self.seed)
+                           seed=self.seed, backend=self.backend)
 
 
 def validated_exploration_config(space=None, depths=None, samples=None,
                                  kernels=None, variant=None,
                                  strategy=None, budget=None, seed=None,
-                                 objectives=None, rows=None, cols=None):
+                                 objectives=None, rows=None, cols=None,
+                                 backend=None):
     """Build an :class:`ExplorationConfig`, validating every axis.
 
     ``None`` always means "the default".  Raises a one-line
@@ -101,6 +103,8 @@ def validated_exploration_config(space=None, depths=None, samples=None,
     if seed is not None and (not isinstance(seed, int)
                              or isinstance(seed, bool)):
         raise ReproError(f"seed must be an integer, got {seed!r}")
+    from repro.runtime.backends import validated_backend
+    backend = validated_backend(backend)
     # Kernel validation rides the sweep validator, so the diagnostic
     # is identical to `repro sweep --kernels` (and the default is the
     # same full paper suite).
@@ -128,6 +132,7 @@ def validated_exploration_config(space=None, depths=None, samples=None,
         seed=seed,
         space={"kinds": list(kinds), "depths": list(depths),
                "rows": designs[0].rows, "cols": designs[0].cols},
+        backend=backend,
     )
 
 
@@ -307,6 +312,7 @@ class ExplorationResult:
             "budget": self.config.budget,
             "seed": self.config.seed,
             "variant": self.config.variant,
+            "backend": self.config.backend,
             "objectives": list(self.config.objectives),
             "kernels": list(self.config.kernels),
             "space": dict(self.config.space or {}),

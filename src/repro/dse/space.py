@@ -93,12 +93,14 @@ class Design:
                                                      self.cols))
 
     def spec(self, kernel_name, variant="full", options=None,
-             seed=DEFAULT_SEED):
+             seed=DEFAULT_SEED, backend=None):
         """The :class:`PointSpec` evaluating this design on a kernel."""
+        from repro.runtime.backends import validated_backend
         return PointSpec(kernel_name, self.name, variant,
                          options=options, seed=seed,
                          cm_depths=self.cm_depths,
-                         rows=self.rows, cols=self.cols)
+                         rows=self.rows, cols=self.cols,
+                         backend=validated_backend(backend))
 
     def to_json(self):
         return {"name": self.name, "cm_depths": list(self.cm_depths),

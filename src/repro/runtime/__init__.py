@@ -48,11 +48,27 @@ Streaming and sharding::
         print(spec.describe(), point)
 """
 
+from repro.runtime.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    backend_names,
+    get_backend,
+    register_backend,
+    validated_backend,
+)
 from repro.runtime.cache import (
     ResultCache,
     default_cache_dir,
     parse_bytes,
     point_key,
+)
+from repro.runtime.diff import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    DiffResult,
+    PointDiff,
+    run_diff,
+    validated_diff_backends,
 )
 from repro.runtime.pool import run_specs, run_sweep
 from repro.runtime.shard import (
@@ -83,15 +99,23 @@ from repro.runtime.sweep import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_ABS_TOL",
+    "DEFAULT_BACKEND",
+    "DEFAULT_REL_TOL",
     "DEFAULT_SEED",
+    "DiffResult",
     "ExperimentPoint",
+    "PointDiff",
     "PointSpec",
     "ResultCache",
     "StreamUpdate",
     "SweepResult",
+    "backend_names",
     "compute_point",
     "default_cache_dir",
     "estimated_cost",
+    "get_backend",
     "load_sweep_payload",
     "merge_sweep_files",
     "merge_sweep_payloads",
@@ -100,6 +124,8 @@ __all__ = [
     "point_from_json",
     "point_key",
     "point_to_json",
+    "register_backend",
+    "run_diff",
     "run_specs",
     "run_sweep",
     "shard_indices",
@@ -111,5 +137,7 @@ __all__ = [
     "sweep_json_payload",
     "sweep_result_from_payload",
     "sweep_specs",
+    "validated_backend",
+    "validated_diff_backends",
     "validated_sweep_specs",
 ]

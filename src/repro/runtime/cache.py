@@ -57,9 +57,20 @@ ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 #: Format 2: ExperimentPoint grew an explicit ``mapped`` override.
 #: Format 3: PointSpec grew ``rows``/``cols`` (array-shape scaling
 #: for design-space exploration) — the fields join the key payload.
-CACHE_FORMAT = 3
+#: Format 4: PointSpec grew ``backend`` (pluggable execution
+#: backends) and ExperimentPoint an ``output_digest``; entry
+#: filenames now carry an ``f4-`` format prefix, so entries written
+#: by other formats are recognisably *orphaned* — never read, never
+#: crashed on, reported by ``stats()`` and reclaimed by ``clear()``
+#: or LRU eviction.
+CACHE_FORMAT = 4
 
 _SUFFIX = ".pkl"
+
+#: Filename prefix of entries written by *this* format.  Pre-format-4
+#: entries were bare ``<hash>.pkl``; any entry without the current
+#: prefix is orphaned by definition.
+_FORMAT_PREFIX = f"f{CACHE_FORMAT}-"
 
 _BYTE_SUFFIXES = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
 
@@ -126,6 +137,7 @@ def spec_payload(spec):
                       if spec.cm_depths is not None else None),
         "rows": spec.rows,
         "cols": spec.cols,
+        "backend": spec.backend,
     }
 
 
@@ -176,7 +188,7 @@ class ResultCache:
     # Key-level interface
     # ------------------------------------------------------------------
     def path_for(self, key):
-        return self.directory / f"{key}{_SUFFIX}"
+        return self.directory / f"{_FORMAT_PREFIX}{key}{_SUFFIX}"
 
     def get(self, key):
         """The cached payload for ``key``, or None on a miss.
@@ -255,23 +267,47 @@ class ResultCache:
     # Maintenance
     # ------------------------------------------------------------------
     def entries(self):
-        """Paths of all complete cache entries (ignores temp files)."""
+        """Paths of all complete cache entries (ignores temp files).
+
+        Includes *orphaned* entries — files written under an earlier
+        :data:`CACHE_FORMAT` (recognisable by their filename prefix).
+        They are never read back (``path_for`` only names
+        current-format files) but they still occupy bytes, so size
+        accounting, LRU eviction and ``clear()`` all see them.
+        """
         if not self.directory.is_dir():
             return []
         return sorted(path for path in self.directory.iterdir()
-                      if path.suffix == _SUFFIX)
+                      if path.suffix == _SUFFIX
+                      and ".tmp" not in path.name)
+
+    @staticmethod
+    def is_orphaned(path):
+        """Whether an entry was written under a different format."""
+        return not path.name.startswith(_FORMAT_PREFIX)
 
     def size_bytes(self):
         """Total size of all complete entries, in bytes."""
         return sum(size for _, _, size in self._inventory())
 
     def stats(self):
-        """Size accounting plus session counters, as a plain dict."""
+        """Size accounting plus session counters, as a plain dict.
+
+        ``entries``/``total_bytes`` cover the whole directory;
+        ``orphaned_entries``/``orphaned_bytes`` single out entries
+        from other cache formats — dead weight a format bump left
+        behind, reclaimable with ``prune``/``clear``.
+        """
         inventory = self._inventory()
+        orphaned = [(path, size) for _, path, size in inventory
+                    if self.is_orphaned(path)]
         return {
             "directory": str(self.directory),
+            "format": CACHE_FORMAT,
             "entries": len(inventory),
             "total_bytes": sum(size for _, _, size in inventory),
+            "orphaned_entries": len(orphaned),
+            "orphaned_bytes": sum(size for _, size in orphaned),
             "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,

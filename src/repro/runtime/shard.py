@@ -50,7 +50,10 @@ from repro.runtime.sweep import ExperimentPoint, PointSpec, SweepResult
 
 #: Bump when the JSON sweep-result payload layout changes.
 #: Schema 2: spec dicts carry ``rows``/``cols`` (array-shape scaling).
-SWEEP_JSON_SCHEMA = 2
+#: Schema 3: spec dicts carry ``backend`` (execution backend axis);
+#: point dicts carry ``output_digest`` (cross-backend comparison
+#: token).
+SWEEP_JSON_SCHEMA = 3
 
 #: Cost multiplier for already-cached specs under cache-aware
 #: balancing: near zero (a hit is one unpickle), but not exactly zero
@@ -200,6 +203,8 @@ def spec_to_json(spec):
 
 def spec_from_json(data):
     """Rebuild a resolved :class:`PointSpec` from its JSON dict."""
+    from repro.runtime.backends import DEFAULT_BACKEND
+
     options = data.get("options")
     cm_depths = data.get("cm_depths")
     return PointSpec(
@@ -208,6 +213,7 @@ def spec_from_json(data):
         seed=data["seed"],
         cm_depths=tuple(cm_depths) if cm_depths is not None else None,
         rows=data.get("rows"), cols=data.get("cols"),
+        backend=data.get("backend", DEFAULT_BACKEND),
     ).resolve()
 
 
@@ -224,6 +230,7 @@ def point_to_json(point):
         "energy_parts_pj": (dict(point.energy.parts)
                             if point.energy is not None else None),
         "error": point.error,
+        "output_digest": point.output_digest,
     }
 
 
@@ -236,7 +243,8 @@ def point_from_json(data):
         cycles=data.get("cycles"),
         energy=EnergyBreakdown(parts) if parts is not None else None,
         error=data.get("error"),
-        mapped=data.get("mapped"))
+        mapped=data.get("mapped"),
+        output_digest=data.get("output_digest"))
 
 
 def sweep_json_payload(result, shard=None, positions=None,

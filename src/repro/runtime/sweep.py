@@ -8,23 +8,23 @@ custom context-memory depths — so a spec can serve directly as a
 memoisation key, a process-pool work item and (hashed together with
 the package version) a persistent cache key.
 
-:func:`compute_point` is the single implementation of the pipeline
+:func:`compute_point` is the single entry point of the pipeline
 every figure shares::
 
-    kernel --map--> MappingResult --assemble--> Program --simulate-->
+    kernel --map--> MappingResult --assemble--> Program --execute-->
     cycles + activity --price--> energy
 
-with the same soundness guarantee as before: the CGRA's outputs are
-verified bit-exactly against the kernel's reference before any
-latency/energy number is reported.
+dispatched to the named execution backend of the spec's ``backend``
+field (:mod:`repro.runtime.backends` — the lockstep ``analytic``
+simulator by default, the event-driven ``cycle`` executor as the
+independent cross-check), with the same soundness guarantee in every
+backend: the CGRA's outputs are verified bit-exactly against the
+kernel's reference before any latency/energy number is reported.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import time
-
-import numpy as np
 
 from repro.arch.configs import (
     COLS as DEFAULT_COLS,
@@ -33,12 +33,10 @@ from repro.arch.configs import (
     get_config,
     make_cgra,
 )
-from repro.codegen.assembler import assemble
-from repro.errors import ReproError, UnmappableError
-from repro.kernels import PAPER_KERNEL_ORDER, get_kernel
+from repro.errors import ReproError
+from repro.kernels import PAPER_KERNEL_ORDER
 from repro.mapping.flow import VARIANTS, FlowOptions
-from repro.power.energy import EnergyModel
-from repro.sim.cgra import CGRASimulator
+from repro.runtime.backends import DEFAULT_BACKEND, get_backend
 
 #: Default input seed for all experiment executions.
 DEFAULT_SEED = 7
@@ -58,7 +56,8 @@ class ExperimentPoint:
 
     def __init__(self, kernel_name, config_name, variant, mapping=None,
                  compile_seconds=None, cycles=None, activity=None,
-                 energy=None, error=None, mapped=None):
+                 energy=None, error=None, mapped=None,
+                 output_digest=None):
         self.kernel_name = kernel_name
         self.config_name = config_name
         self.variant = variant
@@ -69,6 +68,10 @@ class ExperimentPoint:
         self.energy = energy
         self.error = error
         self._mapped = mapped
+        #: content hash of the executed output regions — the token
+        #: ``repro diff`` compares across backends (None when the
+        #: point never executed)
+        self.output_digest = output_digest
 
     @property
     def mapped(self):
@@ -116,14 +119,18 @@ class PointSpec:
     cm_depths: tuple = None
     rows: int = None
     cols: int = None
+    backend: str = DEFAULT_BACKEND
 
     def resolve(self):
         """Canonical spec: concrete FlowOptions, upper-case config.
 
         Configuration lookup is case-insensitive, so ``hom64`` and
         ``HOM64`` describe the same computation — normalising here
-        makes them share one memo entry and one cache key.
+        makes them share one memo entry and one cache key.  The
+        backend name is validated here too, so an unknown backend
+        fails with the valid set before any work starts.
         """
+        get_backend(self.backend)
         resolved = self
         if self.config_name != self.config_name.upper():
             resolved = dataclasses.replace(
@@ -168,20 +175,25 @@ class PointSpec:
         return get_config(self.config_name)
 
     def describe(self):
-        return f"{self.kernel_name}@{self.config_name}/{self.variant}"
+        label = f"{self.kernel_name}@{self.config_name}/{self.variant}"
+        if self.backend != DEFAULT_BACKEND:
+            label += f"#{self.backend}"
+        return label
 
 
 def sweep_specs(kernels=PAPER_KERNEL_ORDER, configs=LATENCY_CONFIGS,
-                variants=tuple(VARIANTS), seed=DEFAULT_SEED):
+                variants=tuple(VARIANTS), seed=DEFAULT_SEED,
+                backend=DEFAULT_BACKEND):
     """The full cartesian batch: kernels × configs × flow variants."""
-    return [PointSpec(kernel, config, variant, seed=seed)
+    return [PointSpec(kernel, config, variant, seed=seed,
+                      backend=backend)
             for kernel in kernels
             for config in configs
             for variant in variants]
 
 
 def validated_sweep_specs(kernels=None, configs=None, variants=None,
-                          seed=None):
+                          seed=None, backend=None):
     """:func:`sweep_specs` with axis validation (None = the default).
 
     Unknown axis names become a one-line :class:`ReproError` listing
@@ -212,48 +224,18 @@ def validated_sweep_specs(kernels=None, configs=None, variants=None,
         if unknown:
             raise ReproError(f"unknown {label} {sorted(unknown)}; "
                              f"choose from {sorted(valid)}")
+    from repro.runtime.backends import validated_backend
     return sweep_specs(kernels=kernels, configs=configs,
                        variants=variants,
-                       seed=DEFAULT_SEED if seed is None else seed)
+                       seed=DEFAULT_SEED if seed is None else seed,
+                       backend=validated_backend(backend))
 
 
 def compute_point(spec):
-    """Execute one spec: map, assemble, simulate, verify, price."""
+    """Execute one spec on its named backend: map, assemble, run
+    (lockstep simulation or cycle-level execution), verify, price."""
     spec = spec.resolve()
-    kernel = get_kernel(spec.kernel_name)
-    cgra = spec.build_cgra()
-    options = spec.options
-    started = time.perf_counter()
-    try:
-        mapping = map_kernel_for(kernel, cgra, options)
-    except UnmappableError:
-        return ExperimentPoint(spec.kernel_name, spec.config_name,
-                               spec.variant,
-                               compile_seconds=time.perf_counter() - started,
-                               error="unmappable")
-    seconds = time.perf_counter() - started
-    program = assemble(mapping, kernel.cdfg, enforce_fit=options.ecmap)
-    if not mapping.fits:
-        # A context-unaware mapping that physically overflows this
-        # configuration cannot run — the paper's zero bars.
-        return ExperimentPoint(spec.kernel_name, spec.config_name,
-                               spec.variant, compile_seconds=seconds,
-                               error="context overflow")
-    inputs = kernel.make_inputs(np.random.default_rng(spec.seed))
-    memory = kernel.make_memory(inputs)
-    run = CGRASimulator(program, memory).run()
-    expected = kernel.reference(inputs)
-    for region in kernel.output_regions:
-        got = run.region(kernel.cdfg, region)
-        if got != expected[region]:
-            raise ReproError(
-                f"{spec.describe()}: region {region!r} mismatch — "
-                f"mapping pipeline is unsound")
-    energy = EnergyModel().cgra_energy(run.activity, cgra)
-    return ExperimentPoint(spec.kernel_name, spec.config_name, spec.variant,
-                           mapping=mapping, compile_seconds=seconds,
-                           cycles=run.cycles, activity=run.activity,
-                           energy=energy)
+    return get_backend(spec.backend)(spec)
 
 
 def map_kernel_for(kernel, cgra, options):

@@ -198,7 +198,7 @@ class ExplorationRequest:
 #: ``POST /v1/explorations`` body keys (all optional).
 EXPLORATION_KEYS = ("space", "depths", "samples", "kernels", "variant",
                     "strategy", "budget", "seed", "objectives", "rows",
-                    "cols", "priority")
+                    "cols", "backend", "priority")
 
 
 def resolve_exploration_request(body):
@@ -228,6 +228,10 @@ def resolve_exploration_request(body):
                                   or isinstance(value, bool)):
             raise RequestError(
                 f"{key!r} must be an integer, got {value!r}")
+    backend = body.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise RequestError(f"'backend' must be a string, "
+                           f"got {backend!r}")
     priority = validated_priority(body.get("priority"))
     from repro.dse.runner import validated_exploration_config
 
@@ -238,7 +242,7 @@ def resolve_exploration_request(body):
             variant=body.get("variant"), strategy=body.get("strategy"),
             budget=body.get("budget"), seed=body.get("seed"),
             objectives=body.get("objectives"), rows=body.get("rows"),
-            cols=body.get("cols"))
+            cols=body.get("cols"), backend=body.get("backend"))
     except RequestError:
         raise
     except (ReproError, TypeError, ValueError) as error:
@@ -267,8 +271,8 @@ def resolve_request(body):
     - ``{"figure": "fig6"}`` — the named figure's prewarm specs;
     - ``{"specs": [{...}, ...]}`` — explicit spec dicts in the shard
       JSON encoding (what ``spec_to_json`` emits);
-    - axes — ``kernels``/``configs``/``variants``/``seed``, each
-      optional, exactly like ``repro sweep``.
+    - axes — ``kernels``/``configs``/``variants``/``seed``/
+      ``backend``, each optional, exactly like ``repro sweep``.
 
     ``"shard": [i, N]`` (or ``"i/N"``) restricts the job to one
     deterministic slice of the resolved sweep; ``"priority"`` (an
@@ -277,14 +281,15 @@ def resolve_request(body):
     if not isinstance(body, dict):
         raise RequestError("request body must be a JSON object")
     unknown = set(body) - {"figure", "specs", "kernels", "configs",
-                           "variants", "seed", "shard", "priority"}
+                           "variants", "seed", "backend", "shard",
+                           "priority"}
     if unknown:
         # A typo'd key ({"kernals": ...}) must 400, not silently
         # widen to the full default sweep.
         raise RequestError(
             f"unknown request keys {sorted(unknown)}; expected "
             f"figure, specs, kernels, configs, variants, seed, "
-            f"shard, priority")
+            f"backend, shard, priority")
     # Presence, not truthiness: {"specs": []} must mean "zero specs"
     # (a hard error) — never silently fall through to the full
     # default sweep and burn hours of unrequested mapping.
@@ -296,10 +301,11 @@ def resolve_request(body):
         raise RequestError(
             "pick one of 'figure', 'specs' or the "
             "kernels/configs/variants axes — they are exclusive")
-    if modes and body.get("seed") is not None:
-        raise RequestError(
-            f"'seed' only applies to axes sweeps; {modes[0]!r} "
-            f"submissions pin their own specs")
+    for pinned in ("seed", "backend"):
+        if modes and body.get(pinned) is not None:
+            raise RequestError(
+                f"{pinned!r} only applies to axes sweeps; "
+                f"{modes[0]!r} submissions pin their own specs")
     priority = validated_priority(body.get("priority"))
     shard = body.get("shard")
     if shard is not None:
@@ -360,11 +366,15 @@ def resolve_request(body):
                                  or isinstance(seed, bool)):
             raise RequestError(f"'seed' must be an integer, "
                                f"got {seed!r}")
+        backend = body.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise RequestError(f"'backend' must be a string, "
+                               f"got {backend!r}")
         specs = validated_sweep_specs(
             kernels=_string_list(body, "kernels"),
             configs=_string_list(body, "configs"),
             variants=_string_list(body, "variants"),
-            seed=seed)
+            seed=seed, backend=backend)
         return SweepRequest(specs, shard=shard, label="sweep",
                             priority=priority)
     except RequestError:

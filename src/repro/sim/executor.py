@@ -1,0 +1,285 @@
+"""Functional cycle-level executor: the second execution backend.
+
+An independent re-implementation of the PE contract for differential
+testing against :class:`~repro.sim.cgra.CGRASimulator` (the analytic
+lockstep path).  Same assembled :class:`~repro.codegen.assembler.Program`
+in, same :class:`~repro.sim.memory.DataMemory` model underneath — but
+the execution engine shares nothing with the lockstep simulator:
+
+- **Event-driven, not lockstep.**  Each block's per-tile instruction
+  streams are merged into one cycle-ordered event list; execution
+  walks the events, so idle tiles cost no interpreter work and the
+  engine never iterates a ``range(block.length)``.
+- **Timing is measured, not read off the schedule.**  The lockstep
+  simulator charges every block its mapper-declared length
+  (``activity.cycles += block.length``), which makes its cycle count
+  an echo of the analytic schedule.  This executor never reads
+  ``block.length``: a block's duration is the cycle after its last
+  observable activity completes (the block-end broadcast fires once
+  every stream has drained), so the reported cycle count is an
+  independent measurement.  Where the mapper's schedule carries
+  trailing idle — stretch slack no op ever filled — the two counts
+  legitimately diverge, which is exactly the per-point delta
+  ``repro diff`` reports; see :data:`CYCLE_TOLERANCE_NOTE`.
+- **Same soundness checks, different code.**  Operand reads verify
+  that the named value really is in the tile's RF, in its CRF image,
+  or was posted on the neighbour's port exactly one cycle earlier —
+  so the executor doubles as a second, independent mapping verifier:
+  a bug that slips through one implementation has to slip through
+  both to go unnoticed.
+
+The executor produces the same observables the energy model and the
+experiment pipeline consume: final data memory, a cycle count, and
+:class:`~repro.sim.activity.ActivityCounters`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.ir import opcodes
+from repro.ir.cdfg import Branch, Exit, Jump
+from repro.ir.opcodes import Opcode
+from repro.codegen.assembler import Program
+from repro.sim.activity import ActivityCounters
+from repro.sim.memory import DataMemory
+
+#: Why the two backends may disagree on cycles (and by how much):
+#: the lockstep path charges each block its scheduled length, the
+#: cycle-level path measures until the last instruction completes, so
+#: the analytic count exceeds the measured one by exactly the
+#: schedule's trailing idle — never the other way around.  ``repro
+#: diff`` defaults its tolerance from this bound.
+CYCLE_TOLERANCE_NOTE = (
+    "analytic >= cycle-level; the gap is the schedule's trailing "
+    "idle per block execution")
+
+
+class CycleRunResult:
+    """Outcome of one kernel execution through the cycle executor."""
+
+    def __init__(self, memory, cycles, activity, block_counts,
+                 block_durations):
+        self.memory = memory
+        self.cycles = cycles
+        self.activity = activity
+        self.block_counts = block_counts
+        #: block name -> measured duration of one execution (cycles)
+        self.block_durations = block_durations
+
+    def region(self, cdfg, name):
+        info = cdfg.regions[name]
+        return self.memory.region(info["base"], info["size"])
+
+    def __repr__(self):
+        return f"CycleRunResult({self.cycles} cycles)"
+
+
+class _BlockEvents:
+    """One block's streams flattened into a cycle-ordered event list.
+
+    Built once per block and replayed on every execution (loops).
+    ``events`` groups instructions by issue cycle: a list of
+    ``(cycle, [(tile, instr), ...])`` in ascending cycle order.
+    ``duration`` is the measured span — one past the last completing
+    instruction (a PNOP at cycle c covering n cycles completes at
+    ``c + n - 1``).  Empty blocks measure zero.
+    """
+
+    __slots__ = ("events", "duration")
+
+    def __init__(self, block, n_tiles):
+        by_cycle = {}
+        duration = 0
+        for tile in range(n_tiles):
+            for instr in block.tile_streams[tile]:
+                by_cycle.setdefault(instr.cycle, []).append((tile, instr))
+                duration = max(duration,
+                               instr.cycle + instr.issue_cycles)
+        self.events = sorted(by_cycle.items())
+        self.duration = duration
+
+
+class CycleExecutor:
+    """Executes a :class:`Program` event by event, measuring cycles."""
+
+    def __init__(self, program, memory_image=None,
+                 max_block_executions=1_000_000):
+        if not isinstance(program, Program):
+            raise SimulationError(f"expected Program, got {program!r}")
+        program.check_fits()
+        self.program = program
+        self.cgra = program.cgra
+        self.max_block_executions = max_block_executions
+        if memory_image is None:
+            memory_image = self.cgra.data_memory_words
+        self._memory_image = memory_image
+        self._events = {
+            name: _BlockEvents(block, self.cgra.n_tiles)
+            for name, block in program.blocks.items()}
+
+    # ------------------------------------------------------------------
+    def run(self):
+        program = self.program
+        n_tiles = self.cgra.n_tiles
+        memory = DataMemory(self._memory_image)
+        activity = ActivityCounters(n_tiles)
+        # Persistent per-tile state: symbol register files and the
+        # (immutable) CRF images.
+        sym_rf = [dict() for _ in range(n_tiles)]
+        crf = [frozenset(program.const_images[t]) for t in range(n_tiles)]
+        for symbol, (home, init) in program.symbol_inits.items():
+            sym_rf[home][symbol] = opcodes.wrap32(init)
+        block_counts = {}
+        block_durations = {}
+        current = program.entry
+        executed = 0
+        while True:
+            block = program.blocks[current]
+            block_counts[current] = block_counts.get(current, 0) + 1
+            executed += 1
+            if executed > self.max_block_executions:
+                raise SimulationError(
+                    f"{program.kernel_name}: exceeded "
+                    f"{self.max_block_executions} block executions")
+            plan = self._events[current]
+            branch_value = self._run_block(block, plan, sym_rf, crf,
+                                           memory, activity)
+            block_durations[current] = plan.duration
+            activity.cycles += plan.duration
+            activity.block_transitions += 1
+            terminator = block.terminator
+            if isinstance(terminator, Exit):
+                break
+            if isinstance(terminator, Jump):
+                current = terminator.target
+            elif isinstance(terminator, Branch):
+                if branch_value is None:
+                    raise SimulationError(
+                        f"block {block.name} branched without a BR "
+                        f"result")
+                current = (terminator.if_true if branch_value != 0
+                           else terminator.if_false)
+            else:
+                raise SimulationError(f"bad terminator {terminator!r}")
+        activity.dmem_reads = memory.reads
+        activity.dmem_writes = memory.writes
+        return CycleRunResult(memory, activity.cycles, activity,
+                              block_counts, block_durations)
+
+    # ------------------------------------------------------------------
+    def _run_block(self, block, plan, sym_rf, crf, memory, activity):
+        n_tiles = self.cgra.n_tiles
+        # Block-local register state and per-tile busy accounting.
+        rf = [dict() for _ in range(n_tiles)]
+        busy = [0] * n_tiles
+        # Port state: tile -> (uid, value, cycle the value was posted).
+        # A value is readable from a neighbour exactly one cycle after
+        # it was posted, and only until the next post overwrites it.
+        ports = {}
+        for symbol, home, uid in block.symbol_reads:
+            try:
+                rf[home][uid] = sym_rf[home][symbol]
+            except KeyError:
+                raise SimulationError(
+                    f"symbol {symbol!r} not initialised in tile {home} "
+                    f"at block {block.name}") from None
+        branch_value = None
+        for cycle, group in plan.events:
+            posts = []
+            for tile, instr in group:
+                stats = activity.tiles[tile]
+                stats.cm_reads += 1
+                if instr.kind == "pnop":
+                    stats.pnop_fetches += 1
+                    stats.gated_cycles += instr.count
+                    busy[tile] += instr.count
+                    continue
+                stats.active_cycles += 1
+                busy[tile] += 1
+                value = self._execute(instr, tile, cycle, rf, crf,
+                                      ports, memory, stats,
+                                      block.name)
+                if instr.opcode is Opcode.BR:
+                    branch_value = value
+                elif instr.dest_uid is not None:
+                    rf[tile][instr.dest_uid] = value
+                    stats.rf_writes += 1
+                    posts.append((tile, instr.dest_uid, value))
+            # Results reach the output port only after the whole
+            # cycle resolved — a same-cycle neighbour read must fail.
+            for tile, uid, value in posts:
+                ports[tile] = (uid, value, cycle)
+        for symbol, home, uid in block.symbol_commits:
+            try:
+                sym_rf[home][symbol] = rf[home][uid]
+            except KeyError:
+                raise SimulationError(
+                    f"symbol {symbol!r} commit: value {uid} missing in "
+                    f"tile {home} at block {block.name} "
+                    f"(mapping unsound)") from None
+        # Whatever a tile did not spend issuing or gated within the
+        # measured span, it spent idle (trailing idle included).
+        for tile in range(n_tiles):
+            idle = plan.duration - busy[tile]
+            if idle < 0:
+                raise SimulationError(
+                    f"tile {tile} oversubscribed in block "
+                    f"{block.name}: {busy[tile]} busy cycles in a "
+                    f"{plan.duration}-cycle span")
+            activity.tiles[tile].idle_cycles += idle
+        return branch_value
+
+    # ------------------------------------------------------------------
+    def _read(self, source, tile, cycle, rf, crf, ports, stats,
+              block_name):
+        if source.kind == "rf":
+            try:
+                stats.rf_reads += 1
+                return rf[tile][source.uid]
+            except KeyError:
+                raise SimulationError(
+                    f"tile {tile}: value {source.uid} not in RF at "
+                    f"block {block_name} cycle {cycle} (mapping "
+                    f"unsound)") from None
+        if source.kind == "crf":
+            if source.value not in crf[tile]:
+                raise SimulationError(
+                    f"tile {tile}: constant {source.value} not in CRF "
+                    f"image")
+            stats.crf_reads += 1
+            return source.value
+        posted = ports.get(source.tile)
+        if posted is None or posted[0] != source.uid \
+                or posted[2] != cycle - 1:
+            found = posted[0] if posted is not None else None
+            raise SimulationError(
+                f"tile {tile}: expected value {source.uid} on port of "
+                f"tile {source.tile} at block {block_name} cycle "
+                f"{cycle}, found {found} (mapping unsound)")
+        stats.port_reads += 1
+        return posted[1]
+
+    def _execute(self, instr, tile, cycle, rf, crf, ports, memory,
+                 stats, block_name):
+        values = [self._read(source, tile, cycle, rf, crf, ports,
+                             stats, block_name)
+                  for source in instr.sources]
+        opcode = instr.opcode
+        if opcode is Opcode.LOAD:
+            stats.loads += 1
+            return memory.load(values[0])
+        if opcode is Opcode.STORE:
+            stats.stores += 1
+            memory.store(values[0], values[1])
+            return None
+        if opcode is Opcode.BR:
+            stats.br_ops += 1
+            return values[0]
+        if opcode is Opcode.MOV:
+            stats.mov_ops += 1
+            return values[0]
+        if opcode is Opcode.MUL:
+            stats.mul_ops += 1
+        else:
+            stats.alu_ops += 1
+        return opcodes.evaluate(opcode, values)

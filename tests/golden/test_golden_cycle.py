@@ -1,0 +1,94 @@
+"""Golden regression tests for the cycle-level executor.
+
+``cycle_points.json`` snapshots the *measured* cycle counts (and the
+per-block measured durations) the event-driven executor reports for a
+representative slice of experiment points — the same slice
+``points.json`` pins for the analytic path.  The pipeline is seeded
+and deterministic, so drift here means a change altered the cycle
+executor's timing measurement (or the instruction streams it
+measures) and must be reviewed; regenerate with ``regenerate()``
+below if intended.
+
+The snapshot also pins the *differential invariant* the diff lane
+relies on: for every entry, ``analytic_cycles - cycles`` equals the
+schedule's trailing idle and sits within the default tolerance of
+:mod:`repro.runtime.diff`.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.runtime.diff import DEFAULT_ABS_TOL, DEFAULT_REL_TOL
+from repro.runtime.sweep import PointSpec, compute_point
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "cycle_points.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+ENERGY_REL = 1e-9
+
+
+def cycle_point(kernel, config, variant):
+    return compute_point(PointSpec(kernel, config, variant,
+                                   backend="cycle"))
+
+
+@pytest.mark.parametrize(
+    "entry", GOLDEN["points"],
+    ids=[f"{e['kernel']}@{e['config']}/{e['variant']}"
+         for e in GOLDEN["points"]])
+def test_cycle_point_matches_snapshot(entry):
+    point = cycle_point(entry["kernel"], entry["config"],
+                        entry["variant"])
+    assert point.mapped, point.error
+    assert point.cycles == entry["cycles"]
+    assert point.energy_uj == pytest.approx(entry["energy_uj"],
+                                            rel=ENERGY_REL)
+    assert point.output_digest == entry["output_digest"]
+    delta = entry["analytic_cycles"] - entry["cycles"]
+    assert 0 <= delta <= max(DEFAULT_ABS_TOL,
+                             DEFAULT_REL_TOL * entry["analytic_cycles"])
+
+
+@pytest.mark.parametrize(
+    "entry", GOLDEN["points"],
+    ids=[f"{e['kernel']}@{e['config']}/{e['variant']}"
+         for e in GOLDEN["points"]])
+def test_analytic_sibling_matches_snapshot(entry):
+    # The snapshot's analytic_cycles column must stay honest too —
+    # it is the baseline the delta invariant above is checked against.
+    point = compute_point(PointSpec(entry["kernel"], entry["config"],
+                                    entry["variant"]))
+    assert point.cycles == entry["analytic_cycles"]
+    assert point.output_digest == entry["output_digest"]
+
+
+def regenerate():  # pragma: no cover — maintenance helper
+    """Rewrite cycle_points.json from the current pipeline.
+
+    Run after an *intended* change to mapping/assembly or the cycle
+    executor's timing model::
+
+        PYTHONPATH=src python tests/golden/test_golden_cycle.py
+    """
+    points = []
+    for entry in GOLDEN["points"]:
+        measured = cycle_point(entry["kernel"], entry["config"],
+                               entry["variant"])
+        analytic = compute_point(PointSpec(
+            entry["kernel"], entry["config"], entry["variant"]))
+        points.append({
+            "kernel": entry["kernel"], "config": entry["config"],
+            "variant": entry["variant"],
+            "cycles": measured.cycles,
+            "analytic_cycles": analytic.cycles,
+            "energy_uj": measured.energy_uj,
+            "output_digest": measured.output_digest,
+        })
+    GOLDEN_PATH.write_text(
+        json.dumps({"points": points}, indent=2) + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

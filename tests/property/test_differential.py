@@ -1,0 +1,101 @@
+"""Differential property test: the two backends must agree.
+
+For every kernel x configuration in the fast suite, under random
+input seeds, the analytic lockstep simulator and the event-driven
+cycle-level executor must agree on mapped-success, produce
+bit-identical outputs, and report cycle counts within the documented
+tolerance (analytic >= measured, gap bounded by the schedule's
+trailing idle — see :data:`repro.sim.executor.CYCLE_TOLERANCE_NOTE`
+and the measured defaults in :mod:`repro.runtime.diff`).
+
+Mapping is deterministic and seed-independent, so each
+(kernel, config) pair maps and assembles once (memoised below) and
+Hypothesis spends its examples where the randomness actually is: the
+input data both execution engines consume.
+"""
+
+import functools
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch.configs import get_config
+from repro.codegen.assembler import assemble
+from repro.kernels import PAPER_KERNEL_ORDER, get_kernel
+from repro.mapping.flow import VARIANTS, map_kernel
+from repro.runtime.diff import DEFAULT_ABS_TOL, DEFAULT_REL_TOL
+from repro.sim.cgra import CGRASimulator
+from repro.sim.executor import CycleExecutor
+
+#: The fast suite's execution axes: every paper kernel on every
+#: latency configuration, under the paper's full flow.
+CONFIGS = ("HOM64", "HOM32", "HET1", "HET2")
+
+
+@functools.lru_cache(maxsize=None)
+def prepared(kernel_name, config_name):
+    """Map + assemble once per (kernel, config); None if unmappable
+    on this configuration (both backends would agree trivially)."""
+    kernel = get_kernel(kernel_name)
+    options = VARIANTS["full"]()
+    mapping = map_kernel(kernel.cdfg, get_config(config_name), options)
+    if not mapping.fits:
+        return None
+    program = assemble(mapping, kernel.cdfg,
+                       enforce_fit=options.ecmap)
+    return kernel, program
+
+
+def within_tolerance(analytic, measured):
+    return abs(analytic - measured) \
+        <= max(DEFAULT_ABS_TOL, DEFAULT_REL_TOL * analytic)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(kernel_name=st.sampled_from(PAPER_KERNEL_ORDER),
+       config_name=st.sampled_from(CONFIGS),
+       seed=st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_backends_agree_on_outputs_and_cycles(kernel_name,
+                                              config_name, seed):
+    pair = prepared(kernel_name, config_name)
+    if pair is None:
+        return
+    kernel, program = pair
+    inputs = kernel.make_inputs(np.random.default_rng(seed))
+    lockstep = CGRASimulator(program, kernel.make_memory(inputs)).run()
+    measured = CycleExecutor(program, kernel.make_memory(inputs)).run()
+    expected = kernel.reference(inputs)
+    for region in kernel.output_regions:
+        got_a = lockstep.region(kernel.cdfg, region)
+        got_b = measured.region(kernel.cdfg, region)
+        assert got_a == expected[region], (kernel_name, region)
+        assert got_b == expected[region], (kernel_name, region)
+    # The analytic count restates the schedule; the measured count
+    # can only fall short of it by trailing idle — and by no more
+    # than the documented diff tolerance.
+    assert measured.cycles <= lockstep.cycles
+    assert within_tolerance(lockstep.cycles, measured.cycles), (
+        kernel_name, config_name, lockstep.cycles, measured.cycles)
+
+
+def test_every_fast_suite_pair_is_covered_once():
+    """Deterministic sweep of the full kernel x config grid (one
+    seed), so coverage does not depend on Hypothesis' sampling."""
+    for kernel_name in PAPER_KERNEL_ORDER:
+        for config_name in CONFIGS:
+            pair = prepared(kernel_name, config_name)
+            if pair is None:
+                continue
+            kernel, program = pair
+            inputs = kernel.make_inputs(np.random.default_rng(7))
+            lockstep = CGRASimulator(
+                program, kernel.make_memory(inputs)).run()
+            measured = CycleExecutor(
+                program, kernel.make_memory(inputs)).run()
+            for region in kernel.output_regions:
+                assert measured.region(kernel.cdfg, region) \
+                    == lockstep.region(kernel.cdfg, region), \
+                    (kernel_name, config_name, region)
+            assert measured.cycles <= lockstep.cycles
+            assert within_tolerance(lockstep.cycles, measured.cycles)

@@ -298,6 +298,63 @@ class TestStats:
         stats = ResultCache(tmp_path / "nowhere").stats()
         assert stats["entries"] == 0
         assert stats["total_bytes"] == 0
+        assert stats["orphaned_entries"] == 0
+        assert stats["orphaned_bytes"] == 0
+
+
+class TestFormatOrphans:
+    """The format-4 bump (backend in the key, ``f4-`` name prefix)
+    must leave a cache written by formats 2/3 usable: old entries are
+    ignored — never loaded, never crashed on — and visibly reported
+    as orphaned bytes so the user knows prune/clear reclaims them.
+    """
+
+    def old_format_dir(self, tmp_path, entries=3):
+        """A cache directory as formats 2/3 left it: bare-hash
+        filenames, no format prefix, arbitrary pickle payloads."""
+        tmp_path.mkdir(exist_ok=True)
+        for i in range(entries):
+            stale = tmp_path / f"{'%040x' % (i + 1)}{'0' * 24}.pkl"
+            stale.write_bytes(pickle.dumps(make_point(cycles=i)))
+        return tmp_path
+
+    def test_old_entries_are_ignored_not_crashed_on(self, tmp_path):
+        cache = ResultCache(self.old_format_dir(tmp_path))
+        # Old-format entries never satisfy a lookup (even though they
+        # hold valid pickles): the key's filename now carries the
+        # format prefix, so the miss recomputes instead of serving a
+        # result keyed without the backend field.
+        assert cache.get_point(SPEC) is None
+        assert cache.misses == 1
+        path = cache.store_point(SPEC, make_point(cycles=777))
+        assert path.name.startswith("f")
+        assert cache.get_point(SPEC).cycles == 777
+
+    def test_stats_report_orphaned_bytes(self, tmp_path):
+        cache = ResultCache(self.old_format_dir(tmp_path, entries=2))
+        cache.store_point(SPEC, make_point())
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["orphaned_entries"] == 2
+        assert 0 < stats["orphaned_bytes"] < stats["total_bytes"]
+
+    def test_fresh_cache_has_no_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_point(SPEC, make_point())
+        stats = cache.stats()
+        assert stats["orphaned_entries"] == 0
+        assert stats["orphaned_bytes"] == 0
+
+    def test_clear_reclaims_orphans(self, tmp_path):
+        cache = ResultCache(self.old_format_dir(tmp_path, entries=2))
+        cache.store_point(SPEC, make_point())
+        assert cache.clear() == 3
+        assert cache.stats()["orphaned_entries"] == 0
+
+    def test_prune_to_zero_reclaims_orphans(self, tmp_path):
+        cache = ResultCache(self.old_format_dir(tmp_path, entries=2))
+        assert cache.prune(0) == 2
+        assert cache.stats()["entries"] == 0
 
 
 class TestCacheDir:

@@ -1,0 +1,112 @@
+"""Unit tests for the event-driven cycle-level executor.
+
+The executor is the second execution backend — the point of these
+tests is partly ordinary correctness (outputs, activity accounting)
+and partly the *differential contract*: for every program the
+lockstep simulator can run, the executor must produce bit-identical
+outputs and a cycle count that never exceeds the analytic one (the
+schedule's trailing idle is the only legitimate gap).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.configs import get_config
+from repro.codegen.assembler import assemble
+from repro.errors import SimulationError
+from repro.kernels import get_kernel
+from repro.mapping.flow import VARIANTS, map_kernel
+from repro.sim.cgra import CGRASimulator
+from repro.sim.executor import CycleExecutor
+
+
+def build_program(kernel_name="dc_filter", config="HOM64",
+                  variant="full"):
+    kernel = get_kernel(kernel_name)
+    mapping = map_kernel(kernel.cdfg, get_config(config),
+                         VARIANTS[variant]())
+    options = mapping.options
+    return kernel, assemble(mapping, kernel.cdfg,
+                            enforce_fit=options.ecmap)
+
+
+def memory_for(kernel, seed=7):
+    return kernel.make_memory(
+        kernel.make_inputs(np.random.default_rng(seed)))
+
+
+class TestCycleExecutor:
+    def test_outputs_match_the_reference(self):
+        kernel, program = build_program()
+        inputs = kernel.make_inputs(np.random.default_rng(7))
+        run = CycleExecutor(program, kernel.make_memory(inputs)).run()
+        expected = kernel.reference(inputs)
+        for region in kernel.output_regions:
+            assert run.region(kernel.cdfg, region) == expected[region]
+
+    def test_outputs_match_the_lockstep_simulator(self):
+        kernel, program = build_program("fir", "HET1")
+        lockstep = CGRASimulator(program, memory_for(kernel)).run()
+        measured = CycleExecutor(program, memory_for(kernel)).run()
+        for region in kernel.output_regions:
+            assert measured.region(kernel.cdfg, region) \
+                == lockstep.region(kernel.cdfg, region)
+
+    def test_cycles_never_exceed_the_analytic_count(self):
+        # The lockstep simulator charges the mapper's scheduled block
+        # lengths; the executor measures the stream.  The measured
+        # count can only be smaller (trailing idle) — a larger count
+        # would mean the schedule under-declared a block.
+        for variant in ("basic", "full"):
+            kernel, program = build_program(variant=variant)
+            lockstep = CGRASimulator(program, memory_for(kernel)).run()
+            measured = CycleExecutor(program, memory_for(kernel)).run()
+            assert measured.cycles <= lockstep.cycles
+            assert measured.cycles > 0
+
+    def test_block_durations_are_measured_not_declared(self):
+        kernel, program = build_program()
+        run = CycleExecutor(program, memory_for(kernel)).run()
+        for name, duration in run.block_durations.items():
+            block = program.blocks[name]
+            last = max((instr.cycle + instr.issue_cycles
+                        for stream in block.tile_streams.values()
+                        for instr in stream), default=0)
+            assert duration == last
+            assert duration <= block.length
+
+    def test_activity_counters_are_internally_consistent(self):
+        kernel, program = build_program()
+        run = CycleExecutor(program, memory_for(kernel)).run()
+        activity = run.activity
+        executions = sum(run.block_counts.values())
+        assert activity.block_transitions == executions
+        assert activity.cycles == sum(
+            run.block_durations[name] * count
+            for name, count in run.block_counts.items())
+        for stats in activity.tiles:
+            # Every tile accounts for the full measured span: active
+            # issue slots + gated PNOP coverage + idle.
+            assert stats.active_cycles + stats.gated_cycles \
+                + stats.idle_cycles == activity.cycles
+        assert activity.dmem_reads == run.memory.reads
+        assert activity.dmem_writes == run.memory.writes
+
+    def test_dmem_traffic_matches_the_lockstep_simulator(self):
+        kernel, program = build_program("fir")
+        lockstep = CGRASimulator(program, memory_for(kernel)).run()
+        measured = CycleExecutor(program, memory_for(kernel)).run()
+        assert measured.activity.dmem_reads \
+            == lockstep.activity.dmem_reads
+        assert measured.activity.dmem_writes \
+            == lockstep.activity.dmem_writes
+
+    def test_rejects_non_program(self):
+        with pytest.raises(SimulationError, match="expected Program"):
+            CycleExecutor(object())
+
+    def test_block_execution_bound_trips(self):
+        kernel, program = build_program()
+        with pytest.raises(SimulationError, match="block executions"):
+            CycleExecutor(program, memory_for(kernel),
+                          max_block_executions=1).run()

@@ -106,6 +106,76 @@ class TestSweepJson:
         assert "shard index" in capsys.readouterr().err
 
 
+class TestDiffCommand:
+    #: Two dc_filter points through both backends — small but real.
+    DIFF_ARGS = ["diff", "--kernels", "dc_filter", "--configs",
+                 "HOM64", "--variants", "basic,full", "--no-cache",
+                 "--quiet"]
+
+    def test_fast_subset_is_within_tolerance(self, capsys):
+        assert main(self.DIFF_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "all within tolerance" in out
+
+    def test_json_report_shape(self, capsys):
+        code, payload = run_json(capsys, self.DIFF_ARGS + ["--json"])
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["backends"] == ["analytic", "cycle"]
+        assert payload["mismatches"] == 0
+        assert payload["summary"]["points"] == 2
+        for record in payload["points"]:
+            assert record["status"] == "ok"
+            assert record["output_match"] is True
+            assert record["cycles"]["analytic"] \
+                >= record["cycles"]["cycle"]
+
+    def test_out_writes_the_artifact_file(self, tmp_path, capsys):
+        report = tmp_path / "diff-report.json"
+        assert main(self.DIFF_ARGS + ["--out", str(report)]) == 0
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["tolerance"] == {"abs": 2, "rel": 0.01}
+
+    def test_zero_tolerance_flags_the_trailing_idle(self, capsys):
+        # With tolerances forced to zero, the known one-cycle gap
+        # between the backends becomes a reported mismatch and the
+        # exit code is the differential verdict (4), so the gate in
+        # CI genuinely bites.
+        code = main(self.DIFF_ARGS + ["--abs-tol", "0",
+                                      "--rel-tol", "0"])
+        assert code == 4
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_unknown_backend_rejected(self, capsys):
+        assert main(self.DIFF_ARGS
+                    + ["--backends", "analytic,sat"]) == 1
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_identical_backends_rejected(self, capsys):
+        assert main(self.DIFF_ARGS
+                    + ["--backends", "cycle,cycle"]) == 1
+        assert "distinct" in capsys.readouterr().err
+
+
+class TestSweepBackendFlag:
+    def test_cycle_backend_sweep(self, capsys):
+        code, payload = run_json(
+            capsys, SWEEP_ARGS + ["--json", "--no-cache",
+                                  "--backend", "cycle"])
+        assert code == 0
+        assert payload["summary"]["crashed"] == 0
+        for record in payload["points"]:
+            assert record["spec"]["backend"] == "cycle"
+            assert record["point"]["output_digest"]
+
+    def test_unknown_backend_rejected_before_any_work(self, capsys):
+        assert main(SWEEP_ARGS + ["--backend", "typo"]) == 1
+        assert "unknown backend" in capsys.readouterr().err
+
+
 class TestMergeDiagnostics:
     """`repro merge` failures are one-line diagnoses naming the
     offending shard indices and files — never bare tracebacks."""
