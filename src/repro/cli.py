@@ -38,6 +38,13 @@ Commands mirror the user journeys of the examples:
   warmup/repeat control and emit/compare the ``BENCH_*.json`` perf
   document (``--compare BASELINE.json --max-regress PCT`` exits
   non-zero on regression; see :mod:`repro.perf`);
+- ``trace``         — run a sweep with pipeline tracing on and write
+  the spans as Chrome trace-event JSON (load in Perfetto or
+  ``chrome://tracing``); ``sweep``/``diff`` grow the same capture
+  via ``--trace-out FILE`` (see :mod:`repro.obs`);
+- ``metrics``       — print the Prometheus text exposition of this
+  process's metric registry, or scrape a running server's
+  ``/metrics`` with ``--server URL``;
 - ``profile``       — cProfile one mapping and print the top
   functions, so perf work starts from data;
 - ``serve``         — expose sweeps and explorations over HTTP
@@ -135,6 +142,9 @@ def _parser():
     sweep.add_argument("--json", action="store_true",
                        help="emit a machine-readable result payload "
                             "on stdout instead of the table")
+    sweep.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="record pipeline spans and write Chrome "
+                            "trace JSON to FILE (Perfetto-loadable)")
     add_cache_flags(sweep)
     add_quiet(sweep)
 
@@ -166,6 +176,9 @@ def _parser():
     diff.add_argument("--out", default=None, metavar="FILE",
                       help="also write the JSON report to FILE "
                            "(the CI artifact)")
+    diff.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="record pipeline spans and write Chrome "
+                           "trace JSON to FILE (Perfetto-loadable)")
     add_cache_flags(diff)
     add_quiet(diff)
 
@@ -318,6 +331,41 @@ def _parser():
     profile.add_argument("--sort", default="cumulative",
                         choices=("cumulative", "tottime", "ncalls"),
                         help="pstats sort key (default cumulative)")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="run a traced sweep, write Chrome trace JSON "
+                      "(see repro.obs)")
+    trace_cmd.add_argument("--kernels", default=None,
+                           help="comma-separated kernels "
+                                "(default: all)")
+    trace_cmd.add_argument("--configs", default=None,
+                           help="comma-separated configs (default: "
+                                "HOM64,HOM32,HET1,HET2)")
+    trace_cmd.add_argument("--variants", default=None,
+                           help="comma-separated flow variants "
+                                "(default: all)")
+    trace_cmd.add_argument("--seed", type=int, default=7)
+    trace_cmd.add_argument("--backend", default=None,
+                           help="execution backend (default analytic)")
+    trace_cmd.add_argument("--workers", type=int, default=1,
+                           help="worker processes (1 = serial); "
+                                "worker spans stitch into the tree")
+    trace_cmd.add_argument("--out", default="trace.json",
+                           metavar="FILE",
+                           help="Chrome trace-event JSON output "
+                                "(default trace.json); load it in "
+                                "Perfetto or chrome://tracing")
+    add_cache_flags(trace_cmd)
+    add_quiet(trace_cmd)
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="print Prometheus metrics (local registry or "
+                        "a server's /metrics)")
+    metrics_cmd.add_argument("--server", default=None, metavar="URL",
+                             help="scrape URL/metrics from a running "
+                                  "repro serve instead of the local "
+                                  "registry")
+    add_cache_flags(metrics_cmd)
 
     serve = sub.add_parser(
         "serve", help="expose sweeps over HTTP (see repro.serve)")
@@ -853,6 +901,48 @@ def _bench(args):
     return 0
 
 
+def _trace(args):
+    from repro.obs import trace
+    from repro.runtime.pool import run_sweep
+    from repro.runtime.sweep import validated_sweep_specs
+
+    specs = validated_sweep_specs(kernels=_split_axis(args.kernels),
+                                  configs=_split_axis(args.configs),
+                                  variants=_split_axis(args.variants),
+                                  seed=args.seed,
+                                  backend=args.backend)
+    trace.enable_tracing()
+    result = run_sweep(specs, workers=args.workers,
+                       cache=_cache_from(args),
+                       progress=_progress(args))
+    spans = trace.drain_spans()
+    out = trace.write_chrome_trace(args.out, spans)
+    print(f"{len(spans)} spans from {len(specs)} point(s) -> {out}",
+          file=sys.stderr, flush=True)
+    return 1 if result.crashed else 0
+
+
+def _metrics(args):
+    if args.server:
+        import urllib.request
+        url = args.server.rstrip("/") + "/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=30.0) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except OSError as error:
+            raise ReproError(
+                f"cannot scrape {url}: {error}") from None
+        return 0
+    from repro.obs import metrics
+    # Prime the cache gauges so a fresh process reports the
+    # persistent cache's real state, not zeros.
+    cache = _cache_from(args)
+    if cache is not None:
+        cache.stats()
+    sys.stdout.write(metrics.REGISTRY.render())
+    return 0
+
+
 def _profile(args):
     from repro.perf import BenchCase, profile_case
 
@@ -895,14 +985,15 @@ def _serve(args):
                          f"{error}") from None
     host, port = server.server_address[:2]
     where = cache.directory if cache is not None else "disabled"
-    print(f"repro serve: http://{host}:{port} "
-          f"(workers={args.workers}, cache={where}, "
-          f"auth={'token' if token else 'off'})",
-          file=sys.stderr, flush=True)
+    from repro.obs import get_logger
+    log = get_logger("repro.serve")
+    log.info("serving", url=f"http://{host}:{port}",
+             workers=args.workers, cache=where,
+             auth="token" if token else "off")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("repro serve: shutting down", file=sys.stderr)
+        log.info("shutting down")
     finally:
         server.server_close()
     return 0
@@ -1006,7 +1097,15 @@ def main(argv=None):
                 "diff": _diff, "merge": _merge, "cache": _cache,
                 "figure": _figure, "explore": _explore,
                 "serve": _serve, "submit": _submit, "bench": _bench,
-                "profile": _profile}
+                "profile": _profile, "trace": _trace,
+                "metrics": _metrics}
+    # ``--trace-out`` (sweep/diff) records the whole command and
+    # dumps whatever landed even on a failing exit — a trace of the
+    # run that misbehaved is the one worth keeping.
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs import trace
+        trace.enable_tracing()
     try:
         return handlers[args.command](args)
     except UnmappableError as error:
@@ -1015,6 +1114,12 @@ def main(argv=None):
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if trace_out:
+            spans = trace.drain_spans()
+            trace.write_chrome_trace(trace_out, spans)
+            print(f"{len(spans)} spans -> {trace_out}",
+                  file=sys.stderr, flush=True)
 
 
 if __name__ == "__main__":

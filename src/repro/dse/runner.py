@@ -345,6 +345,16 @@ def run_exploration(config, workers=1, cache=None, progress=None,
     boxes (cross-strategy comparisons should rescore both frontiers
     in one box — see :func:`repro.dse.pareto.hypervolume`).
     """
+    from repro.obs import trace
+
+    with trace.span("exploration", strategy=config.strategy,
+                    designs=len(config.designs),
+                    kernels=len(config.kernels)):
+        return _run_exploration(config, workers, cache, progress,
+                                mp_context)
+
+
+def _run_exploration(config, workers, cache, progress, mp_context):
     started = time.perf_counter()
     ctx = EvaluationContext(config, workers=workers, cache=cache,
                             progress=progress, mp_context=mp_context)

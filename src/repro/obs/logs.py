@@ -1,0 +1,164 @@
+"""Structured logging: levelled, machine-parseable, env-configured.
+
+One logging layer for the whole system, replacing scattered
+``print(..., file=sys.stderr)`` narration.  Configuration is one
+environment variable::
+
+    REPRO_LOG=level[:json]      # e.g. REPRO_LOG=debug, REPRO_LOG=info:json
+
+``level`` is one of ``debug`` / ``info`` / ``warning`` / ``error``
+(default ``info``); the ``:json`` suffix switches the format from
+human-readable text lines to one JSON object per line — what a log
+shipper wants.  Everything goes to stderr, keeping stdout clean for
+tables and ``--json`` payloads, exactly like the progress lines
+always have.
+
+A logger emits *events with fields*, not format strings::
+
+    log = get_logger("repro.serve")
+    log.info("request", method="GET", path="/healthz", status=200)
+
+Text rendering: ``2026-08-08T12:00:00.123Z INFO repro.serve: request
+method=GET path=/healthz status=200``.  JSON rendering: the same
+data as one object with ``ts``/``level``/``logger``/``event`` plus
+the fields.  Fields are rendered in the order given, so callers
+control readability.
+
+:func:`configure` overrides the environment for tests and the CLI;
+:func:`reset` re-reads the environment.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import sys
+import threading
+
+#: Environment variable: ``level`` or ``level:json``.
+ENV_LOG = "REPRO_LOG"
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+DEFAULT_LEVEL = "info"
+
+
+def _parse_env(value):
+    """``(level_name, json_mode)`` from a ``REPRO_LOG`` value.
+
+    Junk degrades to the defaults — logging configuration must never
+    be able to crash the program it is meant to observe.
+    """
+    level, json_mode = DEFAULT_LEVEL, False
+    if not value:
+        return level, json_mode
+    head, _, tail = value.strip().lower().partition(":")
+    if head in LEVELS:
+        level = head
+    if tail == "json":
+        json_mode = True
+    return level, json_mode
+
+
+class _Config:
+    """The process-wide sink configuration, swapped atomically."""
+
+    def __init__(self, level, json_mode, stream=None):
+        self.level_name = level
+        self.level = LEVELS[level]
+        self.json_mode = json_mode
+        # ``None`` means "whatever sys.stderr is at emit time", so
+        # pytest's capture and late redirections both just work.
+        self.stream = stream
+
+
+_lock = threading.Lock()
+_config = _Config(*_parse_env(os.environ.get(ENV_LOG)))
+
+
+def configure(level=None, json_mode=None, stream=None):
+    """Override the sink; unspecified fields keep their value."""
+    global _config
+    with _lock:
+        new_level = level if level is not None else _config.level_name
+        if new_level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {new_level!r}; choose from "
+                f"{', '.join(LEVELS)}")
+        _config = _Config(
+            new_level,
+            _config.json_mode if json_mode is None else bool(json_mode),
+            _config.stream if stream is None else stream)
+
+
+def reset():
+    """Re-read ``$REPRO_LOG`` and drop any configure() overrides."""
+    global _config
+    with _lock:
+        _config = _Config(*_parse_env(os.environ.get(ENV_LOG)))
+
+
+def _timestamp():
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return now.strftime("%Y-%m-%dT%H:%M:%S.") \
+        + f"{now.microsecond // 1000:03d}Z"
+
+
+class StructuredLogger:
+    """A named emitter of levelled events with key=value fields."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def enabled_for(self, level):
+        return LEVELS[level] >= _config.level
+
+    def log(self, level, event, **fields):
+        config = _config
+        if LEVELS[level] < config.level:
+            return
+        stream = config.stream if config.stream is not None \
+            else sys.stderr
+        if config.json_mode:
+            record = {"ts": _timestamp(), "level": level,
+                      "logger": self.name, "event": event}
+            record.update(fields)
+            line = json.dumps(record, default=str)
+        else:
+            rendered = " ".join(f"{key}={value}"
+                                for key, value in fields.items())
+            line = (f"{_timestamp()} {level.upper():7s} "
+                    f"{self.name}: {event}"
+                    + (f" {rendered}" if rendered else ""))
+        try:
+            stream.write(line + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # a dead stderr must not take the program with it
+
+    def debug(self, event, **fields):
+        self.log("debug", event, **fields)
+
+    def info(self, event, **fields):
+        self.log("info", event, **fields)
+
+    def warning(self, event, **fields):
+        self.log("warning", event, **fields)
+
+    def error(self, event, **fields):
+        self.log("error", event, **fields)
+
+
+_loggers = {}
+
+
+def get_logger(name):
+    """The (cached) logger for a dotted component name."""
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructuredLogger(name)
+        return logger

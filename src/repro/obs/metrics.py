@@ -1,0 +1,363 @@
+"""A zero-dependency metrics registry with Prometheus exposition.
+
+Three instrument kinds — :class:`Counter` (monotone), :class:`Gauge`
+(set/inc/dec), :class:`Histogram` (cumulative buckets + sum + count)
+— registered by name in a :class:`MetricsRegistry` and rendered in
+the Prometheus text exposition format (version 0.0.4), which is what
+``GET /metrics`` on the serve tier and ``repro metrics`` locally
+both emit.
+
+Every instrument takes optional *labels*, declared at registration
+and supplied as keyword arguments per observation::
+
+    POINTS = REGISTRY.counter(
+        "repro_points_total", "Points landed", labels=("source",))
+    POINTS.inc(source="cache")
+
+Each instrument serialises its updates under its own lock, so
+concurrent scheduler runners, HTTP handler threads and the sweep
+engine can all record without a global choke point; registration
+itself is idempotent (asking for an existing name with the same kind
+and labels returns the existing instrument — double imports must not
+fight).
+
+The shared process-wide instruments live at the bottom of this
+module on :data:`REGISTRY`: cache traffic, landed points, per-stage
+latency, scheduler pressure, HTTP traffic, job latency, simulator
+cycles and cross-backend cycle deltas.  An update is one dict lookup
+and one locked float add — cheap enough to leave on permanently,
+which is the point: metrics have no off switch, only tracing does.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ReproError
+
+#: Default latency buckets (seconds): micro-stage to slow-mapping.
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+#: Job end-to-end latency buckets (seconds): probes to long sweeps.
+JOB_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+               120.0, 300.0, 600.0)
+
+#: Cross-backend cycle-delta buckets (cycles, absolute).
+CYCLE_DELTA_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 1000.0)
+
+
+def _escape_label_value(value):
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value):
+    """Prometheus sample value: integers bare, floats via repr."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_le(bound):
+    if bound == float("inf"):
+        return "+Inf"
+    return _format_value(bound)
+
+
+def _render_labels(names, values, extra=None):
+    pairs = [(name, value) for name, value in zip(names, values)]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"'
+                    for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Instrument:
+    """Shared naming/label plumbing of all three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help_text="", labels=()):
+        self.name = name
+        self.help = help_text
+        self.labels = tuple(labels)
+        self._lock = threading.Lock()
+        self._values = {}
+
+    def _key(self, label_kwargs):
+        if set(label_kwargs) != set(self.labels):
+            raise ReproError(
+                f"metric {self.name!r} takes labels "
+                f"{list(self.labels)}, got "
+                f"{sorted(label_kwargs)}")
+        return tuple(str(label_kwargs[name]) for name in self.labels)
+
+    def clear(self):
+        """Drop every recorded sample (test isolation)."""
+        with self._lock:
+            self._values.clear()
+
+    def _sorted_items(self):
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (``*_total`` by convention)."""
+
+    kind = "counter"
+
+    def inc(self, amount=1, **labels):
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name!r} cannot decrease "
+                f"(inc({amount}))")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels):
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self):
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def render(self):
+        return [f"{self.name}"
+                f"{_render_labels(self.labels, key)} "
+                f"{_format_value(value)}"
+                for key, value in self._sorted_items()]
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (depths, free workers)."""
+
+    kind = "gauge"
+
+    def set(self, value, **labels):
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount=1, **labels):
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount=1, **labels):
+        self.inc(-amount, **labels)
+
+    def value(self, **labels):
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self):
+        return [f"{self.name}"
+                f"{_render_labels(self.labels, key)} "
+                f"{_format_value(value)}"
+                for key, value in self._sorted_items()]
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket distribution (latencies, deltas).
+
+    Stored per label combination as ``[per-bucket counts, sum,
+    count]``; rendered with the conventional ``_bucket{le=...}`` /
+    ``_sum`` / ``_count`` series, buckets cumulative and capped by
+    ``+Inf`` — exactly what quantile expressions expect.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text="", labels=(),
+                 buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text, labels)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ReproError(
+                f"histogram {self.name!r} needs at least one bucket")
+
+    def observe(self, value, **labels):
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = [[0] * len(self.buckets), 0.0, 0]
+                self._values[key] = state
+            counts, _, _ = state
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            state[1] += value
+            state[2] += 1
+
+    def count(self, **labels):
+        key = self._key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            return 0 if state is None else state[2]
+
+    def sum(self, **labels):
+        key = self._key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            return 0.0 if state is None else state[1]
+
+    def render(self):
+        lines = []
+        for key, (counts, total, count) in self._sorted_items():
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative = bucket_count
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(self.labels, key, ('le', _format_le(bound)))}"
+                    f" {cumulative}")
+            lines.append(
+                f"{self.name}_bucket"
+                f"{_render_labels(self.labels, key, ('le', '+Inf'))}"
+                f" {count}")
+            lines.append(f"{self.name}_sum"
+                         f"{_render_labels(self.labels, key)} "
+                         f"{_format_value(total)}")
+            lines.append(f"{self.name}_count"
+                         f"{_render_labels(self.labels, key)} "
+                         f"{count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments, registration-ordered, renderable as text."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = {}
+
+    def _register(self, cls, name, help_text, labels, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if (type(existing) is not cls
+                        or existing.labels != tuple(labels)):
+                    raise ReproError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels "
+                        f"{list(existing.labels)}")
+                return existing
+            instrument = cls(name, help_text, labels, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name, help_text="", labels=()):
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(self, name, help_text="", labels=()):
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(self, name, help_text="", labels=(),
+                  buckets=DEFAULT_BUCKETS):
+        return self._register(Histogram, name, help_text, labels,
+                              buckets=buckets)
+
+    def get(self, name):
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self):
+        with self._lock:
+            return list(self._instruments)
+
+    def render(self):
+        """The Prometheus text exposition of every instrument.
+
+        ``# HELP`` / ``# TYPE`` headers per family, samples in label
+        order — parseable by any Prometheus scraper, stable enough
+        to golden-test.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        lines = []
+        for instrument in instruments:
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} "
+                             f"{instrument.help}")
+            lines.append(f"# TYPE {instrument.name} "
+                         f"{instrument.kind}")
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"
+
+    def reset_values(self):
+        """Zero every instrument, keep the definitions (tests)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.clear()
+
+
+#: The process-wide default registry: what ``/metrics`` and
+#: ``repro metrics`` expose.
+REGISTRY = MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# The shared instruments.  Declared eagerly so every family shows up
+# in the exposition (with headers) from the first scrape, whether or
+# not it has recorded yet.
+# ----------------------------------------------------------------------
+CACHE_HITS = REGISTRY.counter(
+    "repro_cache_hits_total", "Result-cache lookups that hit")
+CACHE_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total", "Result-cache lookups that missed")
+CACHE_STORES = REGISTRY.counter(
+    "repro_cache_stores_total", "Result-cache entries written")
+CACHE_EVICTIONS = REGISTRY.counter(
+    "repro_cache_evictions_total",
+    "Result-cache entries evicted by the byte cap")
+CACHE_ENTRIES = REGISTRY.gauge(
+    "repro_cache_entries", "Result-cache entries on disk at last scan")
+CACHE_BYTES = REGISTRY.gauge(
+    "repro_cache_bytes", "Result-cache bytes on disk at last scan")
+
+POINTS = REGISTRY.counter(
+    "repro_points_total", "Experiment points landed by source",
+    labels=("source",))
+STAGE_SECONDS = REGISTRY.histogram(
+    "repro_stage_seconds", "Per-pipeline-stage latency",
+    labels=("stage",))
+SIM_CYCLES = REGISTRY.counter(
+    "repro_sim_cycles_total", "Simulated CGRA cycles by engine",
+    labels=("engine",))
+CYCLE_DELTA = REGISTRY.histogram(
+    "repro_backend_cycle_delta",
+    "Absolute per-point cycle disagreement between diffed backends",
+    buckets=CYCLE_DELTA_BUCKETS)
+
+HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total", "Serve-tier HTTP requests answered",
+    labels=("method", "code"))
+SCHED_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_scheduler_queue_depth", "Jobs waiting for a runner")
+SCHED_REJECTIONS = REGISTRY.counter(
+    "repro_scheduler_rejections_total",
+    "Submissions bounced with 429 backpressure")
+JOBS = REGISTRY.counter(
+    "repro_jobs_total", "Jobs finished by terminal status",
+    labels=("status",))
+JOB_SECONDS = REGISTRY.histogram(
+    "repro_job_seconds", "Job end-to-end latency (running to done)",
+    buckets=JOB_BUCKETS)
+WORKERS_TOTAL = REGISTRY.gauge(
+    "repro_workers_total", "Worker-process budget of the serve pool")
+WORKERS_FREE = REGISTRY.gauge(
+    "repro_workers_free", "Unallocated workers in the serve pool")

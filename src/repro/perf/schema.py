@@ -20,14 +20,22 @@ machine" at a glance).
 
 from __future__ import annotations
 
+import datetime
 import json
 import platform
+import time
 
 from repro import __version__
 from repro.errors import ReproError
 
-#: Version of the benchmark JSON document.
-BENCH_JSON_SCHEMA = 1
+#: Version of the benchmark JSON document.  Schema 2 added
+#: ``recorded_at`` (an ISO-8601 UTC timestamp) and the host's
+#: ``hostname`` — provenance fields only, so schema-1 baselines
+#: remain readable; the comparison logic never touches either.
+BENCH_JSON_SCHEMA = 2
+
+#: Oldest schema :func:`parse_bench_payload` still reads.
+BENCH_JSON_SCHEMA_MIN = 1
 
 
 def host_info():
@@ -38,6 +46,7 @@ def host_info():
         "processor": platform.processor(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
+        "hostname": platform.node(),
     }
 
 
@@ -48,10 +57,13 @@ def bench_payload(results, warmup, repeat, reducer, created_unix=None):
     :func:`repro.perf.harness.run_bench` (case identity, reduced
     seconds, raw samples, mapping call counts).
     """
+    recorded = created_unix if created_unix is not None else time.time()
     return {
         "kind": "bench",
         "schema": BENCH_JSON_SCHEMA,
         "created_unix": created_unix,
+        "recorded_at": datetime.datetime.fromtimestamp(
+            recorded, datetime.timezone.utc).isoformat(),
         "package_version": __version__,
         "host": host_info(),
         "warmup": warmup,
@@ -67,10 +79,11 @@ def parse_bench_payload(data):
     if not isinstance(data, dict) or data.get("kind") != "bench":
         raise ReproError("not a benchmark document (kind != 'bench')")
     schema = data.get("schema")
-    if schema != BENCH_JSON_SCHEMA:
+    if not isinstance(schema, int) \
+            or not BENCH_JSON_SCHEMA_MIN <= schema <= BENCH_JSON_SCHEMA:
         raise ReproError(
-            f"benchmark schema {schema!r} unsupported "
-            f"(this build reads {BENCH_JSON_SCHEMA})")
+            f"benchmark schema {schema!r} unsupported (this build "
+            f"reads {BENCH_JSON_SCHEMA_MIN}..{BENCH_JSON_SCHEMA})")
     cases = data.get("cases")
     if not isinstance(cases, list):
         raise ReproError("benchmark document has no cases list")

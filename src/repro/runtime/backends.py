@@ -49,6 +49,7 @@ import numpy as np
 from repro.codegen.assembler import assemble
 from repro.errors import ReproError, UnmappableError
 from repro.kernels import get_kernel
+from repro.obs import stage
 from repro.power.energy import EnergyModel
 
 #: The backend a spec gets when none is named.
@@ -117,12 +118,15 @@ def _prepare(spec):
     """
     from repro.runtime.sweep import ExperimentPoint, map_kernel_for
 
-    kernel = get_kernel(spec.kernel_name)
-    cgra = spec.build_cgra()
+    with stage("dfg", kernel=spec.kernel_name):
+        kernel = get_kernel(spec.kernel_name)
+        cgra = spec.build_cgra()
     options = spec.options
     started = time.perf_counter()
     try:
-        mapping = map_kernel_for(kernel, cgra, options)
+        with stage("map", kernel=spec.kernel_name,
+                   config=spec.config_name, variant=spec.variant):
+            mapping = map_kernel_for(kernel, cgra, options)
     except UnmappableError:
         return ExperimentPoint(spec.kernel_name, spec.config_name,
                                spec.variant,
@@ -130,7 +134,9 @@ def _prepare(spec):
                                - started,
                                error="unmappable")
     seconds = time.perf_counter() - started
-    program = assemble(mapping, kernel.cdfg, enforce_fit=options.ecmap)
+    with stage("assemble", kernel=spec.kernel_name):
+        program = assemble(mapping, kernel.cdfg,
+                           enforce_fit=options.ecmap)
     if not mapping.fits:
         # A context-unaware mapping that physically overflows this
         # configuration cannot run — the paper's zero bars.
@@ -161,15 +167,18 @@ def _finish(spec, kernel, cgra, mapping, seconds, run):
     """Verify a run against the reference and price it."""
     from repro.runtime.sweep import ExperimentPoint
 
-    inputs = kernel.make_inputs(np.random.default_rng(spec.seed))
-    expected = kernel.reference(inputs)
-    for region in kernel.output_regions:
-        got = run.region(kernel.cdfg, region)
-        if got != expected[region]:
-            raise ReproError(
-                f"{spec.describe()}: region {region!r} mismatch — "
-                f"{spec.backend} execution is unsound")
-    energy = EnergyModel().cgra_energy(run.activity, cgra)
+    with stage("verify", kernel=spec.kernel_name,
+               backend=spec.backend):
+        inputs = kernel.make_inputs(np.random.default_rng(spec.seed))
+        expected = kernel.reference(inputs)
+        for region in kernel.output_regions:
+            got = run.region(kernel.cdfg, region)
+            if got != expected[region]:
+                raise ReproError(
+                    f"{spec.describe()}: region {region!r} mismatch "
+                    f"— {spec.backend} execution is unsound")
+    with stage("price", kernel=spec.kernel_name):
+        energy = EnergyModel().cgra_energy(run.activity, cgra)
     return ExperimentPoint(spec.kernel_name, spec.config_name,
                            spec.variant, mapping=mapping,
                            compile_seconds=seconds, cycles=run.cycles,
@@ -196,7 +205,9 @@ def _analytic_point(spec):
     if not isinstance(prepared, tuple):
         return prepared
     kernel, cgra, mapping, program, seconds = prepared
-    run = CGRASimulator(program, _memory_for(kernel, spec)).run()
+    with stage("execute", kernel=spec.kernel_name,
+               backend="analytic"):
+        run = CGRASimulator(program, _memory_for(kernel, spec)).run()
     return _finish(spec, kernel, cgra, mapping, seconds, run)
 
 
@@ -211,5 +222,6 @@ def _cycle_point(spec):
     if not isinstance(prepared, tuple):
         return prepared
     kernel, cgra, mapping, program, seconds = prepared
-    run = CycleExecutor(program, _memory_for(kernel, spec)).run()
+    with stage("execute", kernel=spec.kernel_name, backend="cycle"):
+        run = CycleExecutor(program, _memory_for(kernel, spec)).run()
     return _finish(spec, kernel, cgra, mapping, seconds, run)

@@ -45,6 +45,7 @@ import pickle
 import tempfile
 
 import repro
+from repro.obs import metrics as _metrics
 
 #: Environment variable overriding the cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -203,6 +204,7 @@ class ResultCache:
                 payload = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            _metrics.CACHE_MISSES.inc()
             return None
         except Exception:
             # pickle.load on a corrupt payload can raise nearly
@@ -211,8 +213,10 @@ class ResultCache:
             # entry is dropped so it cannot crash the next run either.
             self._discard(path)
             self.misses += 1
+            _metrics.CACHE_MISSES.inc()
             return None
         self.hits += 1
+        _metrics.CACHE_HITS.inc()
         self._touch(path)
         return payload
 
@@ -231,6 +235,7 @@ class ResultCache:
             self._discard(pathlib.Path(temp_name))
             raise
         self.stores += 1
+        _metrics.CACHE_STORES.inc()
         if self.max_bytes is not None:
             self._account_store(final)
         return final
@@ -301,6 +306,9 @@ class ResultCache:
         inventory = self._inventory()
         orphaned = [(path, size) for _, path, size in inventory
                     if self.is_orphaned(path)]
+        _metrics.CACHE_ENTRIES.set(len(inventory))
+        _metrics.CACHE_BYTES.set(
+            sum(size for _, _, size in inventory))
         return {
             "directory": str(self.directory),
             "format": CACHE_FORMAT,
@@ -369,6 +377,8 @@ class ResultCache:
             total -= size
             evicted += 1
         self.evictions += evicted
+        if evicted:
+            _metrics.CACHE_EVICTIONS.inc(evicted)
         self._tracked_bytes = total  # authoritative re-sync
         return evicted
 

@@ -245,6 +245,7 @@ def run_diff(specs, backends=None, abs_tol=DEFAULT_ABS_TOL,
     combined batch, so workers interleave the two backends and the
     cache/progress behaviour matches an ordinary sweep.
     """
+    from repro.obs import metrics, trace
     from repro.runtime.pool import run_specs
 
     backend_a, backend_b = validated_diff_backends(backends)
@@ -253,11 +254,18 @@ def run_diff(specs, backends=None, abs_tol=DEFAULT_ABS_TOL,
               for spec in resolved
               for name in (backend_a, backend_b)]
     started = time.perf_counter()
-    points, cache_hits = run_specs(paired, workers=workers,
-                                   cache=cache, progress=progress)
+    with trace.span("diff", backends=f"{backend_a},{backend_b}",
+                    points=len(resolved)):
+        points, cache_hits = run_specs(paired, workers=workers,
+                                       cache=cache, progress=progress)
     records = []
     for index, spec in enumerate(resolved):
         point_a, point_b = points[2 * index], points[2 * index + 1]
+        if point_a.mapped and point_b.mapped:
+            # The observable the differential lane exists to watch:
+            # how far the two engines' cycle counts sit apart.
+            metrics.CYCLE_DELTA.observe(
+                abs(point_a.cycles - point_b.cycles))
         records.append(PointDiff(
             kernel_name=spec.kernel_name,
             config_name=spec.config_name,

@@ -57,6 +57,26 @@ def _compute_captured(spec):
             error=f"{type(error).__name__}: {error}\n{detail}")
 
 
+def _compute_traced(spec, carrier):
+    """Worker entry when the submitting side is tracing.
+
+    Runs the normal captured computation under the parent's adopted
+    trace context (so the point's spans stitch into the sweep's
+    tree), then returns ``(point, spans)`` — the worker process's
+    span buffer dies with the process, so the spans ride home on the
+    result.  Kept separate from :func:`_compute_captured` because
+    that 1-arg signature is a monkeypatch seam for the whole test
+    suite; going through the module attribute here means a patched
+    compute function is honoured under tracing too.
+    """
+    from repro.obs import trace
+
+    trace.enable_tracing()
+    with trace.adopt(carrier):
+        point = _compute_captured(spec)
+    return point, trace.drain_spans()
+
+
 def run_specs(specs, workers=1, cache=None, progress=None):
     """Execute a batch of specs; returns ``(points, cache_hits)``.
 

@@ -33,6 +33,7 @@ import dataclasses
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
+from repro.obs import metrics, trace
 from repro.runtime.sweep import DETERMINISTIC_ERRORS, ExperimentPoint
 
 
@@ -102,6 +103,8 @@ def stream_specs(specs, workers=1, cache=None, progress=None,
     def ticked(spec, point, from_cache):
         nonlocal done
         done += 1
+        metrics.POINTS.inc(
+            source="cache" if from_cache else "computed")
         if progress is not None:
             progress(StreamUpdate(
                 spec=spec, point=point, done=done, total=total,
@@ -114,11 +117,38 @@ def stream_specs(specs, workers=1, cache=None, progress=None,
             cache.store_point(spec, point)
         return ticked(spec, point, False)
 
+    # When a trace is active (locally enabled, or adopted from a
+    # remote submitter), the whole generator runs inside one "sweep"
+    # span: inline computes parent to it through the context
+    # variable, and worker submissions carry its context explicitly —
+    # worker processes start with fresh contexts, so nothing
+    # propagates by accident.
+    traced = trace.tracing_active()
+    sweep_span = trace.span("sweep", points=total) if traced else None
+    carrier = None
+
+    def worker_point(future_result):
+        """Unwrap a worker result, folding returned spans in.
+
+        Traced submissions return ``(point, spans)`` — the spans are
+        ingested here (stitching the tree) and their stage timings
+        fed to the local histograms, which the worker's own
+        (about-to-die) registry never could.
+        """
+        if not traced:
+            return future_result
+        point, spans = future_result
+        trace.ingest(spans, observe_stages=True)
+        return point
+
     pending = []
     executor = None
     futures = {}
     delivered = set()
     try:
+        if sweep_span is not None:
+            sweep_span.__enter__()
+            carrier = trace.current_carrier()
         # One pass over the specs: hits are yielded as they are read,
         # misses start computing immediately (the executor is created
         # lazily at the first miss), so on a mixed warm/cold sweep
@@ -128,13 +158,21 @@ def stream_specs(specs, workers=1, cache=None, progress=None,
             cached = (cache.get_point(spec) if cache is not None
                       else None)
             if cached is not None:
+                if traced:
+                    with trace.span("cache_hit",
+                                    spec=spec.describe()):
+                        pass
                 yield ticked(spec, cached, True)
             elif workers > 1:
                 if executor is None:
                     executor = ProcessPoolExecutor(
                         max_workers=workers, mp_context=mp_context)
-                futures[executor.submit(pool._compute_captured,
-                                        spec)] = spec
+                if traced:
+                    futures[executor.submit(pool._compute_traced,
+                                            spec, carrier)] = spec
+                else:
+                    futures[executor.submit(pool._compute_captured,
+                                            spec)] = spec
             else:
                 pending.append(spec)
 
@@ -148,7 +186,7 @@ def stream_specs(specs, workers=1, cache=None, progress=None,
         for future in as_completed(futures):
             spec = futures[future]
             try:
-                point = future.result()
+                point = worker_point(future.result())
             except Exception as error:  # a worker died outright
                 point = ExperimentPoint(
                     spec.kernel_name, spec.config_name, spec.variant,
@@ -173,8 +211,10 @@ def stream_specs(specs, workers=1, cache=None, progress=None,
                             or future.cancelled():
                         continue
                     try:
-                        point = future.result()
+                        point = worker_point(future.result())
                     except Exception:
                         continue
                     if point.error in DETERMINISTIC_ERRORS:
                         cache.store_point(spec, point)
+        if sweep_span is not None:
+            sweep_span.__exit__(None, None, None)

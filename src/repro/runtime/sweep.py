@@ -234,8 +234,15 @@ def validated_sweep_specs(kernels=None, configs=None, variants=None,
 def compute_point(spec):
     """Execute one spec on its named backend: map, assemble, run
     (lockstep simulation or cycle-level execution), verify, price."""
+    from repro.obs import trace
+
     spec = spec.resolve()
-    return get_backend(spec.backend)(spec)
+    with trace.span("point", spec=spec.describe(),
+                    backend=spec.backend) as active:
+        point = get_backend(spec.backend)(spec)
+        active.set(mapped=point.mapped,
+                   cycles=point.cycles if point.mapped else None)
+    return point
 
 
 def map_kernel_for(kernel, cgra, options):

@@ -34,6 +34,7 @@ import urllib.error
 import urllib.request
 
 from repro.errors import ReproError
+from repro.obs import trace
 from repro.runtime.shard import (
     merge_sweep_payloads,
     missing_shard_indices,
@@ -123,6 +124,12 @@ class SweepClient:
         headers = {"Accept": "application/json"}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
+        # Propagate the active trace across the hop: the server
+        # adopts the header, parents its work under our span, and
+        # ships its spans back inside the finished payload.
+        carrier = trace.current_carrier()
+        if carrier is not None:
+            headers["traceparent"] = carrier["traceparent"]
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -191,11 +198,13 @@ class SweepClient:
 
     def submit(self, request):
         """POST one sweep request; returns the submission receipt."""
-        return self._json("/v1/sweeps", body=request)
+        with trace.span("submit", server=self.base_url):
+            return self._json("/v1/sweeps", body=request)
 
     def submit_exploration(self, request):
         """POST one exploration request (see ``repro.dse``)."""
-        return self._json("/v1/explorations", body=request)
+        with trace.span("submit", server=self.base_url):
+            return self._json("/v1/explorations", body=request)
 
     def explorations(self):
         return self._json("/v1/explorations")["jobs"]
@@ -269,7 +278,14 @@ class SweepClient:
             raise ServeClientError(
                 f"{self.base_url}: job {receipt['id']} "
                 f"{status['status']}: {status.get('error')}")
-        return status["payload"]
+        payload = status["payload"]
+        if isinstance(payload, dict) and payload.get("trace"):
+            # The server shipped its spans home: fold them into the
+            # local trace (popped — merge/compare tooling must never
+            # see the additive key) without re-observing their stage
+            # timings, which belong to the *server's* histograms.
+            trace.ingest(payload.pop("trace"))
+        return payload
 
     def run(self, request, progress=None):
         """Submit, follow the stream, return the final payload."""
@@ -334,7 +350,21 @@ def run_distributed(servers, request, progress=None, timeout=600.0,
             "unsharded request")
     if max_attempts < 1:
         raise ServeClientError("max_attempts must be >= 1")
+    with trace.span("run_distributed", shards=len(servers)):
+        return _run_distributed(
+            servers, request, progress=progress, timeout=timeout,
+            idle_timeout=idle_timeout, token=token,
+            max_attempts=max_attempts,
+            backoff_seconds=backoff_seconds, on_receipts=on_receipts)
+
+
+def _run_distributed(servers, request, progress, timeout,
+                     idle_timeout, token, max_attempts,
+                     backoff_seconds, on_receipts):
     total_shards = len(servers)
+    # Threads do not inherit the contextvar — capture the dispatch
+    # span's identity here so each shard thread can adopt it.
+    dispatch_carrier = trace.current_carrier()
     kwargs = {"timeout": timeout, "token": token}
     if idle_timeout is not None:
         kwargs["idle_timeout"] = idle_timeout
@@ -400,10 +430,12 @@ def run_distributed(servers, request, progress=None, timeout=600.0,
             with counter_lock:
                 landed[shard] = 0  # a retried shard recounts
             try:
-                payloads[shard] = clients[server].follow(
-                    receipt,
-                    progress=lambda record, _done, _total:
-                    narrate(shard, url, record))
+                with trace.adopt(dispatch_carrier), \
+                        trace.span("shard", shard=shard, server=url):
+                    payloads[shard] = clients[server].follow(
+                        receipt,
+                        progress=lambda record, _done, _total:
+                        narrate(shard, url, record))
                 producers[shard] = url
             except Exception as error:  # noqa: BLE001 — any
                 # dispatch failure must land in the aggregate

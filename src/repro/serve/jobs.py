@@ -60,6 +60,7 @@ import time
 import uuid
 
 from repro.errors import ReproError
+from repro.obs import get_logger, metrics, trace
 from repro.runtime.shard import (
     parse_shard,
     point_to_json,
@@ -70,6 +71,8 @@ from repro.runtime.shard import (
     sweep_json_payload,
 )
 from repro.runtime.sweep import SweepResult, validated_sweep_specs
+
+_log = get_logger("repro.serve.jobs")
 
 #: Job lifecycle states.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
@@ -387,9 +390,13 @@ def resolve_request(body):
 class SweepJob:
     """One submitted sweep and its incrementally landing results."""
 
-    def __init__(self, job_id, request):
+    def __init__(self, job_id, request, trace_carrier=None):
         self.id = job_id
         self.request = request
+        # The submitting request's trace context, if it carried one:
+        # the runner adopts it so the job's spans stitch under the
+        # remote caller's trace (and ship home in the payload).
+        self.trace_carrier = trace_carrier
         self.status = QUEUED
         self.error = None
         self.created = time.time()
@@ -550,6 +557,8 @@ class WorkerPool:
         self._free = self.total
         self._holders = 0
         self._lock = threading.Lock()
+        metrics.WORKERS_TOTAL.set(self.total)
+        metrics.WORKERS_FREE.set(self._free)
 
     def take(self, want):
         """Grant between 0 and ``want`` workers; pair with give_back."""
@@ -558,12 +567,14 @@ class WorkerPool:
             share = max(1, self.total // self._holders)
             grant = max(0, min(int(want), self._free, share))
             self._free -= grant
+            metrics.WORKERS_FREE.set(self._free)
             return grant
 
     def give_back(self, grant):
         with self._lock:
             self._free += grant
             self._holders -= 1
+            metrics.WORKERS_FREE.set(self._free)
 
     @property
     def free(self):
@@ -634,15 +645,17 @@ class JobManager:
     # ------------------------------------------------------------------
     # Submission / lookup
     # ------------------------------------------------------------------
-    def submit_request(self, body):
+    def submit_request(self, body, trace_carrier=None):
         """Validate one POST body and enqueue its sweep job."""
-        return self.submit(resolve_request(body))
+        return self.submit(resolve_request(body),
+                           trace_carrier=trace_carrier)
 
-    def submit_exploration_request(self, body):
+    def submit_exploration_request(self, body, trace_carrier=None):
         """Validate one POST body and enqueue its exploration job."""
-        return self.submit(resolve_exploration_request(body))
+        return self.submit(resolve_exploration_request(body),
+                           trace_carrier=trace_carrier)
 
-    def submit(self, request):
+    def submit(self, request, trace_carrier=None):
         if self.max_specs_per_job is not None \
                 and len(request.specs) > self.max_specs_per_job:
             raise RequestError(
@@ -650,7 +663,7 @@ class JobManager:
                 f"server's {self.max_specs_per_job}-spec limit; "
                 f"shard the request")
         job_id = f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}"
-        job = SweepJob(job_id, request)
+        job = SweepJob(job_id, request, trace_carrier=trace_carrier)
         with self._lock:
             if self._closed:
                 raise ReproError("job manager is shut down")
@@ -661,6 +674,7 @@ class JobManager:
             if self.max_queued_jobs is not None \
                     and self._idle_runners == 0 \
                     and len(self._heap) >= self.max_queued_jobs:
+                metrics.SCHED_REJECTIONS.inc()
                 raise BusyError(
                     f"job queue is full ({len(self._heap)} waiting, "
                     f"bound {self.max_queued_jobs}); retry in "
@@ -670,7 +684,11 @@ class JobManager:
             self.jobs[job_id] = job
             heapq.heappush(self._heap,
                            (-request.priority, next(self._seq), job))
+            metrics.SCHED_QUEUE_DEPTH.set(len(self._heap))
             self._lock.notify_all()
+        _log.debug("job submitted", job_id=job_id, kind=request.kind,
+                  label=request.label, points=len(request.specs),
+                  priority=request.priority)
         return job
 
     def get(self, job_id):
@@ -755,6 +773,7 @@ class JobManager:
                 if self._closed:
                     return
                 _, _, job = heapq.heappop(self._heap)
+                metrics.SCHED_QUEUE_DEPTH.set(len(self._heap))
                 self._running.add(job.id)
             try:
                 grant = self.pool.take(len(job.request.specs))
@@ -767,9 +786,37 @@ class JobManager:
                     self._running.discard(job.id)
 
     def _execute(self, job, workers):
-        if job.request.kind == "exploration":
-            return self._execute_exploration(job, workers)
-        return self._execute_sweep(job, workers)
+        started = time.perf_counter()
+        _log.debug("job started", job_id=job.id,
+                  kind=job.request.kind, workers=workers)
+        try:
+            if job.request.kind == "exploration":
+                return self._execute_exploration(job, workers)
+            return self._execute_sweep(job, workers)
+        finally:
+            elapsed = time.perf_counter() - started
+            metrics.JOB_SECONDS.observe(elapsed)
+            metrics.JOBS.inc(status=job.status)
+            _log.debug("job finished", job_id=job.id,
+                      status=job.status,
+                      elapsed_seconds=round(elapsed, 3),
+                      error=job.error)
+
+    def _attach_trace(self, job, payload):
+        """Ship the job's spans home inside its finished payload.
+
+        Only for jobs submitted with a trace carrier — the remote
+        caller owns the trace, so its spans are handed over (drained,
+        not copied: they must not linger in this server's buffer) as
+        an additive ``"trace"`` key the client pops before use.
+        Must run before ``job.finish`` — the payload is read
+        concurrently the moment the job turns terminal.
+        """
+        context = trace.parse_traceparent(
+            (job.trace_carrier or {}).get("traceparent", ""))
+        if context is not None:
+            payload["trace"] = trace.spans_for_trace(
+                context.trace_id, drain=True)
 
     def _execute_exploration(self, job, workers):
         """Run one :mod:`repro.dse` search as a job.
@@ -788,11 +835,20 @@ class JobManager:
             def observe(update):
                 job.add_update(update, [next(landed)])
 
-            result = run_exploration(
-                job.request.config, workers=workers,
-                cache=self.cache, progress=observe,
-                mp_context=self._mp_context)
-            job.finish(result.payload())
+            # The job span must close before _attach_trace drains the
+            # buffer, or it would miss the shipment and orphan every
+            # child span on the caller's side.
+            with trace.adopt(job.trace_carrier):
+                with trace.span("job", kind="exploration",
+                                job_id=job.id,
+                                label=job.request.label):
+                    result = run_exploration(
+                        job.request.config, workers=workers,
+                        cache=self.cache, progress=observe,
+                        mp_context=self._mp_context)
+            payload = result.payload()
+            self._attach_trace(job, payload)
+            job.finish(payload)
         except Exception as error:  # noqa: BLE001 — a job must never
             # kill its runner thread; the failure is the job's result.
             job.fail(f"{type(error).__name__}: {error}")
@@ -815,20 +871,30 @@ class JobManager:
                                 for i in fanout[update.spec]])
 
             started = time.perf_counter()
-            for _ in stream_specs(request.specs, workers=workers,
-                                  cache=self.cache, progress=observe,
-                                  mp_context=self._mp_context):
-                pass
+            # Close the job span before _attach_trace drains the
+            # buffer — a still-open span would miss the shipment and
+            # orphan every child on the caller's side.
+            with trace.adopt(job.trace_carrier):
+                with trace.span("job", kind="sweep", job_id=job.id,
+                                label=request.label,
+                                points=len(request.specs)):
+                    for _ in stream_specs(
+                            request.specs, workers=workers,
+                            cache=self.cache, progress=observe,
+                            mp_context=self._mp_context):
+                        pass
             result = SweepResult(
                 specs=request.specs,
                 points=[landed[spec] for spec in request.specs],
                 cache_hits=job.cache_hits, computed=job.computed,
                 elapsed_seconds=time.perf_counter() - started)
-            job.finish(sweep_json_payload(
+            payload = sweep_json_payload(
                 result, shard=request.shard,
                 positions=request.positions,
                 spec_total=request.spec_total,
-                fingerprint=request.fingerprint))
+                fingerprint=request.fingerprint)
+            self._attach_trace(job, payload)
+            job.finish(payload)
         except Exception as error:  # noqa: BLE001 — a job must never
             # kill its runner thread; the failure is the job's result.
             job.fail(f"{type(error).__name__}: {error}")

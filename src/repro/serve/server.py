@@ -20,33 +20,51 @@ A :class:`ThreadingHTTPServer` exposing the sweep runtime:
   cache hits first; the connection closes when the job ends.
 - ``GET /v1/cache/stats`` — the shared :class:`ResultCache` counters.
 - ``GET /v1/figures`` — servable figure names with point counts.
-- ``GET /healthz`` — liveness plus job-state totals and evictions.
+- ``GET /healthz`` — liveness plus uptime, package version, requests
+  served, job-state totals and evictions.
+- ``GET /metrics`` — the process's metrics registry in Prometheus
+  text exposition format (see :mod:`repro.obs.metrics`).
 
 Responses are JSON; errors are ``{"error": ...}`` with the matching
 status code (400 bad submission, 401 bad/missing token, 404 unknown
 job/route, 429 queue full — with a ``Retry-After`` hint).  The
 server binds ``127.0.0.1`` by default; binding any other interface
 requires a bearer token (``--token`` / ``$REPRO_SERVE_TOKEN``),
-checked on every endpoint except ``/healthz`` with a constant-time
-compare.  Every sweep it computes lands in the same persistent cache
-the CLI uses, so serving and local runs warm each other.
+checked on every endpoint except ``/healthz`` and ``/metrics`` with
+a constant-time compare — probes and scrapers hold no credentials,
+and both bodies carry counters, not results.  Every sweep the server
+computes lands in the same persistent cache the CLI uses, so serving
+and local runs warm each other.
+
+Access logs go through the structured logger (``repro.serve``
+component, one ``request`` event per answered request with method /
+path / status) instead of raw stderr writes — ``REPRO_LOG`` levels
+and ``:json`` formatting apply; ``quiet`` suppresses them.  A
+``traceparent`` header on a submission is adopted as the job's trace
+context: its spans stitch into the caller's trace and ride back on
+the finished payload (see :mod:`repro.obs.trace`).
 """
 
 from __future__ import annotations
 
 import hmac
 import json
-import sys
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
+import repro
 from repro.errors import ReproError
+from repro.obs import get_logger, metrics, trace
 from repro.serve.jobs import (
     BusyError,
     JobManager,
     RequestError,
     UnknownJobError,
 )
+
+_log = get_logger("repro.serve")
 
 #: Largest accepted request body; a spec list is small, so anything
 #: bigger is a mistake (or not a sweep submission at all).
@@ -77,7 +95,19 @@ class SweepServer(ThreadingHTTPServer):
         self.quiet = quiet
         self.token = token or None
         self.max_body_bytes = max_body_bytes
+        self.started = time.time()
+        self.requests_total = 0
+        self._requests_lock = threading.Lock()
         super().__init__(address, SweepHandler)
+
+    def note_request(self):
+        """Count one answered request (handler threads race here)."""
+        with self._requests_lock:
+            self.requests_total += 1
+
+    @property
+    def uptime_seconds(self):
+        return time.time() - self.started
 
     def server_close(self):
         super().server_close()
@@ -140,9 +170,34 @@ class SweepHandler(BaseHTTPRequestHandler):
     # Plumbing
     # ------------------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        # The stdlib's catch-all (bad request lines, socket errors).
+        # Routed through the structured logger so nothing the HTTP
+        # layer has to say ever bypasses REPRO_LOG; ``quiet``
+        # silences it like the old bare stderr writes.
         if not self.server.quiet:
-            sys.stderr.write("serve: %s - %s\n"
-                             % (self.address_string(), format % args))
+            _log.warning("http", client=self.address_string(),
+                         detail=format % args)
+
+    def log_request(self, code="-", size="-"):
+        """One access-log event + counters per answered request.
+
+        ``send_response`` calls this exactly once per response, which
+        makes it the single choke point for the request counter, the
+        ``repro_http_requests_total`` metric and the structured
+        access log (suppressed by ``quiet``, like the old stderr
+        lines — but emitted, never silently discarded, otherwise).
+        """
+        try:
+            status = int(code)
+        except (TypeError, ValueError):
+            status = 0
+        self.server.note_request()
+        metrics.HTTP_REQUESTS.inc(method=self.command or "?",
+                                  code=status or "?")
+        if not self.server.quiet:
+            _log.info("request", client=self.address_string(),
+                      method=self.command, path=self.path,
+                      status=status)
 
     def _send_json(self, body, status=200, headers=None):
         data = (json.dumps(body, indent=2) + "\n").encode("utf-8")
@@ -230,6 +285,9 @@ class SweepHandler(BaseHTTPRequestHandler):
                 # balancer probing health holds no credentials, and
                 # the body carries counters, not results.
                 return self._get_health()
+            if path == "/metrics":
+                # Open for the same reason: scrapers are probes.
+                return self._get_metrics()
             if not self._authorized():
                 return self._send_auth_required()
             if path == "/v1/cache/stats":
@@ -301,6 +359,11 @@ class SweepHandler(BaseHTTPRequestHandler):
         manager = self.server.manager
         self._send_json({
             "status": "ok",
+            # A fleet probe telling a fresh restart from a long-lived
+            # server needs uptime + version + traffic, not just "ok".
+            "uptime_seconds": round(self.server.uptime_seconds, 3),
+            "version": repro.__version__,
+            "requests_total": self.server.requests_total,
             "workers": manager.workers,
             "cache": manager.cache is not None,
             "jobs": manager.counts(),
@@ -321,6 +384,16 @@ class SweepHandler(BaseHTTPRequestHandler):
             "evicted": manager.evicted,
         })
 
+    def _get_metrics(self):
+        """The Prometheus text exposition of the default registry."""
+        body = metrics.REGISTRY.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _get_cache_stats(self):
         cache = self.server.manager.cache
         if cache is None:
@@ -331,13 +404,30 @@ class SweepHandler(BaseHTTPRequestHandler):
         from repro.eval.experiments import servable_figures
         self._send_json({"figures": servable_figures()})
 
+    def _trace_carrier(self):
+        """The request's trace carrier, or None when untraced."""
+        header = self.headers.get("traceparent")
+        return {"traceparent": header} if header else None
+
     def _post_sweep(self):
-        job = self.server.manager.submit_request(self._read_body())
+        body = self._read_body()
+        with trace.adopt(self._trace_carrier()), \
+                trace.span("http:POST /v1/sweeps") as active:
+            # The job inherits the *handler* span's context, so its
+            # spans — recorded minutes later by a runner thread —
+            # stitch under this request in the caller's trace.
+            job = self.server.manager.submit_request(
+                body, trace_carrier=trace.current_carrier())
+            active.set(job_id=job.id)
         self._send_receipt(job, "sweeps")
 
     def _post_exploration(self):
-        job = self.server.manager.submit_exploration_request(
-            self._read_body())
+        body = self._read_body()
+        with trace.adopt(self._trace_carrier()), \
+                trace.span("http:POST /v1/explorations") as active:
+            job = self.server.manager.submit_exploration_request(
+                body, trace_carrier=trace.current_carrier())
+            active.set(job_id=job.id)
         self._send_receipt(job, "explorations")
 
     def _send_receipt(self, job, collection):

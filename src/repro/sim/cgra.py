@@ -117,6 +117,8 @@ class CGRASimulator:
                 raise SimulationError(f"bad terminator {terminator!r}")
         activity.dmem_reads = memory.reads
         activity.dmem_writes = memory.writes
+        from repro.obs import metrics
+        metrics.SIM_CYCLES.inc(activity.cycles, engine="analytic")
         return CGRARunResult(memory, activity.cycles, activity,
                              block_counts)
 

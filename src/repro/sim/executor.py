@@ -163,6 +163,8 @@ class CycleExecutor:
                 raise SimulationError(f"bad terminator {terminator!r}")
         activity.dmem_reads = memory.reads
         activity.dmem_writes = memory.writes
+        from repro.obs import metrics
+        metrics.SIM_CYCLES.inc(activity.cycles, engine="cycle")
         return CycleRunResult(memory, activity.cycles, activity,
                               block_counts, block_durations)
 

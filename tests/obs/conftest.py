@@ -1,0 +1,21 @@
+"""Isolation for the observability suite.
+
+Tracing state and metric values are process-global by design (one
+registry, one span collector); every test here starts from a clean
+slate and leaves one behind.
+"""
+
+import pytest
+
+from repro.obs import logs, metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    trace.reset_tracing()
+    metrics.REGISTRY.reset_values()
+    logs.reset()
+    yield
+    trace.reset_tracing()
+    metrics.REGISTRY.reset_values()
+    logs.reset()

@@ -1,0 +1,89 @@
+"""repro.obs.logs — levels, formats, env parsing."""
+
+import io
+import json
+
+from repro.obs import logs
+
+
+def capture(**configure):
+    stream = io.StringIO()
+    logs.configure(stream=stream, **configure)
+    return stream
+
+
+class TestLevels:
+    def test_default_level_is_info(self):
+        stream = capture()
+        log = logs.get_logger("repro.test")
+        log.debug("hidden")
+        log.info("shown")
+        text = stream.getvalue()
+        assert "hidden" not in text
+        assert "shown" in text
+
+    def test_level_filter(self):
+        stream = capture(level="error")
+        log = logs.get_logger("repro.test")
+        log.warning("quiet")
+        log.error("loud", code=7)
+        text = stream.getvalue()
+        assert "quiet" not in text
+        assert "loud" in text
+        assert "code=7" in text
+
+    def test_enabled_for(self):
+        logs.configure(level="warning")
+        log = logs.get_logger("repro.test")
+        assert log.enabled_for("error")
+        assert not log.enabled_for("info")
+
+
+class TestTextFormat:
+    def test_line_shape(self):
+        stream = capture()
+        logs.get_logger("repro.serve").info(
+            "request", path="/metrics", status=200)
+        line = stream.getvalue().strip()
+        assert " INFO " in line
+        assert "repro.serve: request" in line
+        assert line.endswith("path=/metrics status=200")
+        assert line[:4].isdigit()  # ISO timestamp year
+
+
+class TestJsonFormat:
+    def test_lines_parse_and_carry_fields(self):
+        stream = capture(json_mode=True)
+        logs.get_logger("repro.jobs").warning(
+            "job failed", job_id="job-1", attempts=2)
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "warning"
+        assert record["logger"] == "repro.jobs"
+        assert record["event"] == "job failed"
+        assert record["job_id"] == "job-1"
+        assert record["attempts"] == 2
+        assert record["ts"].endswith("Z")
+
+
+class TestEnvParsing:
+    def test_level_only(self):
+        assert logs._parse_env("debug") == ("debug", False)
+
+    def test_level_and_json(self):
+        assert logs._parse_env("warning:json") == ("warning", True)
+
+    def test_junk_degrades_to_defaults(self):
+        assert logs._parse_env("verbose:xml") \
+            == (logs.DEFAULT_LEVEL, False)
+        assert logs._parse_env("") == (logs.DEFAULT_LEVEL, False)
+        assert logs._parse_env(None) == (logs.DEFAULT_LEVEL, False)
+
+    def test_json_alone(self):
+        assert logs._parse_env(":json") == (logs.DEFAULT_LEVEL, True)
+
+
+class TestLoggerCache:
+    def test_get_logger_caches_by_name(self):
+        assert logs.get_logger("repro.a") is logs.get_logger("repro.a")
+        assert logs.get_logger("repro.a") \
+            is not logs.get_logger("repro.b")

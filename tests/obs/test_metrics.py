@@ -1,0 +1,199 @@
+"""repro.obs.metrics — instruments, registry, Prometheus format."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("repro_widgets_total", "Widgets")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+        assert counter.total() == 5
+
+    def test_labels_partition_the_series(self, registry):
+        counter = registry.counter("repro_hits_total", "Hits",
+                                   labels=("source",))
+        counter.inc(source="cache")
+        counter.inc(2, source="computed")
+        assert counter.value(source="cache") == 1
+        assert counter.value(source="computed") == 2
+        assert counter.total() == 3
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("repro_x_total", "X")
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+
+    def test_wrong_label_set_rejected(self, registry):
+        counter = registry.counter("repro_y_total", "Y",
+                                   labels=("source",))
+        with pytest.raises(ReproError):
+            counter.inc()
+        with pytest.raises(ReproError):
+            counter.inc(source="a", extra="b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_depth", "Depth")
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value() == 9
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self, registry):
+        histogram = registry.histogram("repro_lat_seconds", "Latency",
+                                       buckets=(0.1, 1.0, 10.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(100.0)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(100.55)
+        text = "\n".join(histogram.render())
+        assert 'le="0.1"} 1' in text
+        assert 'le="1"} 2' in text
+        assert 'le="10"} 2' in text
+        assert 'le="+Inf"} 3' in text
+        assert "repro_lat_seconds_sum" in text
+        assert "repro_lat_seconds_count 3" in text
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        first = registry.counter("repro_same_total", "Same")
+        again = registry.counter("repro_same_total", "Same")
+        assert first is again
+
+    def test_kind_conflict_is_an_error(self, registry):
+        registry.counter("repro_thing", "Thing")
+        with pytest.raises(ReproError):
+            registry.gauge("repro_thing", "Thing")
+
+    def test_label_conflict_is_an_error(self, registry):
+        registry.counter("repro_l_total", "L", labels=("a",))
+        with pytest.raises(ReproError):
+            registry.counter("repro_l_total", "L", labels=("b",))
+
+    def test_reset_values_keeps_registrations(self, registry):
+        counter = registry.counter("repro_r_total", "R")
+        counter.inc(5)
+        registry.reset_values()
+        assert counter.value() == 0
+        assert registry.counter("repro_r_total", "R") is counter
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self, registry):
+        """The scheduler-load contract: counters never lose updates.
+
+        Eight threads hammer one labelled counter, one gauge and one
+        histogram; the totals must be exact, not approximate — a
+        torn read-modify-write would show up as a shortfall.
+        """
+        counter = registry.counter("repro_c_total", "C",
+                                   labels=("source",))
+        gauge = registry.gauge("repro_g", "G")
+        histogram = registry.histogram("repro_h_seconds", "H",
+                                       buckets=(0.5,))
+        threads_n, per_thread = 8, 1000
+
+        def hammer(index):
+            source = "even" if index % 2 == 0 else "odd"
+            for _ in range(per_thread):
+                counter.inc(source=source)
+                gauge.inc()
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = threads_n * per_thread
+        assert counter.total() == expected
+        assert counter.value(source="even") == expected // 2
+        assert gauge.value() == expected
+        assert histogram.count() == expected
+        assert histogram.sum() == pytest.approx(expected * 0.25)
+
+
+class TestPrometheusFormat:
+    def test_golden_exposition(self, registry):
+        """Byte-exact 0.0.4 text format on a small fresh registry."""
+        requests = registry.counter(
+            "repro_http_requests_total", "HTTP requests",
+            labels=("method", "code"))
+        depth = registry.gauge("repro_queue_depth", "Queued jobs")
+        latency = registry.histogram(
+            "repro_stage_seconds", "Stage latency",
+            buckets=(0.1, 1.0))
+        requests.inc(method="GET", code=200)
+        requests.inc(2, method="POST", code=429)
+        depth.set(3)
+        latency.observe(0.05)
+        latency.observe(0.5)
+        assert registry.render() == (
+            "# HELP repro_http_requests_total HTTP requests\n"
+            "# TYPE repro_http_requests_total counter\n"
+            'repro_http_requests_total{method="GET",code="200"} 1\n'
+            'repro_http_requests_total{method="POST",code="429"} 2\n'
+            "# HELP repro_queue_depth Queued jobs\n"
+            "# TYPE repro_queue_depth gauge\n"
+            "repro_queue_depth 3\n"
+            "# HELP repro_stage_seconds Stage latency\n"
+            "# TYPE repro_stage_seconds histogram\n"
+            'repro_stage_seconds_bucket{le="0.1"} 1\n'
+            'repro_stage_seconds_bucket{le="1"} 2\n'
+            'repro_stage_seconds_bucket{le="+Inf"} 2\n'
+            "repro_stage_seconds_sum 0.55\n"
+            "repro_stage_seconds_count 2\n")
+
+    def test_label_values_are_escaped(self, registry):
+        counter = registry.counter("repro_esc_total", "Esc",
+                                   labels=("path",))
+        counter.inc(path='a"b\\c\nd')
+        assert '{path="a\\"b\\\\c\\nd"}' \
+            in "\n".join(counter.render())
+
+    def test_shared_registry_renders_every_instrument(self):
+        text = metrics.REGISTRY.render()
+        for name in ("repro_cache_hits_total", "repro_points_total",
+                     "repro_stage_seconds", "repro_http_requests_total",
+                     "repro_jobs_total", "repro_scheduler_queue_depth"):
+            assert f"# TYPE {name} " in text
+
+
+class TestPipelineCounters:
+    def test_cache_and_point_counters_move(self, tmp_path):
+        from repro.runtime.cache import ResultCache
+        from repro.runtime.stream import stream_specs
+        from repro.runtime.sweep import validated_sweep_specs
+
+        specs = validated_sweep_specs(kernels=("dc_filter",),
+                                      configs=("HOM64",),
+                                      variants=("basic",))
+        cache = ResultCache(tmp_path)
+        list(stream_specs(specs, workers=1, cache=cache))
+        assert metrics.POINTS.value(source="computed") == 1
+        assert metrics.CACHE_MISSES.total() == 1
+        assert metrics.CACHE_STORES.total() == 1
+        list(stream_specs(specs, workers=1, cache=cache))
+        assert metrics.POINTS.value(source="cache") == 1
+        assert metrics.CACHE_HITS.total() == 1
+        assert metrics.STAGE_SECONDS.count(stage="map") == 1
+        assert metrics.SIM_CYCLES.value(engine="analytic") > 0

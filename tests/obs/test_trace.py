@@ -1,0 +1,252 @@
+"""repro.obs.trace — spans, propagation, ingestion, Chrome export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+class TestSpanBasics:
+    def test_off_by_default_records_nothing(self):
+        with trace.span("anything", key="value"):
+            pass
+        assert trace.snapshot_spans() == []
+
+    def test_off_path_returns_the_shared_noop(self):
+        assert trace.span("a") is trace.span("b")
+
+    def test_enabled_span_records_a_dict(self):
+        trace.enable_tracing()
+        with trace.span("work", kernel="fir") as active:
+            active.set(outcome="ok")
+        (span,) = trace.drain_spans()
+        assert span["name"] == "work"
+        assert span["parent_id"] is None
+        assert len(span["trace_id"]) == 32
+        assert len(span["span_id"]) == 16
+        assert span["status"] == "ok"
+        assert span["attrs"] == {"kernel": "fir", "outcome": "ok"}
+        assert span["wall_us"] >= 0
+        assert span["start_unix_us"] > 0
+
+    def test_nesting_parents_automatically(self):
+        trace.enable_tracing()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        inner, outer = trace.drain_spans()
+        assert inner["name"] == "inner"
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_exception_marks_the_span_failed(self):
+        trace.enable_tracing()
+        with pytest.raises(ValueError):
+            with trace.span("doomed"):
+                raise ValueError("boom")
+        (span,) = trace.drain_spans()
+        assert span["status"] == "error"
+        assert span["error"] == "ValueError"
+
+    def test_sibling_spans_share_parent_not_each_other(self):
+        trace.enable_tracing()
+        with trace.span("root"):
+            with trace.span("first"):
+                pass
+            with trace.span("second"):
+                pass
+        first, second, root = trace.drain_spans()
+        assert first["parent_id"] == root["span_id"]
+        assert second["parent_id"] == root["span_id"]
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        context = trace.SpanContext(trace.new_trace_id(),
+                                    trace.new_span_id())
+        parsed = trace.parse_traceparent(
+            trace.format_traceparent(context))
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+
+    @pytest.mark.parametrize("header", [
+        None, 42, "", "junk", "00-short-short-01",
+        "00-" + "g" * 32 + "-" + "0" * 16 + "-01",
+        "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",  # bad version
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+        "00-" + "a" * 32 + "-" + "b" * 16,          # missing flags
+    ])
+    def test_junk_headers_degrade_to_none(self, header):
+        assert trace.parse_traceparent(header) is None
+
+    def test_carrier_roundtrip_through_adopt(self):
+        trace.enable_tracing()
+        with trace.span("remote-parent"):
+            carrier = trace.current_carrier()
+        (parent,) = trace.drain_spans()
+        with trace.adopt(carrier):
+            with trace.span("child"):
+                pass
+        (child,) = trace.drain_spans()
+        assert child["trace_id"] == parent["trace_id"]
+        assert child["parent_id"] == parent["span_id"]
+
+    def test_no_active_span_means_no_carrier(self):
+        assert trace.current_carrier() is None
+
+    def test_adopt_records_without_global_enable(self):
+        # A server that is not itself tracing still records a traced
+        # client's request: adoption alone activates the span path.
+        carrier = {"traceparent": trace.format_traceparent(
+            trace.SpanContext("ab" * 16, "cd" * 8))}
+        assert not trace.tracing_enabled()
+        with trace.adopt(carrier):
+            assert trace.tracing_active()
+            with trace.span("adopted"):
+                pass
+        assert not trace.tracing_active()
+        (span,) = trace.drain_spans()
+        assert span["trace_id"] == "ab" * 16
+        assert span["parent_id"] == "cd" * 8
+
+    def test_adopt_none_is_a_noop(self):
+        with trace.adopt(None):
+            with trace.span("ignored"):
+                pass
+        assert trace.snapshot_spans() == []
+
+
+class TestThreadPropagation:
+    def test_threads_need_the_carrier(self):
+        trace.enable_tracing()
+        recorded = []
+
+        def worker(carrier):
+            with trace.adopt(carrier):
+                with trace.span("thread-work"):
+                    pass
+            recorded.append(True)
+
+        with trace.span("main"):
+            carrier = trace.current_carrier()
+            thread = threading.Thread(target=worker, args=(carrier,))
+            thread.start()
+            thread.join()
+        assert recorded
+        work, main = trace.drain_spans()
+        assert work["trace_id"] == main["trace_id"]
+        assert work["parent_id"] == main["span_id"]
+
+
+class TestIngest:
+    def test_ingest_keeps_only_wellformed_dicts(self):
+        accepted = trace.ingest([
+            {"name": "ok", "trace_id": "t" * 32, "span_id": "s" * 16},
+            {"name": 3, "trace_id": "x", "span_id": "y"},
+            "not-a-dict",
+            None,
+        ])
+        assert accepted == 1
+        (span,) = trace.snapshot_spans()
+        assert span["name"] == "ok"
+
+    def test_ingest_observe_stages_feeds_the_histogram(self):
+        from repro.obs import metrics
+
+        before = metrics.STAGE_SECONDS.count(stage="map")
+        trace.ingest([{
+            "name": "map", "trace_id": "a" * 32, "span_id": "b" * 16,
+            "wall_us": 2_000_000, "attrs": {"stage": "map"},
+        }], observe_stages=True)
+        assert metrics.STAGE_SECONDS.count(stage="map") == before + 1
+        assert metrics.STAGE_SECONDS.sum(stage="map") \
+            == pytest.approx(2.0)
+
+    def test_spans_for_trace_drains_selectively(self):
+        trace.ingest([
+            {"name": "a", "trace_id": "1" * 32, "span_id": "a" * 16},
+            {"name": "b", "trace_id": "2" * 32, "span_id": "b" * 16},
+        ])
+        mine = trace.spans_for_trace("1" * 32, drain=True)
+        assert [span["name"] for span in mine] == ["a"]
+        left = trace.snapshot_spans()
+        assert [span["name"] for span in left] == ["b"]
+
+    def test_buffer_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(trace, "MAX_BUFFERED_SPANS", 3)
+        trace.ingest([
+            {"name": f"s{i}", "trace_id": "a" * 32,
+             "span_id": f"{i:016d}"}
+            for i in range(5)])
+        assert len(trace.snapshot_spans()) == 3
+        assert trace.dropped_spans() == 2
+
+
+class TestChromeExport:
+    def test_export_shape(self, tmp_path):
+        trace.enable_tracing()
+        with trace.span("outer", kernel="fir"):
+            with trace.span("inner"):
+                pass
+        path = trace.write_chrome_trace(tmp_path / "trace.json",
+                                        trace.drain_spans())
+        document = json.loads(open(path).read())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 1
+            assert "trace_id" in event["args"]
+        # Sorted by start timestamp: outer opened first.
+        assert events[0]["name"] == "outer"
+        assert events[0]["args"]["kernel"] == "fir"
+
+
+class TestPipelineIntegration:
+    def test_compute_point_emits_the_stage_tree(self):
+        from repro.runtime.sweep import (
+            compute_point, validated_sweep_specs)
+
+        (spec,) = validated_sweep_specs(kernels=("dc_filter",),
+                                        configs=("HOM64",),
+                                        variants=("basic",))
+        trace.enable_tracing()
+        point = compute_point(spec)
+        assert point.mapped
+        spans = trace.drain_spans()
+        names = {span["name"] for span in spans}
+        assert {"point", "dfg", "map", "assemble", "execute",
+                "verify", "price"} <= names
+        assert len({span["trace_id"] for span in spans}) == 1
+        ids = {span["span_id"] for span in spans}
+        for span in spans:
+            if span["parent_id"] is not None:
+                assert span["parent_id"] in ids
+
+    def test_worker_spans_stitch_into_the_parent_trace(self):
+        # The real cross-process path: two workers, spans shipped
+        # back with each result and ingested into one tree.
+        from repro.runtime.stream import stream_specs
+        from repro.runtime.sweep import validated_sweep_specs
+
+        specs = validated_sweep_specs(
+            kernels=("dc_filter", "fir"),
+            configs=("HOM64",), variants=("basic",))
+        trace.enable_tracing()
+        points = [point for _spec, point in
+                  stream_specs(specs, workers=2, cache=None)]
+        assert all(point.mapped for point in points)
+        spans = trace.drain_spans()
+        assert len({span["trace_id"] for span in spans}) == 1
+        assert len({span["pid"] for span in spans}) >= 2
+        ids = {span["span_id"] for span in spans}
+        roots = [span for span in spans if span["parent_id"] is None]
+        assert [span["name"] for span in roots] == ["sweep"]
+        for span in spans:
+            if span["parent_id"] is not None:
+                assert span["parent_id"] in ids
