@@ -40,13 +40,23 @@ Commands mirror the user journeys of the examples:
   non-zero on regression; see :mod:`repro.perf`);
 - ``trace``         — run a sweep with pipeline tracing on and write
   the spans as Chrome trace-event JSON (load in Perfetto or
-  ``chrome://tracing``); ``sweep``/``diff`` grow the same capture
-  via ``--trace-out FILE`` (see :mod:`repro.obs`);
+  ``chrome://tracing``); ``--analyze`` adds the critical path /
+  self-time / occupancy / straggler report, ``--from FILE`` analyses
+  a saved trace instead of running; ``sweep``/``diff``/``submit``/
+  ``explore`` grow the same capture via ``--trace-out FILE``
+  (see :mod:`repro.obs`);
 - ``metrics``       — print the Prometheus text exposition of this
   process's metric registry, or scrape a running server's
   ``/metrics`` with ``--server URL``;
 - ``profile``       — cProfile one mapping and print the top
-  functions, so perf work starts from data;
+  functions, so perf work starts from data; ``--flame`` switches to
+  the zero-overhead sampling profiler with collapsed-stack output
+  (``--flame-out``; ``sweep``/``bench`` accept the same flag);
+- ``history``       — render the persistent run ledger every
+  bench/sweep/diff run appends to (see :mod:`repro.perf.ledger`);
+- ``report``        — write the self-contained watchtower dashboard
+  HTML (ledger trends, critical path, metrics snapshot; also served
+  at ``GET /dashboard``);
 - ``serve``         — expose sweeps and explorations over HTTP
   (``--port``, ``--workers``, job retention via
   ``--max-finished-jobs``/``--job-ttl``): submission, status, NDJSON
@@ -63,6 +73,7 @@ to stderr, so stdout stays clean for tables and JSON; ``--quiet`` (or
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -145,6 +156,10 @@ def _parser():
     sweep.add_argument("--trace-out", default=None, metavar="FILE",
                        help="record pipeline spans and write Chrome "
                             "trace JSON to FILE (Perfetto-loadable)")
+    sweep.add_argument("--flame-out", default=None, metavar="FILE",
+                       help="sample the driving thread during the "
+                            "sweep and write collapsed flame stacks "
+                            "to FILE (rate: $REPRO_PROFILE_HZ)")
     add_cache_flags(sweep)
     add_quiet(sweep)
 
@@ -280,6 +295,9 @@ def _parser():
     explore.add_argument("--json", action="store_true",
                          help="emit the exploration document (or the "
                               "shard payload) as JSON")
+    explore.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="record pipeline spans and write Chrome "
+                              "trace JSON to FILE (Perfetto-loadable)")
     add_cache_flags(explore)
     add_quiet(explore)
 
@@ -314,8 +332,23 @@ def _parser():
     bench.add_argument("--max-regress", type=float, default=None,
                        metavar="PCT",
                        help="allowed per-case slowdown vs the "
-                            "--compare baseline (default 25%%; "
-                            "rejected without --compare)")
+                            "--compare / --compare-ledger baseline "
+                            "(default 25%%; rejected without either)")
+    bench.add_argument("--compare-ledger", action="store_true",
+                       help="gate against the rolling median of the "
+                            "last --window same-host bench runs in "
+                            "the run ledger; exit 3 on regression")
+    bench.add_argument("--window", type=int, default=5, metavar="N",
+                       help="ledger entries in the rolling median "
+                            "(default 5)")
+    bench.add_argument("--flame-out", default=None, metavar="FILE",
+                       help="sample the bench thread and write "
+                            "collapsed flame stacks to FILE (rate: "
+                            "$REPRO_PROFILE_HZ)")
+    bench.add_argument("--cache-dir", default=None,
+                       help="directory holding the run ledger "
+                            "(default ~/.cache/repro or "
+                            "$REPRO_CACHE_DIR)")
     add_quiet(bench)
 
     profile = sub.add_parser(
@@ -331,6 +364,20 @@ def _parser():
     profile.add_argument("--sort", default="cumulative",
                         choices=("cumulative", "tottime", "ncalls"),
                         help="pstats sort key (default cumulative)")
+    profile.add_argument("--flame", action="store_true",
+                        help="sample with the zero-overhead wall-"
+                             "clock profiler instead of cProfile "
+                             "(collapsed-stack flame output)")
+    profile.add_argument("--hz", type=float, default=None,
+                        help="sampling rate for --flame (default "
+                             "$REPRO_PROFILE_HZ or 97)")
+    profile.add_argument("--repeat", type=int, default=5,
+                        help="mappings sampled under one --flame "
+                             "profile (default 5 — one mapping is "
+                             "too fast to sample)")
+    profile.add_argument("--flame-out", default=None, metavar="FILE",
+                        help="write collapsed flame stacks to FILE "
+                             "(flamegraph.pl / speedscope input)")
 
     trace_cmd = sub.add_parser(
         "trace", help="run a traced sweep, write Chrome trace JSON "
@@ -355,8 +402,51 @@ def _parser():
                            help="Chrome trace-event JSON output "
                                 "(default trace.json); load it in "
                                 "Perfetto or chrome://tracing")
+    trace_cmd.add_argument("--analyze", action="store_true",
+                           help="also print trace analytics: "
+                                "critical path, per-stage self time, "
+                                "worker occupancy, straggler shards")
+    trace_cmd.add_argument("--from", dest="from_file", default=None,
+                           metavar="FILE",
+                           help="analyze a saved --trace-out file "
+                                "instead of running a sweep "
+                                "(implies --analyze)")
+    trace_cmd.add_argument("--json", action="store_true",
+                           help="emit the trace-analysis payload as "
+                                "JSON on stdout")
     add_cache_flags(trace_cmd)
     add_quiet(trace_cmd)
+
+    history = sub.add_parser(
+        "history", help="render the persistent run ledger "
+                        "(see repro.perf.ledger)")
+    history.add_argument("--command", dest="filter_command",
+                         default=None,
+                         choices=("bench", "sweep", "diff"),
+                         help="only entries from this command")
+    history.add_argument("--limit", type=int, default=20,
+                         help="newest entries shown (default 20)")
+    history.add_argument("--json", action="store_true",
+                         help="emit the entries as JSON")
+    history.add_argument("--cache-dir", default=None,
+                         help="directory holding the run ledger "
+                              "(default ~/.cache/repro or "
+                              "$REPRO_CACHE_DIR)")
+
+    report = sub.add_parser(
+        "report", help="write the watchtower dashboard HTML "
+                       "(see repro.obs.report)")
+    report.add_argument("--out", default="report.html", metavar="FILE",
+                        help="output file (default report.html; "
+                             "'-' for stdout)")
+    report.add_argument("--trace", default=None, metavar="FILE",
+                        help="fold the critical-path analysis of "
+                             "this saved --trace-out file into the "
+                             "report")
+    report.add_argument("--limit", type=int, default=50,
+                        help="newest ledger entries charted "
+                             "(default 50)")
+    add_cache_flags(report)
 
     metrics_cmd = sub.add_parser(
         "metrics", help="print Prometheus metrics (local registry or "
@@ -448,6 +538,10 @@ def _parser():
                              "(default $REPRO_SERVE_TOKEN)")
     submit.add_argument("--json", action="store_true",
                         help="emit the result payload as JSON")
+    submit.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="trace the submission; server-side "
+                             "spans stitch into the local tree via "
+                             "the propagated traceparent")
     add_quiet(submit)
     return parser
 
@@ -473,6 +567,40 @@ def _quiet_requested(args):
 def _progress(args):
     """The progress callback honouring ``--quiet``/``$REPRO_QUIET``."""
     return None if _quiet_requested(args) else _stderr_progress
+
+
+@contextlib.contextmanager
+def _flame_scope(args):
+    """Sample the driving thread for ``--flame-out``, if requested.
+
+    Stacks are written even when the wrapped run fails — a profile
+    of the run that misbehaved is the one worth keeping.
+    """
+    flame_out = getattr(args, "flame_out", None)
+    if not flame_out:
+        yield
+        return
+    import threading
+
+    from repro.obs import flame
+    rate = flame.resolve_hz() or flame.DEFAULT_HZ
+    profiler = flame.SamplingProfiler(
+        rate, thread_ids={threading.get_ident()})
+    profiler.start()
+    try:
+        yield
+    finally:
+        counts = profiler.stop()
+        flame.write_collapsed(flame_out, counts)
+        print(f"{sum(counts.values())} stack sample(s) @ {rate:g} Hz "
+              f"-> {flame_out}", file=sys.stderr, flush=True)
+
+
+def _record_ledger(args, command, summary):
+    """Best-effort ledger append for a finished measured run."""
+    from repro.perf import ledger
+    ledger.record(command, summary,
+                  cache_dir=getattr(args, "cache_dir", None))
 
 
 def _check_shard_output(args):
@@ -626,10 +754,15 @@ def _sweep(args):
         print(f"cleared {removed} cache entries from {target.directory}",
               file=sys.stderr if args.json else sys.stdout)
     if shard is not None:
+        # Shard slices are partial by construction — they are not
+        # recorded in the ledger, whose trends compare whole runs.
         return _run_shard(args, cache, specs, shard)
     from repro.runtime.pool import run_sweep
-    result = run_sweep(specs, workers=args.workers, cache=cache,
-                       progress=_progress(args))
+    with _flame_scope(args):
+        result = run_sweep(specs, workers=args.workers, cache=cache,
+                           progress=_progress(args))
+    from repro.perf.ledger import sweep_summary
+    _record_ledger(args, "sweep", sweep_summary(result))
     if args.json:
         from repro.runtime.shard import sweep_json_payload
         print(json.dumps(sweep_json_payload(result), indent=2))
@@ -661,6 +794,8 @@ def _diff(args):
                       rel_tol=rel_tol, workers=args.workers,
                       cache=_cache_from(args),
                       progress=_progress(args))
+    from repro.perf.ledger import diff_summary
+    _record_ledger(args, "diff", diff_summary(result))
     payload = result.to_json()
     if args.out:
         with open(args.out, "w") as fh:
@@ -857,10 +992,12 @@ def _bench(args):
         load_bench_file, parse_case, render_bench, render_comparison,
         run_bench)
 
-    if args.max_regress is not None and not args.compare:
+    if args.max_regress is not None and not (args.compare
+                                             or args.compare_ledger):
         # Silently ignoring the threshold would let a user believe
         # the regression gate ran when nothing was compared.
-        raise ReproError("--max-regress only applies with --compare")
+        raise ReproError("--max-regress only applies with --compare "
+                         "or --compare-ledger")
     max_regress = args.max_regress if args.max_regress is not None \
         else 25.0
     if args.cases:
@@ -874,8 +1011,10 @@ def _bench(args):
                               variants=_split_axis(args.variants))
     progress = None if _quiet_requested(args) else (
         lambda line: print(line, file=sys.stderr, flush=True))
-    results = run_bench(cases, warmup=args.warmup, repeat=args.repeat,
-                        reducer=args.reducer, progress=progress)
+    with _flame_scope(args):
+        results = run_bench(cases, warmup=args.warmup,
+                            repeat=args.repeat,
+                            reducer=args.reducer, progress=progress)
     payload = bench_payload(results, args.warmup, args.repeat,
                             args.reducer,
                             created_unix=int(_time.time()))
@@ -887,18 +1026,47 @@ def _bench(args):
         print(json.dumps(payload, indent=2))
     else:
         print(render_bench(payload))
+    status = 0
+    # The comparison is narration under --json (stdout holds the
+    # document); regressions still gate the exit code.
+    out = sys.stderr if args.json else sys.stdout
     if args.compare:
         baseline = load_bench_file(args.compare)
         rows, regressions = compare_benchmarks(payload, baseline,
                                                max_regress)
-        # The comparison is narration under --json (stdout holds the
-        # document); regressions still gate the exit code.
-        out = sys.stderr if args.json else sys.stdout
         print(render_comparison(rows, regressions, max_regress),
               file=out)
         if regressions:
-            return 3
-    return 0
+            status = 3
+    if args.compare_ledger:
+        import platform as _platform
+
+        from repro.perf import ledger
+        # Gate against history *before* recording this run, so a run
+        # can never be part of its own baseline; same-host only,
+        # since wall-clock across machines compares nothing.
+        entries, _skipped = ledger.read_ledger(
+            ledger.ledger_path(getattr(args, "cache_dir", None)),
+            host=_platform.node())
+        rows, regressions, used = ledger.compare_to_ledger(
+            payload, entries, window=args.window,
+            max_regress_pct=max_regress)
+        print(f"ledger gate: rolling median of the last {used} "
+              f"same-host bench run(s)", file=out)
+        print(render_comparison(rows, regressions, max_regress),
+              file=out)
+        if regressions:
+            status = 3
+    from repro.perf.ledger import bench_summary
+    _record_ledger(args, "bench", bench_summary(payload))
+    return status
+
+
+def _print_analysis(spans, as_json):
+    from repro.obs import analyze
+    payload = analyze.analyze_spans(spans)
+    print(json.dumps(payload, indent=2) if as_json
+          else analyze.render_analysis(payload))
 
 
 def _trace(args):
@@ -906,6 +1074,13 @@ def _trace(args):
     from repro.runtime.pool import run_sweep
     from repro.runtime.sweep import validated_sweep_specs
 
+    if args.from_file:
+        # Post-mortem mode: analyse a saved --trace-out file without
+        # running anything.
+        from repro.obs import analyze
+        _print_analysis(analyze.load_trace_file(args.from_file),
+                        args.json)
+        return 0
     specs = validated_sweep_specs(kernels=_split_axis(args.kernels),
                                   configs=_split_axis(args.configs),
                                   variants=_split_axis(args.variants),
@@ -919,19 +1094,81 @@ def _trace(args):
     out = trace.write_chrome_trace(args.out, spans)
     print(f"{len(spans)} spans from {len(specs)} point(s) -> {out}",
           file=sys.stderr, flush=True)
+    if args.analyze:
+        _print_analysis(spans, args.json)
     return 1 if result.crashed else 0
+
+
+def _history(args):
+    from repro.perf import ledger
+
+    path = ledger.ledger_path(getattr(args, "cache_dir", None))
+    entries, skipped = ledger.read_ledger(
+        path, command=args.filter_command, limit=args.limit)
+    if args.json:
+        print(json.dumps({
+            "kind": "ledger-history",
+            "schema": ledger.LEDGER_SCHEMA,
+            "path": str(path),
+            "entries": entries,
+            "skipped": skipped,
+        }, indent=2))
+    else:
+        print(ledger.render_history(entries, skipped))
+    return 0
+
+
+def _report(args):
+    from repro.obs import analyze, metrics, report
+    from repro.perf import ledger
+
+    entries, _skipped = ledger.read_ledger(
+        ledger.ledger_path(getattr(args, "cache_dir", None)),
+        limit=args.limit)
+    analysis = None
+    if args.trace:
+        analysis = analyze.analyze_spans(
+            analyze.load_trace_file(args.trace))
+    cache = _cache_from(args)
+    cache_stats = cache.stats() if cache is not None else None
+    html_text = report.render_report(
+        ledger_entries=entries, analysis=analysis,
+        metrics_text=metrics.REGISTRY.render(),
+        cache_stats=cache_stats)
+    if args.out == "-":
+        sys.stdout.write(html_text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(html_text)
+        print(f"report -> {args.out}", file=sys.stderr, flush=True)
+    return 0
 
 
 def _metrics(args):
     if args.server:
+        import urllib.error
         import urllib.request
         url = args.server.rstrip("/") + "/metrics"
+        # Every way a scrape fails — non-2xx, refused connection,
+        # unresolvable host, schemeless URL — is one diagnostic line
+        # and exit 1, never a traceback.
         try:
             with urllib.request.urlopen(url, timeout=30.0) as response:
                 sys.stdout.write(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise ReproError(
+                f"scrape of {url} failed: HTTP {error.code} "
+                f"{error.reason}") from None
+        except urllib.error.URLError as error:
+            raise ReproError(
+                f"cannot scrape {url}: {error.reason}") from None
         except OSError as error:
             raise ReproError(
                 f"cannot scrape {url}: {error}") from None
+        except ValueError as error:
+            raise ReproError(
+                f"bad --server URL {args.server!r}: {error}") \
+                from None
         return 0
     from repro.obs import metrics
     # Prime the cache gauges so a fresh process reports the
@@ -944,11 +1181,25 @@ def _metrics(args):
 
 
 def _profile(args):
-    from repro.perf import BenchCase, profile_case
+    from repro.perf import BenchCase, flame_case, profile_case
 
-    text, _ = profile_case(
-        BenchCase(args.kernel, args.config, args.variant),
-        top=args.top, sort=args.sort)
+    case = BenchCase(args.kernel, args.config, args.variant)
+    if args.flame or args.flame_out:
+        from repro.obs import flame
+        rate = args.hz if args.hz is not None \
+            else (flame.resolve_hz() or flame.DEFAULT_HZ)
+        counts, wakeups = flame_case(case, rate, repeat=args.repeat)
+        if args.flame_out:
+            flame.write_collapsed(args.flame_out, counts)
+            print(f"{sum(counts.values())} stack sample(s) -> "
+                  f"{args.flame_out}", file=sys.stderr, flush=True)
+        print(f"flame: {case.name} ({wakeups} wakeup(s) @ {rate:g} Hz "
+              f"x {max(1, args.repeat)} mapping(s))")
+        print(flame.render_flame(counts, top=args.top))
+        return 0
+    if args.hz is not None:
+        raise ReproError("--hz only applies with --flame")
+    text, _ = profile_case(case, top=args.top, sort=args.sort)
     print(text)
     return 0
 
@@ -1098,7 +1349,8 @@ def main(argv=None):
                 "figure": _figure, "explore": _explore,
                 "serve": _serve, "submit": _submit, "bench": _bench,
                 "profile": _profile, "trace": _trace,
-                "metrics": _metrics}
+                "metrics": _metrics, "history": _history,
+                "report": _report}
     # ``--trace-out`` (sweep/diff) records the whole command and
     # dumps whatever landed even on a failing exit — a trace of the
     # run that misbehaved is the one worth keeping.

@@ -10,7 +10,15 @@ The telemetry layer every later perf PR reads from:
   process-wide registry, rendered in the Prometheus text format
   (``GET /metrics`` on the serve tier, ``repro metrics`` locally);
 - :mod:`repro.obs.logs` — levelled structured logging to stderr
-  (``REPRO_LOG=level[:json]``), replacing ad-hoc prints.
+  (``REPRO_LOG=level[:json]``), replacing ad-hoc prints;
+- :mod:`repro.obs.analyze` — trace analytics over a span tree:
+  critical path, per-stage self time, worker occupancy, straggler
+  shards (``repro trace --analyze``);
+- :mod:`repro.obs.flame` — a zero-dependency sampling profiler with
+  collapsed-stack flame output (``repro profile --flame``,
+  ``--flame-out``, ``REPRO_PROFILE_HZ``);
+- :mod:`repro.obs.report` — the self-contained HTML dashboard
+  (``repro report``, ``GET /dashboard``).
 
 :func:`stage` is the composite used at every pipeline stage: it
 always feeds the per-stage latency histogram (metrics are
@@ -29,7 +37,19 @@ from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span
 
 __all__ = ["logs", "metrics", "trace", "get_logger", "REGISTRY",
-           "span", "stage"]
+           "span", "stage", "analyze", "flame", "report"]
+
+
+def __getattr__(name):
+    # analyze/flame/report are lazy: flame imports threading machinery
+    # and report is render-only — neither belongs on the hot import
+    # path of every traced worker process.
+    if name in ("analyze", "flame", "report"):
+        import importlib
+        module = importlib.import_module(f"repro.obs.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(name)
 
 
 @contextlib.contextmanager

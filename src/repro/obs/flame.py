@@ -1,0 +1,216 @@
+"""Zero-dependency sampling profiler with collapsed-stack output.
+
+Spans tell us *that* ``map_kernel`` took 40 ms; they cannot say which
+function inside it burned the cycles.  ``cProfile`` (``repro
+profile``) answers that for a single call but its tracing overhead
+distorts exactly the tight loops we care about.  This module adds the
+third lens: a **sampling** profiler built only on the standard
+library — a daemon thread wakes ``hz`` times per second, snapshots
+``sys._current_frames()``, and counts call stacks.  Overhead is a
+fixed, tiny tax proportional to ``hz``, not to the workload.
+
+Output is the collapsed-stack format (``outer;inner;leaf count`` per
+line) that flamegraph.pl / speedscope / inferno all consume, written
+by ``--flame-out`` on sweep/bench or ``repro profile --flame``.
+
+Scoping follows the span idiom: ``profiled_span("mapping")`` opens a
+span *and* samples the calling thread while it is open, gated by an
+explicit ``hz`` or the ``REPRO_PROFILE_HZ`` env var — zero means off,
+and off costs nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections import Counter
+from contextlib import contextmanager
+
+from repro.errors import ReproError
+from repro.obs import trace
+
+#: Env var enabling scoped profiling (samples per second; 0/unset = off).
+ENV_PROFILE_HZ = "REPRO_PROFILE_HZ"
+
+#: Default sampling rate when profiling is requested without a rate.
+#: Prime-ish, so a periodic workload can't hide between samples.
+DEFAULT_HZ = 97.0
+
+_lock = threading.Lock()
+_accumulated = Counter()
+
+
+def resolve_hz(hz=None):
+    """Effective sampling rate: explicit arg beats env beats off."""
+    if hz is not None:
+        return float(hz)
+    raw = os.environ.get(ENV_PROFILE_HZ, "").strip()
+    if not raw:
+        return 0.0
+    try:
+        return float(raw)
+    except ValueError:
+        raise ReproError(
+            f"{ENV_PROFILE_HZ}={raw!r} is not a sampling rate") \
+            from None
+
+
+def _frame_stack(frame):
+    """Stack as ``module.func`` names, outermost first."""
+    parts = []
+    while frame is not None:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}.{code.co_name}")
+        frame = frame.f_back
+    parts.reverse()
+    return parts
+
+
+class SamplingProfiler:
+    """Wall-clock stack sampler over ``sys._current_frames()``.
+
+    ``thread_ids`` pins sampling to specific threads (e.g. the one
+    inside a ``profiled_span``); ``None`` samples every thread except
+    the sampler itself.
+    """
+
+    def __init__(self, hz=DEFAULT_HZ, thread_ids=None):
+        if hz <= 0:
+            raise ReproError(f"sampling rate must be > 0, got {hz}")
+        self.hz = float(hz)
+        self.thread_ids = (set(thread_ids)
+                           if thread_ids is not None else None)
+        self.counts = Counter()
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread = None
+
+    def _run(self):
+        interval = 1.0 / self.hz
+        own = threading.get_ident()
+        while not self._stop.wait(interval):
+            frames = sys._current_frames()
+            for ident, frame in frames.items():
+                if ident == own:
+                    continue
+                if (self.thread_ids is not None
+                        and ident not in self.thread_ids):
+                    continue
+                stack = _frame_stack(frame)
+                if stack:
+                    self.counts[";".join(stack)] += 1
+            self.samples += 1
+
+    def start(self):
+        if self._thread is not None:
+            raise ReproError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        """Stop sampling; returns the collapsed-stack Counter."""
+        if self._thread is None:
+            return self.counts
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        return self.counts
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+
+def accumulate(counts):
+    """Fold a profiler's counts into the process-wide accumulator."""
+    with _lock:
+        _accumulated.update(counts)
+
+
+def drain_accumulated():
+    """Take and clear everything accumulated so far."""
+    with _lock:
+        counts = Counter(_accumulated)
+        _accumulated.clear()
+    return counts
+
+
+def snapshot_accumulated():
+    """Accumulated counts without clearing them."""
+    with _lock:
+        return Counter(_accumulated)
+
+
+@contextmanager
+def profiled_span(name, hz=None, **attrs):
+    """A span that also samples the calling thread while open.
+
+    With an effective rate of zero this is exactly ``trace.span`` —
+    the profiling path costs nothing unless asked for.  Collected
+    stacks land in the module accumulator so callers (sweep/bench
+    ``--flame-out``) can drain one merged profile at the end.
+    """
+    rate = resolve_hz(hz)
+    if rate <= 0:
+        with trace.span(name, **attrs):
+            yield None
+        return
+    profiler = SamplingProfiler(
+        rate, thread_ids={threading.get_ident()})
+    with trace.span(name, profile_hz=rate, **attrs):
+        profiler.start()
+        try:
+            yield profiler
+        finally:
+            accumulate(profiler.stop())
+
+
+def collapsed_lines(counts):
+    """Collapsed-stack lines (sorted for deterministic output)."""
+    return [f"{stack} {count}"
+            for stack, count in sorted(counts.items())]
+
+
+def write_collapsed(path, counts):
+    """Write counts in collapsed-stack format; returns the path."""
+    with open(path, "w") as handle:
+        for line in collapsed_lines(counts):
+            handle.write(line + "\n")
+    return path
+
+
+def render_flame(counts, top=25):
+    """Terminal summary: hottest leaf functions, then hottest stacks."""
+    total = sum(counts.values())
+    if not total:
+        return ("no samples collected (workload too fast for the "
+                "sampling rate — raise --hz or --repeat)")
+    leaves = Counter()
+    on_stack = Counter()
+    for stack, count in counts.items():
+        frames = stack.split(";")
+        leaves[frames[-1]] += count
+        for frame in set(frames):
+            on_stack[frame] += count
+    lines = [f"{total} sample(s), {len(counts)} distinct stack(s)",
+             "",
+             f"{'self%':>7s} {'total%':>7s} {'samples':>8s}  function"]
+    for name, count in leaves.most_common(top):
+        lines.append(f"{count / total:7.1%} "
+                     f"{on_stack[name] / total:7.1%} "
+                     f"{count:8d}  {name}")
+    lines += ["", "hottest stacks:"]
+    for stack, count in counts.most_common(min(5, len(counts))):
+        frames = stack.split(";")
+        tail = ";".join(frames[-4:])
+        prefix = "...;" if len(frames) > 4 else ""
+        lines.append(f"  {count:6d}  {prefix}{tail}")
+    return "\n".join(lines)

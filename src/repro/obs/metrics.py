@@ -328,6 +328,9 @@ CACHE_ENTRIES = REGISTRY.gauge(
     "repro_cache_entries", "Result-cache entries on disk at last scan")
 CACHE_BYTES = REGISTRY.gauge(
     "repro_cache_bytes", "Result-cache bytes on disk at last scan")
+CACHE_ORPHANED_BYTES = REGISTRY.gauge(
+    "repro_cache_orphaned_bytes",
+    "Result-cache bytes from other cache formats at last scan")
 
 POINTS = REGISTRY.counter(
     "repro_points_total", "Experiment points landed by source",

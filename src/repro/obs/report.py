@@ -1,0 +1,287 @@
+"""The watchtower dashboard: one self-contained HTML file.
+
+``repro report`` (and ``GET /dashboard`` on the serve tier) stitches
+the ledger's trends, the latest trace's critical path, a metrics
+snapshot and cache stats into a single HTML document with **zero
+external dependencies** — inline CSS, inline SVG sparklines, no
+JavaScript — so it can be committed as a CI artifact, mailed around,
+or opened from a file:// URL years later and still render.
+
+The renderer is a **pure function of its inputs**: it never reads the
+clock, the hostname, or the environment, and it iterates every dict
+in a fixed order.  Given the same ledger/analysis/metrics, the output
+is byte-identical — which makes "did the dashboard change?" a plain
+string comparison in tests and CI.
+
+Palette and chart rules follow the repo's dataviz conventions: light
+and dark surfaces via CSS custom properties and a
+``prefers-color-scheme`` media query, a single blue series hue (one
+series per sparkline, so no legend), and all text in text tokens —
+the colored line carries identity, the numbers stay in ink.
+"""
+
+from __future__ import annotations
+
+import html
+
+#: Version of the rendered report (bumped when the layout changes
+#: enough that a byte-comparison against an old artifact is moot).
+REPORT_SCHEMA = 1
+
+_STYLE = """
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb;
+  --page: #f9f9f7;
+  --text: #0b0b0b;
+  --text-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --series-1: #2a78d6;
+  --bad: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19;
+    --page: #0d0d0d;
+    --text: #ffffff;
+    --text-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --series-1: #3987e5;
+    --bad: #e66767;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 0 0 8px; color: var(--text); }
+.sub { color: var(--text-2); margin: 0 0 20px; }
+section {
+  background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 16px; margin: 0 0 16px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.tile .value { font-size: 22px; }
+.tile .label { color: var(--text-2); font-size: 12px; }
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: left; padding: 4px 12px 4px 0;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--text-2); font-weight: 600; font-size: 12px; }
+td.num, th.num { text-align: right; }
+.error { color: var(--bad); }
+svg.sparkline { display: block; margin: 4px 0; }
+svg.sparkline polyline {
+  fill: none; stroke: var(--series-1); stroke-width: 2;
+  stroke-linecap: round; stroke-linejoin: round;
+}
+svg.sparkline circle { fill: var(--series-1); }
+pre {
+  background: var(--page); border: 1px solid var(--grid);
+  border-radius: 6px; padding: 10px; overflow-x: auto;
+  font-size: 12px; max-height: 320px; overflow-y: auto;
+}
+.note { color: var(--muted); font-size: 12px; }
+"""
+
+
+def _fmt(value, digits=3):
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def svg_sparkline(values, width=220, height=36, pad=3):
+    """One-series inline-SVG sparkline (deterministic output).
+
+    Coordinates are rounded to 2 decimals so equal inputs always
+    yield equal bytes.  Fewer than two points degrades to a single
+    dot — a trend needs history, but the report must render without.
+    """
+    values = [float(value) for value in values]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+
+    def coords(index, value):
+        x = pad + (inner_w * index / max(1, len(values) - 1))
+        y = pad + inner_h * (1.0 - (value - low) / span)
+        return round(x, 2), round(y, 2)
+
+    header = (f'<svg class="sparkline" width="{width}" '
+              f'height="{height}" viewBox="0 0 {width} {height}" '
+              f'role="img" aria-label="trend of '
+              f'{len(values)} values">')
+    if len(values) == 1:
+        x, y = coords(0, values[0])
+        return header + f'<circle cx="{x}" cy="{y}" r="3"/></svg>'
+    points = " ".join(f"{x},{y}" for x, y in
+                      (coords(i, v) for i, v in enumerate(values)))
+    last_x, last_y = coords(len(values) - 1, values[-1])
+    return (header + f'<polyline points="{points}"/>'
+            f'<circle cx="{last_x}" cy="{last_y}" r="3"/></svg>')
+
+
+def _tile(label, value):
+    return (f'<div class="tile"><div class="value">'
+            f'{html.escape(str(value))}</div>'
+            f'<div class="label">{html.escape(label)}</div></div>')
+
+
+def _ledger_sections(entries):
+    by_command = {}
+    for entry in entries:
+        by_command.setdefault(entry.get("command", "?"),
+                              []).append(entry)
+    parts = []
+
+    bench = by_command.get("bench", [])
+    if bench:
+        totals = [entry["summary"].get("total_seconds", 0.0)
+                  for entry in bench]
+        latest = bench[-1]["summary"]
+        rows = "".join(
+            f"<tr><td>{html.escape(str(name))}</td>"
+            f'<td class="num">{_fmt(latest["cases"][name], 4)}</td>'
+            f"</tr>"
+            for name in sorted(latest.get("cases") or {}))
+        parts.append(
+            "<section><h2>Bench trend</h2>"
+            + svg_sparkline(totals)
+            + f'<p class="note">total suite seconds over the last '
+              f"{len(bench)} run(s); latest "
+              f"{_fmt(totals[-1])} s</p>"
+            + '<table><tr><th>case</th>'
+              '<th class="num">seconds (latest)</th></tr>'
+            + rows + "</table></section>")
+
+    sweeps = by_command.get("sweep", [])
+    if sweeps:
+        elapsed = [entry["summary"].get("elapsed_seconds", 0.0)
+                   for entry in sweeps]
+        latest = sweeps[-1]["summary"]
+        parts.append(
+            "<section><h2>Sweep trend</h2>"
+            + svg_sparkline(elapsed)
+            + f'<p class="note">elapsed seconds over the last '
+              f"{len(sweeps)} sweep(s); latest "
+              f"{latest.get('points', 0)} point(s), "
+              f"{latest.get('cache_hits', 0)} cache hit(s)</p>"
+              "</section>")
+
+    diffs = by_command.get("diff", [])
+    if diffs:
+        bad = sum(1 for entry in diffs
+                  if not entry["summary"].get("ok"))
+        verdict = (f'<span class="error">{bad} run(s) with '
+                   f"mismatches</span>" if bad
+                   else "all runs matched")
+        parts.append(
+            f"<section><h2>Differential runs</h2>"
+            f'<p class="note">{len(diffs)} recorded; {verdict}</p>'
+            f"</section>")
+    return parts
+
+
+def _analysis_section(analysis):
+    root = analysis["root"]
+    rows = "".join(
+        f"<tr><td>{html.escape(str(row['name']))}"
+        + (' <span class="error">(error)</span>'
+           if row.get("status") == "error" else "")
+        + f'</td><td class="num">{_fmt(row["wall_us"] / 1000.0, 2)}'
+        + f'</td><td class="num">{_fmt(row["self_us"] / 1000.0, 2)}'
+        + "</td></tr>"
+        for row in analysis["critical_path"])
+    stage_rows = "".join(
+        f"<tr><td>{html.escape(str(row['name']))}</td>"
+        f'<td class="num">{row["count"]}</td>'
+        f'<td class="num">{_fmt(row["total_self_us"] / 1000.0, 2)}'
+        f"</td></tr>"
+        for row in analysis["stages"][:10])
+    return (
+        "<section><h2>Latest trace: critical path</h2>"
+        f'<p class="note">root {html.escape(str(root["name"]))} '
+        f"{_fmt(root['wall_us'] / 1000.0, 2)} ms; critical path "
+        f"{_fmt(analysis['critical_path_us'] / 1000.0, 2)} ms "
+        f"across {analysis['spans']} span(s)</p>"
+        '<table class="critical-path"><tr><th>span</th>'
+        '<th class="num">wall ms</th><th class="num">self ms</th>'
+        "</tr>" + rows + "</table>"
+        "<h2 style=\"margin-top:16px\">Stages by self time</h2>"
+        '<table><tr><th>stage</th><th class="num">count</th>'
+        '<th class="num">self ms</th></tr>'
+        + stage_rows + "</table></section>")
+
+
+def render_report(ledger_entries=None, analysis=None,
+                  metrics_text=None, cache_stats=None,
+                  title="repro performance watchtower"):
+    """The full standalone dashboard HTML (byte-stable per inputs)."""
+    entries = list(ledger_entries or [])
+    tiles = [_tile("ledger entries", len(entries))]
+    by_command = {}
+    for entry in entries:
+        by_command.setdefault(entry.get("command", "?"),
+                              []).append(entry)
+    for command in ("bench", "sweep", "diff"):
+        if by_command.get(command):
+            tiles.append(_tile(f"{command} runs",
+                               len(by_command[command])))
+    if analysis is not None:
+        tiles.append(_tile(
+            "critical path ms",
+            _fmt(analysis["critical_path_us"] / 1000.0, 2)))
+    if cache_stats:
+        tiles.append(_tile("cache entries",
+                           cache_stats.get("entries", 0)))
+
+    body = ['<div class="tiles">' + "".join(tiles) + "</div>",
+            '<p class="sub"></p>']
+    if entries:
+        body.extend(_ledger_sections(entries))
+    else:
+        body.append('<section><h2>Ledger</h2><p class="note">'
+                    "empty — bench/sweep/diff runs append to it "
+                    "automatically</p></section>")
+    if analysis is not None:
+        body.append(_analysis_section(analysis))
+    if cache_stats:
+        rows = "".join(
+            f"<tr><td>{html.escape(str(key))}</td>"
+            f'<td class="num">'
+            f"{html.escape(str(cache_stats[key]))}</td></tr>"
+            for key in sorted(cache_stats))
+        body.append("<section><h2>Cache</h2><table>"
+                    "<tr><th>stat</th><th class=\"num\">value</th>"
+                    "</tr>" + rows + "</table></section>")
+    if metrics_text:
+        body.append("<section><h2>Metrics snapshot</h2><pre>"
+                    + html.escape(metrics_text) + "</pre></section>")
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" '
+        'content="width=device-width, initial-scale=1">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        f'<p class="sub">report schema {REPORT_SCHEMA} &middot; '
+        "generated by <code>repro report</code></p>\n"
+        + "\n".join(body)
+        + "\n</body>\n</html>\n")

@@ -7,10 +7,14 @@ The subsystem has three parts:
 - :mod:`repro.perf.schema` — the ``BENCH_*.json`` document all
   benchmark producers share, plus baseline comparison with a
   regression threshold (``repro bench --compare``);
-- :mod:`repro.perf.profile` — cProfile a single mapping
-  (``repro profile``).
+- :mod:`repro.perf.profile` — cProfile or flame-sample a single
+  mapping (``repro profile``);
+- :mod:`repro.perf.ledger` — the append-only run ledger every
+  bench/sweep/diff run records to (``repro history``,
+  ``repro bench --compare-ledger``).
 """
 
+from repro.perf import ledger
 from repro.perf.harness import (
     BenchCase,
     default_cases,
@@ -18,7 +22,7 @@ from repro.perf.harness import (
     render_bench,
     run_bench,
 )
-from repro.perf.profile import profile_case
+from repro.perf.profile import flame_case, profile_case
 from repro.perf.schema import (
     BENCH_JSON_SCHEMA,
     bench_payload,
@@ -34,6 +38,8 @@ __all__ = [
     "bench_payload",
     "compare_benchmarks",
     "default_cases",
+    "flame_case",
+    "ledger",
     "load_bench_file",
     "parse_bench_payload",
     "parse_case",

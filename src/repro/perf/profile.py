@@ -11,6 +11,7 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
+import threading
 
 from repro.arch.configs import get_config
 from repro.errors import UnmappableError
@@ -44,3 +45,30 @@ def profile_case(case: BenchCase, top=20, sort="cumulative"):
     header = (f"profile: {case.name} "
               f"({'mapped' if result is not None else 'unmappable'})")
     return header + "\n" + stream.getvalue(), result
+
+
+def flame_case(case: BenchCase, hz, repeat=5):
+    """Sample ``repeat`` mappings of one case; returns stack counts.
+
+    A single mapping is milliseconds — too fast for a wall-clock
+    sampler to see much — so the case is mapped ``repeat`` times
+    under one profiler.  Unlike :func:`profile_case` the sampler adds
+    no per-call overhead, so the repeats measure the real code.
+    """
+    from repro.obs.flame import SamplingProfiler
+
+    case.validate()
+    kernel = get_kernel(case.kernel)
+    cgra = get_config(case.config)
+    options = VARIANTS[case.variant]()
+    profiler = SamplingProfiler(hz, thread_ids={threading.get_ident()})
+    profiler.start()
+    try:
+        for _ in range(max(1, repeat)):
+            try:
+                map_kernel(kernel.cdfg, cgra, options)
+            except UnmappableError:
+                pass
+    finally:
+        counts = profiler.stop()
+    return counts, profiler.samples

@@ -309,6 +309,8 @@ class ResultCache:
         _metrics.CACHE_ENTRIES.set(len(inventory))
         _metrics.CACHE_BYTES.set(
             sum(size for _, _, size in inventory))
+        _metrics.CACHE_ORPHANED_BYTES.set(
+            sum(size for _, size in orphaned))
         return {
             "directory": str(self.directory),
             "format": CACHE_FORMAT,

@@ -24,14 +24,16 @@ A :class:`ThreadingHTTPServer` exposing the sweep runtime:
   served, job-state totals and evictions.
 - ``GET /metrics`` — the process's metrics registry in Prometheus
   text exposition format (see :mod:`repro.obs.metrics`).
+- ``GET /dashboard`` — the read-only watchtower HTML (ledger trends,
+  live span analysis, metrics snapshot; see :mod:`repro.obs.report`).
 
 Responses are JSON; errors are ``{"error": ...}`` with the matching
 status code (400 bad submission, 401 bad/missing token, 404 unknown
 job/route, 429 queue full — with a ``Retry-After`` hint).  The
 server binds ``127.0.0.1`` by default; binding any other interface
 requires a bearer token (``--token`` / ``$REPRO_SERVE_TOKEN``),
-checked on every endpoint except ``/healthz`` and ``/metrics`` with
-a constant-time compare — probes and scrapers hold no credentials,
+checked on every endpoint except ``/healthz``, ``/metrics`` and
+``/dashboard`` with a constant-time compare — probes and scrapers hold no credentials,
 and both bodies carry counters, not results.  Every sweep the server
 computes lands in the same persistent cache the CLI uses, so serving
 and local runs warm each other.
@@ -288,6 +290,10 @@ class SweepHandler(BaseHTTPRequestHandler):
             if path == "/metrics":
                 # Open for the same reason: scrapers are probes.
                 return self._get_metrics()
+            if path == "/dashboard":
+                # Read-only HTML over the same counters /metrics and
+                # /healthz already expose — open for the same reason.
+                return self._get_dashboard()
             if not self._authorized():
                 return self._send_auth_required()
             if path == "/v1/cache/stats":
@@ -386,10 +392,44 @@ class SweepHandler(BaseHTTPRequestHandler):
 
     def _get_metrics(self):
         """The Prometheus text exposition of the default registry."""
+        cache = self.server.manager.cache
+        if cache is not None:
+            # Refresh the on-disk gauges (entries/bytes/orphaned) at
+            # scrape time so /metrics never lags /v1/cache/stats.
+            cache.stats()
         body = metrics.REGISTRY.render().encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type",
                          "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _get_dashboard(self):
+        """The watchtower dashboard rendered over live server state."""
+        from repro.obs import analyze, report
+        from repro.perf import ledger
+
+        cache = self.server.manager.cache
+        cache_stats = cache.stats() if cache is not None else None
+        cache_dir = cache.directory if cache is not None else None
+        entries, _skipped = ledger.read_ledger(
+            ledger.ledger_path(cache_dir))
+        analysis = None
+        try:
+            spans = trace.snapshot_spans()
+            if spans:
+                analysis = analyze.analyze_spans(spans)
+        except ReproError:
+            pass
+        body = report.render_report(
+            ledger_entries=entries,
+            analysis=analysis,
+            metrics_text=metrics.REGISTRY.render(),
+            cache_stats=cache_stats,
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

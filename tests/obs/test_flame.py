@@ -1,0 +1,195 @@
+"""Sampling profiler: collection, scoping, collapsed-stack output."""
+
+import time
+from collections import Counter
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.obs import flame, trace
+from repro.obs.flame import (
+    DEFAULT_HZ,
+    ENV_PROFILE_HZ,
+    SamplingProfiler,
+    collapsed_lines,
+    profiled_span,
+    render_flame,
+    resolve_hz,
+    write_collapsed,
+)
+
+
+def busy_wait(seconds):
+    """A distinctive frame the sampler can catch."""
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+class TestResolveHz:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_PROFILE_HZ, "50")
+        assert resolve_hz(200) == 200.0
+
+    def test_env_used_when_no_arg(self, monkeypatch):
+        monkeypatch.setenv(ENV_PROFILE_HZ, "123.5")
+        assert resolve_hz() == 123.5
+
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv(ENV_PROFILE_HZ, raising=False)
+        assert resolve_hz() == 0.0
+
+    def test_junk_env_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_PROFILE_HZ, "fast")
+        with pytest.raises(ReproError, match="sampling rate"):
+            resolve_hz()
+
+
+class TestSamplingProfiler:
+    def test_catches_busy_function(self):
+        profiler = SamplingProfiler(hz=400)
+        profiler.start()
+        busy_wait(0.15)
+        counts = profiler.stop()
+        assert sum(counts.values()) > 0
+        assert any("busy_wait" in stack for stack in counts)
+
+    def test_zero_hz_rejected(self):
+        with pytest.raises(ReproError, match="sampling rate"):
+            SamplingProfiler(hz=0)
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(hz=50)
+        profiler.start()
+        try:
+            with pytest.raises(ReproError, match="already started"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_idempotent(self):
+        profiler = SamplingProfiler(hz=50)
+        profiler.start()
+        first = profiler.stop()
+        assert profiler.stop() is first
+
+    def test_thread_pinning_excludes_other_threads(self):
+        import threading
+        stop = threading.Event()
+
+        def noisy_wait():
+            stop.wait(2.0)
+
+        noisy = threading.Thread(target=noisy_wait, daemon=True)
+        noisy.start()
+        profiler = SamplingProfiler(
+            hz=400, thread_ids={threading.get_ident()})
+        profiler.start()
+        busy_wait(0.1)
+        counts = profiler.stop()
+        stop.set()
+        # The unpinned thread's distinctive frame never appears.
+        assert counts
+        assert not any("noisy_wait" in stack for stack in counts)
+
+    def test_stack_order_outermost_first(self):
+        profiler = SamplingProfiler(hz=400)
+        profiler.start()
+        busy_wait(0.1)
+        counts = profiler.stop()
+        stack = next(s for s in counts if "busy_wait" in s)
+        frames = stack.split(";")
+        # busy_wait is innermost — at the tail, not the head.
+        assert "busy_wait" in frames[-1]
+
+
+class TestProfiledSpan:
+    def test_off_by_default_records_plain_span(self, monkeypatch):
+        monkeypatch.delenv(ENV_PROFILE_HZ, raising=False)
+        flame.drain_accumulated()
+        trace.enable_tracing()
+        with profiled_span("quiet") as profiler:
+            assert profiler is None
+        spans = trace.drain_spans()
+        assert [s["name"] for s in spans] == ["quiet"]
+        assert sum(flame.drain_accumulated().values()) == 0
+
+    def test_accumulates_when_enabled(self, monkeypatch):
+        monkeypatch.setenv(ENV_PROFILE_HZ, "400")
+        flame.drain_accumulated()
+        trace.enable_tracing()
+        with profiled_span("hot") as profiler:
+            assert profiler is not None
+            busy_wait(0.1)
+        counts = flame.drain_accumulated()
+        assert sum(counts.values()) > 0
+        spans = trace.drain_spans()
+        assert spans[0]["attrs"]["profile_hz"] == 400.0
+
+    def test_snapshot_preserves_accumulator(self):
+        flame.drain_accumulated()
+        flame.accumulate(Counter({"a;b": 3}))
+        assert flame.snapshot_accumulated() == Counter({"a;b": 3})
+        assert flame.drain_accumulated() == Counter({"a;b": 3})
+        assert sum(flame.snapshot_accumulated().values()) == 0
+
+
+class TestCollapsedOutput:
+    def test_lines_sorted_and_formatted(self):
+        counts = Counter({"m.f;m.g": 2, "m.a": 5})
+        assert collapsed_lines(counts) == ["m.a 5", "m.f;m.g 2"]
+
+    def test_write_collapsed_round_trips(self, tmp_path):
+        counts = Counter({"mod.outer;mod.inner": 7})
+        path = tmp_path / "out.flame"
+        write_collapsed(path, counts)
+        assert path.read_text() == "mod.outer;mod.inner 7\n"
+
+    def test_render_flame_ranks_leaves(self):
+        counts = Counter({"a;b;hot": 80, "a;b;cold": 20})
+        text = render_flame(counts)
+        assert "100 sample(s)" in text
+        assert text.index("hot") < text.index("cold")
+
+    def test_render_empty_suggests_fix(self):
+        assert "raise --hz" in render_flame(Counter())
+
+
+class TestCliFlame:
+    def test_profile_flame_renders_table(self, capsys):
+        assert main(["profile", "--kernel", "dc_filter",
+                     "--config", "HOM64", "--variant", "basic",
+                     "--flame", "--hz", "600", "--repeat", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "flame: dc_filter@HOM64/basic" in out
+        assert "sample" in out
+
+    def test_profile_flame_out_writes_collapsed(self, tmp_path,
+                                                capsys):
+        target = tmp_path / "case.flame"
+        assert main(["profile", "--kernel", "dc_filter",
+                     "--config", "HOM64", "--variant", "basic",
+                     "--flame", "--hz", "600", "--repeat", "4",
+                     "--flame-out", str(target)]) == 0
+        capsys.readouterr()
+        lines = target.read_text().splitlines()
+        # Collapsed format: "frame;frame;... count".
+        assert all(line.rsplit(" ", 1)[1].isdigit()
+                   for line in lines if line)
+
+    def test_hz_without_flame_rejected(self, capsys):
+        assert main(["profile", "--kernel", "dc_filter",
+                     "--hz", "100"]) == 1
+        assert "--hz only applies" in capsys.readouterr().err
+
+    def test_sweep_flame_out(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_PROFILE_HZ, "300")
+        target = tmp_path / "sweep.flame"
+        assert main(["sweep", "--kernels", "dc_filter",
+                     "--configs", "HOM64", "--variants", "basic",
+                     "--cache-dir", str(tmp_path), "--quiet",
+                     "--flame-out", str(target)]) == 0
+        err = capsys.readouterr().err
+        assert target.exists()
+        assert "stack sample(s)" in err

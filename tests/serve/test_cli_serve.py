@@ -238,6 +238,64 @@ class TestSubmitCli:
         assert payload["summary"]["crashed"] == N_POINTS
 
 
+class TestMetricsScrapeErrors:
+    def test_scrape_works_against_live_server(self, fake_compute,
+                                              server_url, capsys):
+        assert main(["metrics", "--server", server_url]) == 0
+        out = capsys.readouterr().out
+        assert "repro_http_requests_total" in out
+
+    def test_connection_refused_is_one_line_error(self, capsys):
+        # Port 1 is privileged and unbound: connect() fails fast.
+        assert main(["metrics", "--server",
+                     "http://127.0.0.1:1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot scrape")
+        assert "Traceback" not in err
+
+    def test_non_2xx_scrape_is_one_line_error(self, fake_compute,
+                                              server_url, capsys):
+        # /v1/metrics is not a route: the server answers 404.
+        assert main(["metrics", "--server",
+                     server_url + "/v1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: scrape of")
+        assert "HTTP 404" in err
+        assert "Traceback" not in err
+
+    def test_schemeless_url_is_one_line_error(self, capsys):
+        assert main(["metrics", "--server", "localhost:8000"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestSubmitTraceOut:
+    def test_submit_trace_out_stitches_server_spans(
+            self, fake_compute, server_url, tmp_path, capsys):
+        out = tmp_path / "submit-trace.json"
+        assert main(["submit", "--server", server_url, "--quiet",
+                     "--trace-out", str(out)] + AXIS_ARGS) == 0
+        capsys.readouterr()
+        from repro.obs.analyze import load_trace_file
+        spans = load_trace_file(out)
+        names = {span["name"] for span in spans}
+        # The server-side job span rode home and stitched in.
+        assert {"submit", "job", "sweep"} <= names
+        assert len({span["trace_id"] for span in spans}) == 1
+
+    def test_explore_trace_out(self, fake_compute, tmp_path,
+                               capsys):
+        out = tmp_path / "explore-trace.json"
+        assert main(["explore", "--space", "ladder", "--depths",
+                     "8,16", "--kernels", "fir", "--quiet",
+                     "--no-cache", "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+        from repro.obs.analyze import load_trace_file
+        assert any(span["name"] == "exploration"
+                   for span in load_trace_file(out))
+
+
 @pytest.mark.parametrize("argv", [
     ["sweep", "--kernels", "dc_filter", "--configs", "HOM64",
      "--variants", "basic", "--quiet"],

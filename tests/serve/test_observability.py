@@ -65,6 +65,59 @@ class TestMetricsEndpoint:
         status, _, _ = fetch_text(url + "/metrics")
         assert status == 200
 
+    def test_cache_gauges_refresh_at_scrape_time(self, fake_compute,
+                                                 start_server,
+                                                 tmp_path):
+        from repro.runtime.cache import ResultCache
+        cache = ResultCache(tmp_path)
+        url, _ = start_server(cache=cache)
+        _, _, text = fetch_text(url + "/metrics")
+        before = parse_exposition(text)
+        assert before["repro_cache_entries"] == 0
+        assert before["repro_cache_orphaned_bytes"] == 0
+        # Populate the cache directly, then scrape again: the gauges
+        # must reflect disk state without a /v1/cache/stats call.
+        from repro.serve.client import SweepClient
+        SweepClient(url).run(dict(AXES))
+        _, _, text = fetch_text(url + "/metrics")
+        after = parse_exposition(text)
+        assert after["repro_cache_entries"] == 2
+        assert after["repro_cache_bytes"] > 0
+
+
+class TestDashboard:
+    def test_dashboard_serves_html(self, fake_compute, server_url,
+                                   client):
+        client.run(dict(AXES))
+        status, content_type, body = fetch_text(
+            server_url + "/dashboard")
+        assert status == 200
+        assert content_type.startswith("text/html")
+        assert body.startswith("<!DOCTYPE html>")
+        assert "watchtower" in body
+        assert "Metrics snapshot" in body
+
+    def test_dashboard_open_behind_token(self, start_server):
+        url, _ = start_server(token="secret-token")
+        status, _, body = fetch_text(url + "/dashboard")
+        assert status == 200
+        assert "watchtower" in body
+
+    def test_dashboard_shows_ledger_entries(self, fake_compute,
+                                            start_server, tmp_path):
+        from repro.perf.ledger import (
+            append_entry, ledger_path, make_entry)
+        from repro.runtime.cache import ResultCache
+        cache = ResultCache(tmp_path)
+        append_entry(make_entry("bench", {
+            "total_seconds": 1.25,
+            "cases": {"fir@HOM32/full": 1.25},
+        }), ledger_path(tmp_path))
+        url, _ = start_server(cache=cache)
+        _, _, body = fetch_text(url + "/dashboard")
+        assert "Bench trend" in body
+        assert "fir@HOM32/full" in body
+
 
 class TestHealthz:
     def test_operational_fields(self, fake_compute, client,
@@ -134,6 +187,24 @@ class TestDistributedTraceStitching:
         assert len(document["traceEvents"]) == len(spans)
         assert all(event["ph"] == "X"
                    for event in document["traceEvents"])
+
+        # Acceptance: the analysis of a 2-server distributed trace
+        # reports a critical path whose span ids all exist in the
+        # stitched tree and whose duration never exceeds the root's.
+        from repro.obs.analyze import analyze_spans, load_trace_file
+        payload = analyze_spans(spans)
+        assert payload["root"]["name"] == "run_distributed"
+        assert payload["critical_path_us"] <= \
+            payload["root"]["wall_us"]
+        path_ids = {row["span_id"]
+                    for row in payload["critical_path"]}
+        assert path_ids and path_ids <= ids
+        assert payload["shards"]["count"] == 2
+        assert payload["orphans"] == 0
+        # The saved file analyses to the same critical path.
+        reloaded = analyze_spans(load_trace_file(path))
+        assert {row["span_id"]
+                for row in reloaded["critical_path"]} == path_ids
 
     def test_untraced_dispatch_ships_no_spans(self, fake_compute,
                                               start_server):
