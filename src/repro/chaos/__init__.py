@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the self-healing runtime.
+
+The runtime's crash containment, point deadlines and durable serve
+jobs are only trustworthy if the failures they guard against can be
+*provoked on demand*.  This package is that provocation: a fault
+plan parsed from ``REPRO_FAULT`` describes which faults to inject
+and how often, and tiny hooks wired into the worker compute path,
+the result-cache read path and the serve client consult it.
+
+Determinism is the whole design: every injection decision is a pure
+hash of ``(plan seed, fault kind, subject key, attempt)``, so the
+same plan over the same sweep injects exactly the same faults, run
+after run — which is what lets ``repro chaos`` assert that a faulted
+sweep converges to the clean answer.
+
+See :mod:`repro.chaos.faults` for the grammar and the hooks, and
+:mod:`repro.chaos.harness` for the ``repro chaos`` comparison run.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.faults import (
+    ENV_FAULT,
+    FAULT_KINDS,
+    FaultClause,
+    FaultPlan,
+    active_plan,
+    maybe_corrupt_cache_entry,
+    maybe_cut_http,
+    maybe_fail_point,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "ENV_FAULT",
+    "FAULT_KINDS",
+    "FaultClause",
+    "FaultPlan",
+    "active_plan",
+    "maybe_corrupt_cache_entry",
+    "maybe_cut_http",
+    "maybe_fail_point",
+    "parse_fault_plan",
+]

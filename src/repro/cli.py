@@ -61,9 +61,17 @@ Commands mirror the user journeys of the examples:
   (``--port``, ``--workers``, job retention via
   ``--max-finished-jobs``/``--job-ttl``): submission, status, NDJSON
   point streaming, cache stats (see :mod:`repro.serve`);
+- ``serve --resume``  replays the durable job journal on startup,
+  requeueing jobs a killed server left queued or running under
+  their original IDs (see :mod:`repro.serve.journal`);
 - ``submit``        — dispatch a sweep to one ``repro serve``
   instance — or, with ``--shard-across``, shard it across several
-  and merge the streamed results locally.
+  and merge the streamed results locally;
+- ``chaos``         — run the same sweep clean and under an injected
+  fault plan (``--faults`` / ``$REPRO_FAULT``: worker crashes,
+  point hangs, cache corruption) and exit 5 unless the self-healing
+  runtime converged the faulted runs to the clean answer
+  (see :mod:`repro.chaos`).
 
 Sweeps and figure prewarms stream one progress line per landed point
 to stderr, so stdout stays clean for tables and JSON; ``--quiet`` (or
@@ -137,6 +145,13 @@ def _parser():
                             "(default: all)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = serial)")
+    sweep.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point wall-clock deadline: an "
+                            "overrunning point's worker is reaped "
+                            "and the point retried, then yielded as "
+                            "a timeout error (default "
+                            "$REPRO_POINT_TIMEOUT, else unlimited)")
     sweep.add_argument("--seed", type=int, default=7)
     sweep.add_argument("--backend", default=None,
                        help="execution backend: analytic (default) "
@@ -486,6 +501,21 @@ def _parser():
                        help="bearer token clients must present "
                             "(default $REPRO_SERVE_TOKEN; required "
                             "to bind beyond 127.0.0.1)")
+    serve.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point deadline for every sweep job "
+                            "(default $REPRO_POINT_TIMEOUT); a "
+                            "wedged point is reaped and retried "
+                            "instead of hanging its job forever")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay the job journal on startup: "
+                            "jobs left queued/running by a killed "
+                            "server are requeued under their "
+                            "original IDs")
+    serve.add_argument("--no-journal", action="store_true",
+                       help="do not record job transitions to the "
+                            "durable journal (<cache-dir>/"
+                            "jobs.jsonl)")
     add_cache_flags(serve)
     add_quiet(serve)
 
@@ -543,6 +573,48 @@ def _parser():
                              "spans stitch into the local tree via "
                              "the propagated traceparent")
     add_quiet(submit)
+
+    chaos_cmd = sub.add_parser(
+        "chaos", help="run a sweep under injected faults and prove "
+                      "it converges to the clean answer "
+                      "(see repro.chaos)")
+    chaos_cmd.add_argument("--kernels", default=None,
+                           help="comma-separated kernels "
+                                "(default: all)")
+    chaos_cmd.add_argument("--configs", default=None,
+                           help="comma-separated configs (default: "
+                                "HOM64,HOM32,HET1,HET2)")
+    chaos_cmd.add_argument("--variants", default=None,
+                           help="comma-separated flow variants "
+                                "(default: all)")
+    chaos_cmd.add_argument("--seed", type=int, default=7)
+    chaos_cmd.add_argument("--backend", default=None,
+                           help="execution backend (default "
+                                "analytic)")
+    chaos_cmd.add_argument("--faults", default=None, metavar="PLAN",
+                           help="fault plan, e.g. 'worker_crash:"
+                                "p=0.1,attempts=1;cache_corrupt:"
+                                "p=0.2' (default $REPRO_FAULT, else "
+                                "a crash+corrupt plan)")
+    chaos_cmd.add_argument("--workers", type=int, default=2,
+                           help="worker processes (>= 2: process "
+                                "faults need real worker children)")
+    chaos_cmd.add_argument("--point-timeout", type=float,
+                           default=30.0, metavar="SECONDS",
+                           help="per-point deadline during the "
+                                "faulted runs (default 30)")
+    chaos_cmd.add_argument("--allow-quarantine", type=int, default=0,
+                           metavar="N",
+                           help="tolerate up to N quarantined points "
+                                "in the verdict (default 0: every "
+                                "fault must heal)")
+    chaos_cmd.add_argument("--json", action="store_true",
+                           help="emit the chaos report as JSON on "
+                                "stdout")
+    chaos_cmd.add_argument("--out", default=None, metavar="FILE",
+                           help="also write the JSON report to FILE "
+                                "(the CI artifact)")
+    add_quiet(chaos_cmd)
     return parser
 
 
@@ -638,7 +710,9 @@ def _run_shard(args, cache, specs, shard, label=""):
     positions = shard_indices(specs, *shard, cache=balance_cache)
     result = run_sweep([specs[i] for i in positions],
                        workers=args.workers, cache=cache,
-                       progress=_progress(args))
+                       progress=_progress(args),
+                       point_timeout=getattr(args, "point_timeout",
+                                             None))
     if args.json:
         print(json.dumps(sweep_json_payload(
             result, shard=shard, positions=positions,
@@ -760,7 +834,8 @@ def _sweep(args):
     from repro.runtime.pool import run_sweep
     with _flame_scope(args):
         result = run_sweep(specs, workers=args.workers, cache=cache,
-                           progress=_progress(args))
+                           progress=_progress(args),
+                           point_timeout=args.point_timeout)
     from repro.perf.ledger import sweep_summary
     _record_ledger(args, "sweep", sweep_summary(result))
     if args.json:
@@ -815,6 +890,34 @@ def _diff(args):
     # Exit 4 is the differential verdict, distinct from usage errors
     # (1) and unmappable (2) — CI keys off it.
     return 0 if result.ok else 4
+
+
+def _chaos(args):
+    from repro.chaos.harness import render_report, run_chaos
+    from repro.runtime.sweep import validated_sweep_specs
+
+    specs = validated_sweep_specs(kernels=_split_axis(args.kernels),
+                                  configs=_split_axis(args.configs),
+                                  variants=_split_axis(args.variants),
+                                  seed=args.seed,
+                                  backend=args.backend)
+    report = run_chaos(specs, faults=args.faults,
+                       workers=args.workers,
+                       point_timeout=args.point_timeout,
+                       allow_quarantine=args.allow_quarantine,
+                       progress=_progress(args))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+    # Exit 5 is the chaos verdict — the faulted sweep failed to
+    # converge to the clean answer — distinct from usage errors (1),
+    # unmappable (2), bench regressions (3) and diff mismatches (4).
+    return 0 if report["ok"] else 5
 
 
 def _merge(args):
@@ -1214,10 +1317,24 @@ def _kernels(_args):
 
 
 def _serve(args):
+    from repro.serve.journal import (
+        JobJournal, journal_path, journalling_enabled)
     from repro.serve.server import make_server
 
     cache = _cache_from(args)
     token = args.token or os.environ.get("REPRO_SERVE_TOKEN") or None
+    # The journal lives next to ledger.jsonl in the cache directory
+    # (the cache may itself be disabled; the journal still needs a
+    # home, so it falls back to the default directory).
+    journal = None
+    if not args.no_journal and journalling_enabled():
+        journal = JobJournal(journal_path(
+            cache.directory if cache is not None
+            else getattr(args, "cache_dir", None)))
+    if args.resume and journal is None:
+        raise ReproError(
+            "--resume needs the job journal; drop --no-journal "
+            "and REPRO_JOB_JOURNAL=0")
     try:
         server = make_server(host=args.host, port=args.port,
                              workers=args.workers, cache=cache,
@@ -1227,7 +1344,9 @@ def _serve(args):
                              max_concurrent_jobs=args.jobs,
                              max_queued_jobs=args.max_queued,
                              max_specs_per_job=args.max_specs,
-                             token=token)
+                             token=token, journal=journal,
+                             point_timeout=args.point_timeout,
+                             resume=args.resume)
     except (OSError, OverflowError) as error:
         # Port in use / privileged / out of range / bad address: a
         # one-line diagnosis, not a traceback.  (bind() reports an
@@ -1240,7 +1359,10 @@ def _serve(args):
     log = get_logger("repro.serve")
     log.info("serving", url=f"http://{host}:{port}",
              workers=args.workers, cache=where,
-             auth="token" if token else "off")
+             auth="token" if token else "off",
+             journal=str(journal.path) if journal else "off")
+    if server.manager.replay_stats is not None:
+        log.info("journal.replayed", **server.manager.replay_stats)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1350,7 +1472,7 @@ def main(argv=None):
                 "serve": _serve, "submit": _submit, "bench": _bench,
                 "profile": _profile, "trace": _trace,
                 "metrics": _metrics, "history": _history,
-                "report": _report}
+                "report": _report, "chaos": _chaos}
     # ``--trace-out`` (sweep/diff) records the whole command and
     # dumps whatever landed even on a failing exit — a trace of the
     # run that misbehaved is the one worth keeping.

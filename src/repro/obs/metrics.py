@@ -331,6 +331,9 @@ CACHE_BYTES = REGISTRY.gauge(
 CACHE_ORPHANED_BYTES = REGISTRY.gauge(
     "repro_cache_orphaned_bytes",
     "Result-cache bytes from other cache formats at last scan")
+CACHE_CORRUPT = REGISTRY.counter(
+    "repro_cache_corrupt_entries_total",
+    "Result-cache entries discarded because they failed to load")
 
 POINTS = REGISTRY.counter(
     "repro_points_total", "Experiment points landed by source",
@@ -364,3 +367,23 @@ WORKERS_TOTAL = REGISTRY.gauge(
     "repro_workers_total", "Worker-process budget of the serve pool")
 WORKERS_FREE = REGISTRY.gauge(
     "repro_workers_free", "Unallocated workers in the serve pool")
+
+POOL_RESTARTS = REGISTRY.counter(
+    "repro_pool_restarts_total",
+    "Worker-pool restarts after a crash or a reaped point deadline",
+    labels=("cause",))
+POINT_RETRIES = REGISTRY.counter(
+    "repro_point_retries_total",
+    "Point specs resubmitted to a restarted worker pool",
+    labels=("reason",))
+POINT_QUARANTINES = REGISTRY.counter(
+    "repro_point_quarantines_total",
+    "Point specs given up on after exhausting their retry budget",
+    labels=("reason",))
+JOBS_REPLAYED = REGISTRY.counter(
+    "repro_jobs_replayed_total",
+    "Jobs requeued from the durable job journal at startup")
+FAULTS_INJECTED = REGISTRY.counter(
+    "repro_fault_injections_total",
+    "Faults injected by the repro.chaos layer, by kind",
+    labels=("kind",))

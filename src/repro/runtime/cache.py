@@ -45,7 +45,10 @@ import pickle
 import tempfile
 
 import repro
-from repro.obs import metrics as _metrics
+from repro.chaos import maybe_corrupt_cache_entry
+from repro.obs import get_logger, metrics as _metrics
+
+_log = get_logger("repro.runtime.cache")
 
 #: Environment variable overriding the cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -199,6 +202,11 @@ class ResultCache:
         incompatible interpreter) counts as a miss and is removed.
         """
         path = self.path_for(key)
+        if path.exists():
+            # Chaos hook: an armed cache_corrupt fault garbles the
+            # entry on disk right here, so the discard path below is
+            # exercised by exactly the failure it guards against.
+            maybe_corrupt_cache_entry(path, key)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
@@ -206,14 +214,21 @@ class ResultCache:
             self.misses += 1
             _metrics.CACHE_MISSES.inc()
             return None
-        except Exception:
+        except Exception as error:
             # pickle.load on a corrupt payload can raise nearly
             # anything (UnpicklingError, EOFError, KeyError, ValueError,
             # struct.error, ...); any failure to read is a miss and the
             # entry is dropped so it cannot crash the next run either.
+            # Loud, though: disk-level corruption is an operator
+            # problem, not a cache miss, so it gets its own counter
+            # and a structured warning.
             self._discard(path)
             self.misses += 1
             _metrics.CACHE_MISSES.inc()
+            _metrics.CACHE_CORRUPT.inc()
+            _log.warning("cache.corrupt_entry", key=key,
+                         path=str(path),
+                         error=f"{type(error).__name__}: {error}")
             return None
         self.hits += 1
         _metrics.CACHE_HITS.inc()

@@ -57,6 +57,25 @@ def _compute_captured(spec):
             error=f"{type(error).__name__}: {error}\n{detail}")
 
 
+def _compute_job(spec, carrier=None, attempt=0):
+    """Worker entry for the supervised parallel path.
+
+    Runs the chaos hook first — an armed ``REPRO_FAULT`` plan may
+    crash or stall this very process, which is how the containment
+    layer in :mod:`repro.runtime.stream` is exercised — then defers
+    to the captured (optionally traced) computation.  ``attempt`` is
+    the 0-based resubmission ordinal stamped by the supervisor; it
+    only feeds the fault plan's decision hash, so a retried spec
+    re-rolls its faults instead of deterministically dying forever.
+    """
+    from repro.chaos import maybe_fail_point
+
+    maybe_fail_point(spec, attempt)
+    if carrier is not None:
+        return _compute_traced(spec, carrier)
+    return _compute_captured(spec)
+
+
 def _compute_traced(spec, carrier):
     """Worker entry when the submitting side is tracing.
 
@@ -77,7 +96,8 @@ def _compute_traced(spec, carrier):
     return point, trace.drain_spans()
 
 
-def run_specs(specs, workers=1, cache=None, progress=None):
+def run_specs(specs, workers=1, cache=None, progress=None,
+              point_timeout=None):
     """Execute a batch of specs; returns ``(points, cache_hits)``.
 
     ``points`` is ordered like ``specs``.  ``cache`` is a
@@ -85,6 +105,8 @@ def run_specs(specs, workers=1, cache=None, progress=None):
     ``progress`` is forwarded to the streaming engine: it is called
     with a :class:`~repro.runtime.stream.StreamUpdate` as each unique
     point lands, so long batches can report incrementally.
+    ``point_timeout`` is the per-point wall-clock deadline in seconds
+    (None: ``$REPRO_POINT_TIMEOUT``, else unlimited).
     """
     from repro.runtime.stream import stream_specs
 
@@ -104,20 +126,23 @@ def run_specs(specs, workers=1, cache=None, progress=None):
             progress(update)
 
     for spec, point in stream_specs(specs, workers=workers, cache=cache,
-                                    progress=observe):
+                                    progress=observe,
+                                    point_timeout=point_timeout):
         for index in positions[spec]:
             points[index] = point
     return points, cache_hits
 
 
-def run_sweep(specs=None, workers=1, cache=None, progress=None):
+def run_sweep(specs=None, workers=1, cache=None, progress=None,
+              point_timeout=None):
     """Run a batch (default: the full paper sweep) into a SweepResult."""
     if specs is None:
         specs = sweep_specs()
     specs = [spec.resolve() for spec in specs]
     started = time.perf_counter()
     points, cache_hits = run_specs(specs, workers=workers, cache=cache,
-                                   progress=progress)
+                                   progress=progress,
+                                   point_timeout=point_timeout)
     return SweepResult(specs=specs, points=points, cache_hits=cache_hits,
                        computed=len({s for s in specs}) - cache_hits,
                        elapsed_seconds=time.perf_counter() - started)

@@ -28,11 +28,13 @@ K servers degrades to K−1 instead of failing the dispatch.
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 import urllib.error
 import urllib.request
 
+from repro import chaos
 from repro.errors import ReproError
 from repro.obs import trace
 from repro.runtime.shard import (
@@ -53,6 +55,27 @@ DEFAULT_BACKOFF_SECONDS = 0.5
 #: Longest the dispatcher will sleep between retry rounds, however
 #: large the backoff or the server's Retry-After hint.
 MAX_BACKOFF_SECONDS = 30.0
+
+
+def backoff_delay(round_number, backoff_seconds, retry_hint=0.0,
+                  rng=None):
+    """The jittered inter-round sleep for the distributed dispatcher.
+
+    The base grows linearly with the round and is jittered over
+    ``[0.5x, 1.5x]`` so a fleet of clients that all watched the same
+    server die does not thunder back in lockstep the moment it
+    recovers.  A ``Retry-After`` hint is a *floor* — the server asked
+    for at least that much quiet, and jitter may only add to it —
+    and :data:`MAX_BACKOFF_SECONDS` caps the result either way.
+    ``rng`` is a 0-arg callable returning ``[0, 1)`` (tests inject a
+    constant; production uses :func:`random.random`).
+    """
+    retry_hint = max(0.0, retry_hint or 0.0)
+    if not backoff_seconds and not retry_hint:
+        return 0.0
+    jitter = (rng or random.random)()
+    base = (backoff_seconds or 0.0) * round_number * (0.5 + jitter)
+    return min(max(retry_hint, base), MAX_BACKOFF_SECONDS)
 
 
 class ServeClientError(ReproError):
@@ -136,6 +159,10 @@ class SweepClient:
         request = urllib.request.Request(url, data=data,
                                          headers=headers)
         try:
+            # Chaos hook: an armed http_cut fault severs this request
+            # before it leaves, landing in the transport-error branch
+            # below exactly like a yanked cable.
+            chaos.maybe_cut_http(path)
             return urllib.request.urlopen(
                 request,
                 timeout=self.timeout if timeout is None else timeout)
@@ -485,9 +512,10 @@ def _run_distributed(servers, request, progress, timeout,
             choices = [index for index in survivors
                        if index != previous] or survivors
             assignment[shard] = choices[offset % len(choices)]
-        if backoff_seconds:
-            time.sleep(min(max(backoff_seconds * round_number,
-                               retry_hint), MAX_BACKOFF_SECONDS))
+        delay = backoff_delay(round_number, backoff_seconds,
+                              retry_hint)
+        if delay > 0:
+            time.sleep(delay)
 
     result = merge_sweep_payloads(
         payloads, sources=[f"shard {index} @ {producers[index]}"

@@ -61,6 +61,7 @@ import uuid
 
 from repro.errors import ReproError
 from repro.obs import get_logger, metrics, trace
+from repro.serve.journal import TERMINAL_EVENTS
 from repro.runtime.shard import (
     parse_shard,
     point_to_json,
@@ -405,6 +406,9 @@ class SweepJob:
         self.cache_hits = 0
         self.computed = 0
         self.workers_granted = None
+        #: Whether the submission was journaled (a recorded body
+        #: exists to replay from); lifecycle events follow suit.
+        self.journaled = False
         self.records = []
         # Only the JSON payload is retained after completion: the
         # SweepResult's points carry heavy mapping/activity graphs
@@ -599,9 +603,19 @@ class JobManager:
                  finished_ttl_seconds=DEFAULT_FINISHED_TTL_SECONDS,
                  max_concurrent_jobs=DEFAULT_MAX_CONCURRENT_JOBS,
                  max_queued_jobs=DEFAULT_MAX_QUEUED_JOBS,
-                 max_specs_per_job=DEFAULT_MAX_SPECS_PER_JOB):
+                 max_specs_per_job=DEFAULT_MAX_SPECS_PER_JOB,
+                 journal=None, point_timeout=None):
         self.workers = max(1, int(workers))
         self.cache = cache
+        # Durable job journal (a :class:`~repro.serve.journal.
+        # JobJournal` or None): lifecycle transitions are recorded
+        # best-effort, and :meth:`resume_from_journal` requeues what
+        # a killed predecessor left queued or running.
+        self.journal = journal
+        self.replay_stats = None
+        # Per-point deadline forwarded to every sweep's streaming
+        # engine, so one wedged point cannot hang a job forever.
+        self.point_timeout = point_timeout
         # Retention policy for terminal jobs; ``None`` disables the
         # corresponding bound.  Queued/running jobs never evict.
         self.max_finished_jobs = max_finished_jobs
@@ -617,8 +631,11 @@ class JobManager:
         # hangs, wedging the scheduler forever.  forkserver forks
         # workers from a clean single-threaded helper; spawn is the
         # fallback where it does not exist.
+        # (A point deadline forces the executor path even at one
+        # worker — the watchdog needs a reappable child — so the
+        # non-fork context matters then too.)
         self._mp_context = None
-        if self.workers > 1:
+        if self.workers > 1 or point_timeout is not None:
             import multiprocessing
             try:
                 self._mp_context = multiprocessing.get_context(
@@ -645,28 +662,46 @@ class JobManager:
     # ------------------------------------------------------------------
     # Submission / lookup
     # ------------------------------------------------------------------
-    def submit_request(self, body, trace_carrier=None):
+    def submit_request(self, body, trace_carrier=None, job_id=None):
         """Validate one POST body and enqueue its sweep job."""
         return self.submit(resolve_request(body),
-                           trace_carrier=trace_carrier)
+                           trace_carrier=trace_carrier,
+                           job_id=job_id, journal_body=body)
 
-    def submit_exploration_request(self, body, trace_carrier=None):
+    def submit_exploration_request(self, body, trace_carrier=None,
+                                   job_id=None):
         """Validate one POST body and enqueue its exploration job."""
         return self.submit(resolve_exploration_request(body),
-                           trace_carrier=trace_carrier)
+                           trace_carrier=trace_carrier,
+                           job_id=job_id, journal_body=body)
 
-    def submit(self, request, trace_carrier=None):
+    def submit(self, request, trace_carrier=None, job_id=None,
+               journal_body=None):
+        """Enqueue one resolved request.
+
+        ``job_id`` pins the identifier (journal replay reuses the
+        crashed server's IDs so clients re-attach); ``journal_body``
+        is the raw request body persisted with the ``submitted``
+        event — without it the job runs normally but cannot be
+        replayed after a crash (programmatic submissions have no
+        body; every HTTP submission does).
+        """
         if self.max_specs_per_job is not None \
                 and len(request.specs) > self.max_specs_per_job:
             raise RequestError(
                 f"job of {len(request.specs)} specs exceeds this "
                 f"server's {self.max_specs_per_job}-spec limit; "
                 f"shard the request")
-        job_id = f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}"
+        if job_id is None:
+            job_id = f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}"
         job = SweepJob(job_id, request, trace_carrier=trace_carrier)
         with self._lock:
             if self._closed:
                 raise ReproError("job manager is shut down")
+            if job_id in self.jobs:
+                raise ReproError(
+                    f"job id {job_id!r} already exists; a pinned id "
+                    f"may only be replayed once")
             # "Queued" means waiting: a submission an idle runner
             # will pick up immediately never counts against the
             # bound (otherwise ``max_queued_jobs=0`` could not
@@ -686,10 +721,69 @@ class JobManager:
                            (-request.priority, next(self._seq), job))
             metrics.SCHED_QUEUE_DEPTH.set(len(self._heap))
             self._lock.notify_all()
+        if self.journal is not None and journal_body is not None:
+            # Only journaled submissions get lifecycle events too:
+            # a programmatic job has no recorded body to replay from,
+            # so journalling its transitions would just litter replay
+            # stats with unrestorable entries.
+            job.journaled = True
+            self.journal.record(
+                "submitted", job_id, job_kind=request.kind,
+                body=journal_body, priority=request.priority,
+                label=request.label, points=len(request.specs))
         _log.debug("job submitted", job_id=job_id, kind=request.kind,
                   label=request.label, points=len(request.specs),
                   priority=request.priority)
         return job
+
+    def resume_from_journal(self):
+        """Requeue every journaled job that never reached a terminal
+        state, under its original ID.
+
+        The durable half of ``repro serve --resume``: the journal is
+        reduced to the last event per job; ``finished`` / ``failed``
+        jobs are left to rest, anything still ``submitted`` or
+        ``started`` when the previous server died is resubmitted by
+        re-resolving its recorded request body.  Jobs whose body was
+        never recorded, no longer validates, or trips admission
+        control are counted ``unrestorable`` rather than aborting
+        the boot — a recovering server must come up with whatever it
+        can save.  Returns (and stores) the replay stats that
+        ``/healthz`` reports.
+        """
+        stats = {"journaled": 0, "requeued": 0, "completed": 0,
+                 "unrestorable": 0, "skipped_lines": 0}
+        if self.journal is None:
+            self.replay_stats = stats
+            return stats
+        states, skipped = self.journal.replay()
+        stats["journaled"] = len(states)
+        stats["skipped_lines"] = skipped
+        for job_id, state in states.items():
+            if state.get("event") in TERMINAL_EVENTS:
+                stats["completed"] += 1
+                continue
+            body = state.get("body")
+            if body is None or job_id in self.jobs:
+                stats["unrestorable"] += 1
+                continue
+            try:
+                if state.get("job_kind") == "exploration":
+                    self.submit_exploration_request(body,
+                                                    job_id=job_id)
+                else:
+                    self.submit_request(body, job_id=job_id)
+            except ReproError as error:
+                stats["unrestorable"] += 1
+                _log.warning("journal.unrestorable_job",
+                             job_id=job_id, error=str(error))
+                continue
+            stats["requeued"] += 1
+            metrics.JOBS_REPLAYED.inc()
+            _log.info("journal.job_requeued", job_id=job_id,
+                      kind=state.get("job_kind", "sweep"))
+        self.replay_stats = stats
+        return stats
 
     def get(self, job_id):
         job = self.jobs.get(job_id)
@@ -789,6 +883,8 @@ class JobManager:
         started = time.perf_counter()
         _log.debug("job started", job_id=job.id,
                   kind=job.request.kind, workers=workers)
+        if self.journal is not None and job.journaled:
+            self.journal.record("started", job.id)
         try:
             if job.request.kind == "exploration":
                 return self._execute_exploration(job, workers)
@@ -797,6 +893,14 @@ class JobManager:
             elapsed = time.perf_counter() - started
             metrics.JOB_SECONDS.observe(elapsed)
             metrics.JOBS.inc(status=job.status)
+            if self.journal is not None and job.journaled \
+                    and job.is_terminal:
+                # A non-terminal exit (BaseException tearing the
+                # runner down) records nothing: the journal's last
+                # word stays "started", so a resume requeues the job.
+                self.journal.record(
+                    "failed" if job.status == FAILED else "finished",
+                    job.id, status=job.status, error=job.error)
             _log.debug("job finished", job_id=job.id,
                       status=job.status,
                       elapsed_seconds=round(elapsed, 3),
@@ -881,7 +985,8 @@ class JobManager:
                     for _ in stream_specs(
                             request.specs, workers=workers,
                             cache=self.cache, progress=observe,
-                            mp_context=self._mp_context):
+                            mp_context=self._mp_context,
+                            point_timeout=self.point_timeout):
                         pass
             result = SweepResult(
                 specs=request.specs,

@@ -120,7 +120,8 @@ def make_server(host="127.0.0.1", port=0, workers=1, cache=None,
                 quiet=False, max_finished_jobs=None,
                 finished_ttl_seconds=None, max_concurrent_jobs=None,
                 max_queued_jobs=None, max_specs_per_job=None,
-                token=None, max_body_bytes=None):
+                token=None, max_body_bytes=None, journal=None,
+                point_timeout=None, resume=False):
     """Build a ready-to-serve :class:`SweepServer`.
 
     ``port=0`` binds an ephemeral port (read it back from
@@ -130,6 +131,13 @@ def make_server(host="127.0.0.1", port=0, workers=1, cache=None,
     (``max_concurrent_jobs`` / ``max_queued_jobs``) and request-limit
     (``max_specs_per_job``) knobs override the manager's bounded
     defaults when not ``None``.
+
+    ``journal`` is a :class:`~repro.serve.journal.JobJournal` (or
+    None: no durability) the manager records job transitions to;
+    ``resume=True`` replays it before the socket binds, requeueing
+    whatever a killed predecessor left queued or running under the
+    original job IDs.  ``point_timeout`` arms the per-point deadline
+    on every sweep job.
 
     ``token`` enables bearer-token auth; a ``host`` outside
     :data:`LOOPBACK_HOSTS` is refused without one — an open,
@@ -150,8 +158,12 @@ def make_server(host="127.0.0.1", port=0, workers=1, cache=None,
             ("max_specs_per_job", max_specs_per_job)):
         if value is not None:
             overrides[key] = value
-    manager = JobManager(workers=workers, cache=cache, **overrides)
+    manager = JobManager(workers=workers, cache=cache,
+                         journal=journal,
+                         point_timeout=point_timeout, **overrides)
     try:
+        if resume:
+            manager.resume_from_journal()
         return SweepServer(
             (host, port), manager, quiet=quiet, token=token,
             max_body_bytes=(max_body_bytes if max_body_bytes
@@ -380,6 +392,15 @@ class SweepHandler(BaseHTTPRequestHandler):
                 "max_queued_jobs": manager.max_queued_jobs,
                 "queued": manager.queue_depth(),
                 "workers_free": manager.pool.free,
+            },
+            # Durability: whether a journal is armed, where it
+            # writes, and — after a --resume boot — what the replay
+            # recovered, so an operator can see at a glance that the
+            # restart picked the orphans up.
+            "journal": None if manager.journal is None else {
+                "path": str(manager.journal.path),
+                "write_errors": manager.journal.write_errors,
+                "replay": manager.replay_stats,
             },
         })
 

@@ -375,3 +375,36 @@ class TestCacheDir:
         assert cache.get_point(SPEC) is None
         assert cache.entries() == []
         assert cache.clear() == 0
+
+
+class TestCorruptEntry:
+    """A garbled on-disk entry is a loud miss, never a crash."""
+
+    def corrupted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_point(SPEC, make_point())
+        path = cache.path_for(point_key(SPEC))
+        path.write_bytes(b"\x80repro-garbage-not-a-pickle")
+        return cache, path
+
+    def test_corrupt_entry_is_a_miss_and_is_discarded(self, tmp_path):
+        cache, path = self.corrupted(tmp_path)
+        assert cache.get_point(SPEC) is None
+        assert cache.misses == 1
+        assert not path.exists(), \
+            "a corrupt entry must not survive to fail the next run"
+
+    def test_corrupt_entry_bumps_its_own_counter(self, tmp_path):
+        from repro.obs import metrics
+
+        before = metrics.CACHE_CORRUPT.total()
+        cache, _ = self.corrupted(tmp_path)
+        assert cache.get_point(SPEC) is None
+        assert metrics.CACHE_CORRUPT.total() == before + 1
+
+    def test_recompute_heals_the_slot(self, tmp_path):
+        cache, _ = self.corrupted(tmp_path)
+        assert cache.get_point(SPEC) is None
+        cache.store_point(SPEC, make_point(cycles=77))
+        healed = cache.get_point(SPEC)
+        assert healed is not None and healed.cycles == 77

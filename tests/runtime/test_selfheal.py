@@ -1,0 +1,150 @@
+"""Self-healing runtime: crash containment, deadlines, salvage.
+
+These tests arm real fault plans (``REPRO_FAULT``) against real
+worker processes — the injected ``os._exit`` breaks a real
+``ProcessPoolExecutor`` exactly like a segfault would, so what is
+under test is the production recovery path, not a simulation of it.
+Plans use ``p=1`` (or ``p=1,attempts=1``) so every run is
+deterministic and fast.
+"""
+
+import pytest
+
+from repro.chaos.faults import ENV_FAULT
+from repro.errors import ReproError
+from repro.obs import metrics
+from repro.runtime import stream as stream_module
+from repro.runtime.cache import ResultCache
+from repro.runtime.stream import (
+    ENV_POINT_ATTEMPTS,
+    ENV_POINT_TIMEOUT,
+    resolve_point_attempts,
+    resolve_point_timeout,
+    stream_specs,
+)
+from repro.runtime.sweep import PointSpec
+
+SPECS = [
+    PointSpec("dc_filter", "HOM64", "basic"),
+    PointSpec("dc_filter", "HET1", "basic"),
+]
+
+
+class TestEnvKnobs:
+    def test_explicit_timeout_wins_and_nonpositive_disables(self):
+        assert resolve_point_timeout(12.5) == 12.5
+        assert resolve_point_timeout(0) is None
+        assert resolve_point_timeout(-3) is None
+
+    def test_timeout_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_POINT_TIMEOUT, "7.5")
+        assert resolve_point_timeout() == 7.5
+        monkeypatch.setenv(ENV_POINT_TIMEOUT, "soon")
+        with pytest.raises(ReproError, match=ENV_POINT_TIMEOUT):
+            resolve_point_timeout()
+
+    def test_attempts_env_fallback_and_floor(self, monkeypatch):
+        monkeypatch.delenv(ENV_POINT_ATTEMPTS, raising=False)
+        assert resolve_point_attempts() \
+            == stream_module.DEFAULT_MAX_POINT_ATTEMPTS
+        monkeypatch.setenv(ENV_POINT_ATTEMPTS, "0")
+        assert resolve_point_attempts() == 1
+        monkeypatch.setenv(ENV_POINT_ATTEMPTS, "many")
+        with pytest.raises(ReproError, match=ENV_POINT_ATTEMPTS):
+            resolve_point_attempts()
+
+
+class TestCrashContainment:
+    def test_crashed_points_heal_on_retry(self, monkeypatch,
+                                          point_fields):
+        clean = {spec: point_fields(point)
+                 for spec, point in stream_specs(SPECS, workers=1)}
+        restarts = metrics.POOL_RESTARTS.total()
+        retries = metrics.POINT_RETRIES.total()
+        # Every point's first attempt kills its worker; the retry is
+        # not injected, so the sweep must land on the clean answer.
+        monkeypatch.setenv(ENV_FAULT, "worker_crash:p=1,attempts=1")
+        healed = {spec: point_fields(point)
+                  for spec, point in stream_specs(SPECS, workers=2)}
+        assert healed == clean
+        assert metrics.POOL_RESTARTS.total() > restarts
+        assert metrics.POINT_RETRIES.total() > retries
+
+    def test_repeat_killer_is_quarantined_not_cached(self, monkeypatch,
+                                                     tmp_path):
+        quarantines = metrics.POINT_QUARANTINES.total()
+        monkeypatch.setenv(ENV_FAULT, "worker_crash:p=1")
+        cache = ResultCache(tmp_path)
+        spec = SPECS[0]
+        pairs = list(stream_specs([spec], workers=2, cache=cache,
+                                  max_point_attempts=2))
+        assert len(pairs) == 1
+        point = pairs[0][1]
+        assert point.error.startswith("worker-crash:")
+        assert "2 attempt(s)" in point.error
+        assert metrics.POINT_QUARANTINES.total() > quarantines
+        # A containment verdict is circumstance, not truth — it must
+        # never poison the cache for the next (healthy) run.
+        assert cache.get_point(spec) is None
+
+
+class TestDeadlines:
+    def test_wedged_point_lands_as_timeout(self, monkeypatch,
+                                           tmp_path):
+        # A worker that stalls 60s against a sub-second deadline;
+        # grace is shrunk so the test pays seconds, not the 5s
+        # production slack, per attempt.
+        monkeypatch.setenv(ENV_FAULT, "point_hang:p=1,seconds=60")
+        monkeypatch.setattr(stream_module, "TIMEOUT_GRACE_SECONDS",
+                            0.5)
+        cache = ResultCache(tmp_path)
+        spec = SPECS[0]
+        pairs = list(stream_specs([spec], workers=1, cache=cache,
+                                  point_timeout=0.5,
+                                  max_point_attempts=1))
+        assert len(pairs) == 1
+        point = pairs[0][1]
+        assert point.error.startswith("timeout:")
+        assert "0.5s deadline" in point.error
+        assert cache.get_point(spec) is None
+
+
+class TestPoolBroken:
+    def test_unbuildable_pool_stamps_every_point(self, monkeypatch,
+                                                 tmp_path):
+        def refuse(*args, **kwargs):
+            raise RuntimeError("no processes today")
+
+        monkeypatch.setattr(stream_module, "ProcessPoolExecutor",
+                            refuse)
+        cache = ResultCache(tmp_path)
+        pairs = list(stream_specs(SPECS, workers=2, cache=cache))
+        assert len(pairs) == len(SPECS)
+        for spec, point in pairs:
+            assert point.error.startswith("pool-broken:")
+            assert "no processes today" in point.error
+            assert cache.get_point(spec) is None
+
+
+class TestSalvage:
+    def test_early_close_persists_finished_inflight_points(
+            self, tmp_path):
+        specs = [
+            PointSpec("dc_filter", "HOM64", "basic"),
+            PointSpec("dc_filter", "HET1", "basic"),
+            PointSpec("dc_filter", "HOM32", "basic"),
+            PointSpec("dc_filter", "HET2", "basic"),
+        ]
+        cache = ResultCache(tmp_path)
+        gen = stream_specs(specs, workers=2, cache=cache)
+        first_spec, _ = next(gen)
+        gen.close()
+        # The in-flight window is two wide, so only the first two
+        # specs ever reached a worker: the delivered one is stored,
+        # the co-flying one is salvaged by the finally block if it
+        # finished, and the queued pair must not have been computed.
+        window = [spec.resolve() for spec in specs[:2]]
+        assert first_spec in window
+        assert cache.get_point(first_spec) is not None
+        for spec in specs[2:]:
+            assert cache.get_point(spec) is None

@@ -1,0 +1,41 @@
+"""The jittered retry backoff of the distributed dispatcher."""
+
+from repro.serve.client import (
+    MAX_BACKOFF_SECONDS,
+    backoff_delay,
+)
+
+
+class TestBackoffDelay:
+    def test_zero_backoff_and_no_hint_never_sleeps(self):
+        assert backoff_delay(1, 0) == 0.0
+        assert backoff_delay(5, 0, retry_hint=0) == 0.0
+
+    def test_jitter_spans_half_to_one_and_a_half(self):
+        low = backoff_delay(2, 1.0, rng=lambda: 0.0)
+        high = backoff_delay(2, 1.0, rng=lambda: 0.999)
+        assert low == 2 * 1.0 * 0.5
+        assert abs(high - 2 * 1.0 * 1.499) < 1e-6
+        assert low < high
+
+    def test_retry_after_hint_is_a_floor_not_a_target(self):
+        # Jitter would give 0.5s; the server asked for 4s of quiet.
+        assert backoff_delay(1, 1.0, retry_hint=4.0,
+                             rng=lambda: 0.0) == 4.0
+        # But a larger jittered base may exceed the hint.
+        assert backoff_delay(10, 1.0, retry_hint=4.0,
+                             rng=lambda: 0.5) == 10.0
+
+    def test_hint_alone_sleeps_even_with_zero_backoff(self):
+        assert backoff_delay(3, 0, retry_hint=2.5,
+                             rng=lambda: 0.7) == 2.5
+
+    def test_cap_bounds_hint_and_base_alike(self):
+        assert backoff_delay(1000, 1.0, rng=lambda: 0.999) \
+            == MAX_BACKOFF_SECONDS
+        assert backoff_delay(1, 0, retry_hint=9999.0) \
+            == MAX_BACKOFF_SECONDS
+
+    def test_negative_hint_is_ignored(self):
+        assert backoff_delay(1, 1.0, retry_hint=-5,
+                             rng=lambda: 0.5) == 1.0
